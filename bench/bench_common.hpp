@@ -1,0 +1,76 @@
+// Shared plumbing for the table benches: the paper's four test circuits,
+// their abstracted models, the square-wave stimulus, duration handling and
+// table formatting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "abstraction/abstraction.hpp"
+#include "netlist/builder.hpp"
+#include "numeric/sources.hpp"
+
+namespace amsvp::bench {
+
+struct BenchCircuit {
+    std::string name;
+    netlist::Circuit circuit;
+    abstraction::SignalFlowModel model;
+};
+
+/// The four components of Section V-A: 2IN, RC1, RC20, OA.
+inline std::vector<BenchCircuit> paper_circuits(double timestep = 50e-9) {
+    std::vector<BenchCircuit> out;
+    abstraction::AbstractionOptions options;
+    options.timestep = timestep;
+
+    auto add = [&](std::string name, netlist::Circuit circuit) {
+        std::string error;
+        auto model =
+            abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, options, &error);
+        if (!model) {
+            std::fprintf(stderr, "abstraction of %s failed: %s\n", name.c_str(),
+                         error.c_str());
+            std::exit(1);
+        }
+        out.push_back(BenchCircuit{std::move(name), std::move(circuit), std::move(*model)});
+    };
+    add("2IN", netlist::make_two_inputs());
+    add("RC1", netlist::make_rc_ladder(1));
+    add("RC20", netlist::make_rc_ladder(20));
+    add("OA", netlist::make_opamp());
+    return out;
+}
+
+/// The paper's stimulus: square wave, period 1 ms (both inputs of 2IN).
+inline std::map<std::string, numeric::SourceFunction> paper_stimuli() {
+    return {{"u0", numeric::square_wave(1e-3)},
+            {"u1", numeric::square_wave(1e-3, 0.0, 0.5)}};
+}
+
+/// Simulated duration: default (seconds), overridable via --duration-ms or
+/// the AMSVP_DURATION_MS environment variable.
+inline double duration_from_args(int argc, char** argv, double default_seconds) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--duration-ms") == 0) {
+            return std::atof(argv[i + 1]) * 1e-3;
+        }
+    }
+    if (const char* env = std::getenv("AMSVP_DURATION_MS")) {
+        return std::atof(env) * 1e-3;
+    }
+    return default_seconds;
+}
+
+inline void print_scaling_note(double duration, double paper_duration) {
+    std::printf("# simulated time: %.3f ms (paper: %.0f ms on a 2009-era testbed).\n"
+                "# absolute times differ by construction; compare the ordering and the\n"
+                "# speed-up ratios. Override with --duration-ms <ms>.\n\n",
+                duration * 1e3, paper_duration * 1e3);
+}
+
+}  // namespace amsvp::bench

@@ -1,0 +1,120 @@
+// Fig. 3: "the extraction of this sub-set is considered as model abstraction
+// since the resulting representation contains less information but requires
+// less computational effort... Information loss can be controlled during
+// the abstraction process, by deciding the output signals of interest."
+//
+// This bench quantifies that trade on the RC20 ladder: requesting more
+// intermediate tap voltages enlarges the extracted cone — more equations
+// consumed, a bigger generated program, more work per step — while the
+// conservative engines always pay for the full network regardless.
+#include <chrono>
+#include <cstdio>
+
+#include "abstraction/abstraction.hpp"
+#include "netlist/builder.hpp"
+#include "runtime/simulate.hpp"
+
+int main() {
+    using namespace amsvp;
+    using Clock = std::chrono::steady_clock;
+
+    std::printf("FIG. 3 — CONE EXTRACTION: COST VS OUTPUTS OF INTEREST (RC20)\n\n");
+    std::printf("%-28s %6s %10s %12s %12s %10s\n", "Outputs requested", "Roots",
+                "Eqs used", "Eqs unused", "Model nodes", "Run (s)");
+
+    const netlist::Circuit circuit = netlist::make_rc_ladder(20);
+
+    struct Case {
+        const char* label;
+        std::vector<abstraction::OutputSpec> outputs;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"V(out) only", {{"out", "gnd"}}});
+    cases.push_back({"V(out), V(n10)", {{"out", "gnd"}, {"n10", "gnd"}}});
+    cases.push_back(
+        {"V(out), V(n5), V(n10), V(n15)",
+         {{"out", "gnd"}, {"n5", "gnd"}, {"n10", "gnd"}, {"n15", "gnd"}}});
+    {
+        Case all{"every tap voltage", {}};
+        for (int i = 1; i < 20; ++i) {
+            all.outputs.push_back({"n" + std::to_string(i), "gnd"});
+        }
+        all.outputs.push_back({"out", "gnd"});
+        cases.push_back(std::move(all));
+    }
+
+    for (const Case& c : cases) {
+        std::string error;
+        abstraction::AbstractionReport report;
+        auto model =
+            abstraction::abstract_circuit(circuit, c.outputs, {}, &error, &report);
+        if (!model) {
+            std::fprintf(stderr, "%s failed: %s\n", c.label, error.c_str());
+            return 1;
+        }
+        const auto start = Clock::now();
+        auto result = runtime::simulate_transient(
+            *model, {{"u0", numeric::square_wave(1e-3)}}, 1e-3);
+        const double run_seconds =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        (void)result;
+
+        std::printf("%-28s %6zu %10zu %12zu %12zu %10.4f\n", c.label, report.roots,
+                    report.equations_consumed,
+                    report.database_classes - report.equations_consumed,
+                    report.model_nodes, run_seconds);
+    }
+
+    // On a single ladder the cone cannot shrink (the output depends on every
+    // upstream state). The discard effect of Fig. 3 shows on a circuit with
+    // independent sections: one source driving two separate RC5 chains.
+    std::printf("\nTwo independent RC5 chains from one source:\n");
+    std::printf("%-28s %6s %10s %12s %12s %10s\n", "Outputs requested", "Roots",
+                "Eqs used", "Eqs unused", "Model nodes", "Run (s)");
+
+    netlist::CircuitBuilder cb("forked");
+    cb.ground("gnd");
+    cb.voltage_source("VIN", "in", "gnd", "u0");
+    for (const char chain : {'a', 'b'}) {
+        std::string prev = "in";
+        for (int i = 1; i <= 5; ++i) {
+            const std::string node =
+                (i == 5) ? std::string("out") + chain
+                         : std::string(1, chain) + std::to_string(i);
+            cb.resistor(std::string("R") + chain + std::to_string(i), prev, node, 5e3);
+            cb.capacitor(std::string("C") + chain + std::to_string(i), node, "gnd", 25e-9);
+            prev = node;
+        }
+    }
+    const netlist::Circuit forked = cb.build();
+
+    std::vector<Case> forked_cases;
+    forked_cases.push_back({"V(outa) only", {{"outa", "gnd"}}});
+    forked_cases.push_back({"V(outa), V(outb)", {{"outa", "gnd"}, {"outb", "gnd"}}});
+    for (const Case& c : forked_cases) {
+        std::string error;
+        abstraction::AbstractionReport report;
+        auto model = abstraction::abstract_circuit(forked, c.outputs, {}, &error, &report);
+        if (!model) {
+            std::fprintf(stderr, "%s failed: %s\n", c.label, error.c_str());
+            return 1;
+        }
+        const auto start = Clock::now();
+        auto result = runtime::simulate_transient(
+            *model, {{"u0", numeric::square_wave(1e-3)}}, 1e-3);
+        const double run_seconds =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        (void)result;
+        std::printf("%-28s %6zu %10zu %12zu %12zu %10.4f\n", c.label, report.roots,
+                    report.equations_consumed,
+                    report.database_classes - report.equations_consumed,
+                    report.model_nodes, run_seconds);
+    }
+
+    std::printf("\n# The unused dependency classes are exactly the conservative\n"
+                "# information Fig. 3 greys out: constraints the chosen outputs never\n"
+                "# need (here: the entire second chain). A conservative solver still\n"
+                "# evaluates all of them at every timestep; the extracted signal flow\n"
+                "# does not.\n");
+    return 0;
+}

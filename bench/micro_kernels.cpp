@@ -1,0 +1,93 @@
+// Micro-benchmarks (google-benchmark) for the two hot kernels of the
+// library: evaluation of generated expressions (bytecode vs tree-walk — the
+// EvalStrategy ablation) and the dense LU factorise/solve pair that the
+// ELN/SPICE engines are built on (factor-once vs refactor-per-step).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "abstraction/abstraction.hpp"
+#include "netlist/builder.hpp"
+#include "numeric/lu.hpp"
+#include "runtime/compiled_model.hpp"
+
+namespace {
+
+using namespace amsvp;
+
+abstraction::SignalFlowModel ladder_model(int stages) {
+    const netlist::Circuit circuit = netlist::make_rc_ladder(stages);
+    std::string error;
+    auto model = abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, {}, &error);
+    if (!model) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        std::exit(1);
+    }
+    return std::move(*model);
+}
+
+void BM_ModelStep(benchmark::State& state, runtime::EvalStrategy strategy) {
+    const auto model = ladder_model(static_cast<int>(state.range(0)));
+    runtime::CompiledModel compiled(model, strategy);
+    compiled.set_input(0, 1.0);
+    double t = 0.0;
+    for (auto _ : state) {
+        t += model.timestep;
+        compiled.step(t);
+        benchmark::DoNotOptimize(compiled.output(0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ModelStepBytecode(benchmark::State& state) {
+    BM_ModelStep(state, runtime::EvalStrategy::kBytecode);
+}
+void BM_ModelStepTreeWalk(benchmark::State& state) {
+    BM_ModelStep(state, runtime::EvalStrategy::kTreeWalk);
+}
+
+BENCHMARK(BM_ModelStepBytecode)->Arg(1)->Arg(5)->Arg(20);
+BENCHMARK(BM_ModelStepTreeWalk)->Arg(1)->Arg(5)->Arg(20);
+
+numeric::Matrix random_spd(std::size_t n, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    numeric::Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            a(r, c) = dist(rng);
+        }
+        a(r, r) += static_cast<double>(n);
+    }
+    return a;
+}
+
+void BM_LuRefactorEveryStep(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const numeric::Matrix a = random_spd(n, 42);
+    numeric::Vector b(n, 1.0);
+    for (auto _ : state) {
+        auto lu = numeric::LuFactorization::factorise(a);
+        numeric::Vector x = lu->solve(b);
+        benchmark::DoNotOptimize(x.data());
+    }
+}
+
+void BM_LuFactorOnceSolveMany(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const numeric::Matrix a = random_spd(n, 42);
+    const auto lu = numeric::LuFactorization::factorise(a);
+    numeric::Vector b(n, 1.0);
+    for (auto _ : state) {
+        numeric::Vector x = lu->solve(b);
+        benchmark::DoNotOptimize(x.data());
+    }
+}
+
+// 62 is the RC20 tableau size (21 node potentials + 41 branch currents).
+BENCHMARK(BM_LuRefactorEveryStep)->Arg(8)->Arg(16)->Arg(32)->Arg(62);
+BENCHMARK(BM_LuFactorOnceSolveMany)->Arg(8)->Arg(16)->Arg(32)->Arg(62);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Table I: simulation performance and accuracy for the abstracted models in
+// isolation. Five rows per circuit: Verilog-AMS (conservative reference,
+// co-simulated), manual SC-AMS/ELN, generated SC-AMS/TDF, SC-DE and C++.
+// NRMSE is measured against the Verilog-AMS trace, speed-up against its
+// simulation time — exactly the paper's columns.
+#include <cstdio>
+
+#include "backends/runner.hpp"
+#include "codegen/native_model.hpp"
+#include "bench_common.hpp"
+#include "numeric/metrics.hpp"
+
+int main(int argc, char** argv) {
+    using namespace amsvp;
+    const double duration = bench::duration_from_args(argc, argv, 1e-3);
+
+    std::printf("TABLE I — SIMULATION PERFORMANCE AND ACCURACY, MODELS IN ISOLATION\n");
+    bench::print_scaling_note(duration, 100e-3);
+    std::printf("%-10s %-14s %-10s %14s %12s %10s\n", "Component", "Target", "Generation",
+                "Sim. time (s)", "NRMSE", "Speed-up");
+
+    for (const bench::BenchCircuit& c : bench::paper_circuits()) {
+        backends::IsolationSetup setup;
+        setup.circuit = &c.circuit;
+        setup.model = &c.model;
+        setup.stimuli = bench::paper_stimuli();
+        setup.timestep = c.model.timestep;
+        setup.executor_factory = codegen::native_executor_factory();
+
+        struct Row {
+            backends::BackendKind kind;
+            const char* generation;
+        };
+        const Row rows[] = {
+            {backends::BackendKind::kVerilogAmsCosim, "manual"},
+            {backends::BackendKind::kElnSystemC, "manual"},
+            {backends::BackendKind::kTdfSystemC, "algo"},
+            {backends::BackendKind::kDeSystemC, "algo"},
+            {backends::BackendKind::kCpp, "algo"},
+        };
+
+        backends::BackendRun reference;
+        for (const Row& row : rows) {
+            const backends::BackendRun run =
+                backends::run_isolated(row.kind, setup, duration);
+            double error = 0.0;
+            double speedup = 0.0;
+            if (row.kind == backends::BackendKind::kVerilogAmsCosim) {
+                reference = run;
+            } else {
+                error = numeric::nrmse(reference.trace, run.trace);
+                speedup = reference.wall_seconds / run.wall_seconds;
+            }
+            std::printf("%-10s %-14s %-10s %14.4f %12.2E %9.0fx\n", c.name.c_str(),
+                        std::string(to_string(row.kind)).c_str(), row.generation,
+                        run.wall_seconds, error, speedup);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

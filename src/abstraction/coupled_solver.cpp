@@ -1,0 +1,136 @@
+#include "abstraction/coupled_solver.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "expr/linear_form.hpp"
+#include "expr/printer.hpp"
+#include "numeric/matrix.hpp"
+
+namespace amsvp::abstraction {
+
+using expr::Expr;
+using expr::ExprPtr;
+using expr::LinearForm;
+using expr::LinearKey;
+using expr::Symbol;
+
+std::optional<std::vector<Assignment>> solve_coupled(const std::vector<DiscretizedRoot>& roots,
+                                                     std::string* error) {
+    const std::size_t n = roots.size();
+    if (n == 0) {
+        return std::vector<Assignment>{};
+    }
+
+    std::map<Symbol, std::size_t> index;
+    for (std::size_t i = 0; i < n; ++i) {
+        index[roots[i].symbol] = i;
+    }
+    const auto is_root = [&](const Symbol& s) { return index.contains(s); };
+
+    // Extract x_i - T_i == 0 as linear forms over the root symbols:
+    // rows of (I - M) and the offset expressions r_i (with flipped sign).
+    numeric::Matrix a(n, n);
+    std::vector<ExprPtr> rhs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto form = LinearForm::extract(roots[i].tree, is_root);
+        if (!form) {
+            if (error != nullptr) {
+                *error = "root " + roots[i].symbol.display() +
+                         " is not linear in the coupled unknowns: " +
+                         expr::to_string(roots[i].tree);
+            }
+            return std::nullopt;
+        }
+        a(i, i) = 1.0;
+        for (const auto& [key, coeff] : form->coefficients()) {
+            if (key.derivative) {
+                if (error != nullptr) {
+                    *error = "underivatized ddt survived discretization for " + key.display();
+                }
+                return std::nullopt;
+            }
+            a(i, index.at(key.symbol)) -= coeff;
+        }
+        rhs[i] = form->offset();
+    }
+
+    // Forward elimination with partial pivoting; row operations apply to the
+    // offset expressions symbolically. Combined offsets above a small size
+    // are materialised as workspace assignments ("ws<k> := ..."), so the
+    // emitted program is an unrolled triangular solve — O(n * fill)
+    // operations per step — instead of one exponentially grown expression
+    // per output (expression trees share subtrees, but flattened evaluation
+    // would duplicate them).
+    std::vector<Assignment> workspace;
+    int next_ws = 0;
+    constexpr std::size_t kMaterializeThreshold = 24;
+    auto materialise = [&](ExprPtr& e) {
+        if (e->node_count() <= kMaterializeThreshold) {
+            return;
+        }
+        const Symbol ws = expr::variable_symbol("ws" + std::to_string(next_ws++));
+        workspace.push_back(Assignment{ws, e});
+        e = Expr::symbol(ws);
+    };
+
+    std::vector<std::size_t> row(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        row[i] = i;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t pivot = k;
+        double pivot_mag = std::fabs(a(row[k], k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double mag = std::fabs(a(row[r], k));
+            if (mag > pivot_mag) {
+                pivot_mag = mag;
+                pivot = r;
+            }
+        }
+        if (pivot_mag < 1e-12) {
+            if (error != nullptr) {
+                *error = "coupled system is singular at column " +
+                         roots[k].symbol.display();
+            }
+            return std::nullopt;
+        }
+        std::swap(row[k], row[pivot]);
+        // The pivot row's offset is reused by every elimination below it:
+        // keep it small.
+        materialise(rhs[row[k]]);
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double factor = a(row[r], k) / a(row[k], k);
+            if (factor == 0.0) {
+                continue;
+            }
+            for (std::size_t c = k; c < n; ++c) {
+                a(row[r], c) -= factor * a(row[k], c);
+            }
+            rhs[row[r]] = Expr::sub(rhs[row[r]],
+                                    Expr::mul(Expr::constant(factor), rhs[row[k]]));
+            materialise(rhs[row[r]]);
+        }
+    }
+
+    // Back substitution: x_k = (r_k - sum_{j>k} a_kj x_j) / a_kk, emitted
+    // last-to-first so every reference reads an already-assigned root.
+    std::vector<Assignment> ordered = std::move(workspace);
+    ordered.reserve(ordered.size() + n);
+    for (std::size_t kk = n; kk-- > 0;) {
+        ExprPtr acc = rhs[row[kk]];
+        for (std::size_t j = kk + 1; j < n; ++j) {
+            const double coeff = a(row[kk], j);
+            if (coeff == 0.0) {
+                continue;
+            }
+            acc = Expr::sub(acc, Expr::mul(Expr::constant(coeff),
+                                           Expr::symbol(roots[j].symbol)));
+        }
+        acc = Expr::div(acc, Expr::constant(a(row[kk], kk)));
+        ordered.push_back(Assignment{roots[kk].symbol, std::move(acc)});
+    }
+    return ordered;
+}
+
+}  // namespace amsvp::abstraction

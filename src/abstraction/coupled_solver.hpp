@@ -1,0 +1,30 @@
+// Step 3b: "solution of the linear equation" (Section IV-C, Fig. 7a).
+//
+// After discretization the assembled roots form a linear algebraic system in
+// the current-time root values:
+//
+//     x_i = sum_j M_ij x_j + r_i(inputs, history)
+//
+// The paper removes the output's self-occurrences by solving this system
+// symbolically (O(|N|^3)); here a Gaussian elimination with partial pivoting
+// runs on the numeric matrix (I - M) while carrying the r_i along as
+// expression trees, and back-substitution emits one assignment per root in
+// an evaluation-ready order.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "abstraction/discretize.hpp"
+#include "abstraction/signal_flow_model.hpp"
+
+namespace amsvp::abstraction {
+
+/// Triangularize the coupled system into ordered assignments. Fails (with
+/// `error` set) when a root tree is not linear in the root symbols or the
+/// system is singular.
+[[nodiscard]] std::optional<std::vector<Assignment>> solve_coupled(
+    const std::vector<DiscretizedRoot>& roots, std::string* error = nullptr);
+
+}  // namespace amsvp::abstraction

@@ -1,0 +1,220 @@
+#include "abstraction/discretize.hpp"
+
+#include <set>
+
+#include "expr/printer.hpp"
+#include "support/check.hpp"
+
+namespace amsvp::abstraction {
+
+using expr::Expr;
+using expr::ExprKind;
+using expr::ExprPtr;
+using expr::Symbol;
+using expr::SymbolKind;
+
+std::string_view to_string(DiscretizationScheme scheme) {
+    switch (scheme) {
+        case DiscretizationScheme::kBackwardEuler:
+            return "backward-euler";
+        case DiscretizationScheme::kTrapezoidal:
+            return "trapezoidal";
+    }
+    return "unknown";
+}
+
+namespace {
+
+class Discretizer {
+public:
+    Discretizer(double dt, DiscretizationScheme scheme) : dt_(dt), scheme_(scheme) {}
+
+    /// Replace every ddt() in `tree`. Returns nullptr and sets error_ when a
+    /// derivative cannot be resolved.
+    ExprPtr rewrite(const ExprPtr& tree) {
+        switch (tree->kind()) {
+            case ExprKind::kConstant:
+            case ExprKind::kSymbol:
+            case ExprKind::kDelayed:
+                return tree;
+            case ExprKind::kUnary: {
+                ExprPtr a = rewrite(tree->operand());
+                return a ? Expr::unary(tree->unary_op(), std::move(a)) : nullptr;
+            }
+            case ExprKind::kBinary: {
+                ExprPtr l = rewrite(tree->left());
+                ExprPtr r = rewrite(tree->right());
+                return (l && r) ? Expr::binary(tree->binary_op(), std::move(l), std::move(r))
+                                : nullptr;
+            }
+            case ExprKind::kConditional: {
+                ExprPtr c = rewrite(tree->condition());
+                ExprPtr t = rewrite(tree->then_branch());
+                ExprPtr f = rewrite(tree->else_branch());
+                return (c && t && f)
+                           ? Expr::conditional(std::move(c), std::move(t), std::move(f))
+                           : nullptr;
+            }
+            case ExprKind::kDdt:
+                return derivative_of(tree->operand());
+            case ExprKind::kIdt:
+                error_ = "idt() cannot be discretized in the conservative path";
+                return nullptr;
+        }
+        return nullptr;
+    }
+
+    [[nodiscard]] const std::string& error() const { return error_; }
+    [[nodiscard]] const std::vector<Assignment>& post_assignments() const {
+        return post_assignments_;
+    }
+
+    /// x = x@(t-dt) + integral of `derivative_tree` over the step (used for
+    /// roots whose defining equation had a ddt() lhs).
+    ExprPtr integrate_root(const Symbol& root, const ExprPtr& derivative_tree) {
+        ExprPtr d = rewrite(derivative_tree);
+        if (!d) {
+            return nullptr;
+        }
+        const ExprPtr prev = Expr::delayed(root, 1);
+        switch (scheme_) {
+            case DiscretizationScheme::kBackwardEuler:
+                // x = prev + dt * d(t)
+                return Expr::add(prev, Expr::mul(Expr::constant(dt_), d));
+            case DiscretizationScheme::kTrapezoidal: {
+                // x = prev + dt/2 * (d(t) + d(t-dt)); d's history is kept in
+                // an auxiliary variable updated after the solve.
+                const Symbol aux = derivative_history_symbol(root);
+                register_history(root, aux);
+                return Expr::add(
+                    prev, Expr::mul(Expr::constant(dt_ / 2.0),
+                                    Expr::add(d, Expr::delayed(aux, 1))));
+            }
+        }
+        return nullptr;
+    }
+
+private:
+    /// ddt(operand): push the (linear) derivative down to symbols.
+    ExprPtr derivative_of(const ExprPtr& operand) {
+        switch (operand->kind()) {
+            case ExprKind::kConstant:
+                return Expr::constant(0.0);
+            case ExprKind::kSymbol:
+                return symbol_derivative(operand->symbol());
+            case ExprKind::kDelayed: {
+                // d/dt of a delayed sample: finite difference one step back.
+                const Symbol& s = operand->symbol();
+                const int k = operand->delay();
+                return Expr::div(
+                    Expr::sub(Expr::delayed(s, k), Expr::delayed(s, k + 1)),
+                    Expr::constant(dt_));
+            }
+            case ExprKind::kUnary:
+                if (operand->unary_op() == expr::UnaryOp::kNeg) {
+                    ExprPtr inner = derivative_of(operand->operand());
+                    return inner ? Expr::neg(std::move(inner)) : nullptr;
+                }
+                error_ = "ddt() of a non-linear function is not supported: ddt(" +
+                         expr::to_string(operand) + ")";
+                return nullptr;
+            case ExprKind::kBinary: {
+                const expr::BinaryOp op = operand->binary_op();
+                if (op == expr::BinaryOp::kAdd || op == expr::BinaryOp::kSub) {
+                    ExprPtr l = derivative_of(operand->left());
+                    ExprPtr r = derivative_of(operand->right());
+                    return (l && r) ? Expr::binary(op, std::move(l), std::move(r)) : nullptr;
+                }
+                if (op == expr::BinaryOp::kMul &&
+                    operand->left()->kind() == ExprKind::kConstant) {
+                    ExprPtr inner = derivative_of(operand->right());
+                    return inner ? Expr::mul(operand->left(), std::move(inner)) : nullptr;
+                }
+                if (op == expr::BinaryOp::kMul &&
+                    operand->right()->kind() == ExprKind::kConstant) {
+                    ExprPtr inner = derivative_of(operand->left());
+                    return inner ? Expr::mul(std::move(inner), operand->right()) : nullptr;
+                }
+                if (op == expr::BinaryOp::kDiv &&
+                    operand->right()->kind() == ExprKind::kConstant) {
+                    ExprPtr inner = derivative_of(operand->left());
+                    return inner ? Expr::div(std::move(inner), operand->right()) : nullptr;
+                }
+                error_ = "ddt() of a non-linear expression is not supported: ddt(" +
+                         expr::to_string(operand) + ")";
+                return nullptr;
+            }
+            default:
+                error_ = "ddt() of this expression is not supported: ddt(" +
+                         expr::to_string(operand) + ")";
+                return nullptr;
+        }
+    }
+
+    ExprPtr symbol_derivative(const Symbol& s) {
+        const ExprPtr now = Expr::symbol(s);
+        const ExprPtr prev = Expr::delayed(s, 1);
+        const ExprPtr backward =
+            Expr::div(Expr::sub(now, prev), Expr::constant(dt_));
+        switch (scheme_) {
+            case DiscretizationScheme::kBackwardEuler:
+                return backward;
+            case DiscretizationScheme::kTrapezoidal: {
+                // Trapezoidal companion: d = 2/dt (x - prev x) - d@(t-dt).
+                const Symbol aux = derivative_history_symbol(s);
+                register_history(s, aux);
+                return Expr::sub(Expr::mul(Expr::constant(2.0 / dt_),
+                                           Expr::sub(now, prev)),
+                                 Expr::delayed(aux, 1));
+            }
+        }
+        return backward;
+    }
+
+    [[nodiscard]] static Symbol derivative_history_symbol(const Symbol& s) {
+        return expr::variable_symbol("d_" + s.identifier());
+    }
+
+    void register_history(const Symbol& s, const Symbol& aux) {
+        if (history_registered_.contains(aux)) {
+            return;
+        }
+        history_registered_.insert(aux);
+        // After the step: aux = 2/dt (x - prev x) - prev aux.
+        ExprPtr update = Expr::sub(
+            Expr::mul(Expr::constant(2.0 / dt_),
+                      Expr::sub(Expr::symbol(s), Expr::delayed(s, 1))),
+            Expr::delayed(aux, 1));
+        post_assignments_.push_back(Assignment{aux, std::move(update)});
+    }
+
+    double dt_;
+    DiscretizationScheme scheme_;
+    std::string error_;
+    std::vector<Assignment> post_assignments_;
+    std::set<Symbol> history_registered_;
+};
+
+}  // namespace
+
+std::optional<DiscretizedSystem> discretize(const AssembledSystem& system, double timestep,
+                                            DiscretizationScheme scheme, std::string* error) {
+    AMSVP_CHECK(timestep > 0.0, "timestep must be positive");
+    Discretizer d(timestep, scheme);
+    DiscretizedSystem out;
+    for (const AssembledRoot& root : system.roots) {
+        ExprPtr tree = root.lhs_derivative ? d.integrate_root(root.symbol, root.tree)
+                                           : d.rewrite(root.tree);
+        if (!tree) {
+            if (error != nullptr) {
+                *error = d.error();
+            }
+            return std::nullopt;
+        }
+        out.roots.push_back(DiscretizedRoot{root.symbol, std::move(tree)});
+    }
+    out.post_assignments = d.post_assignments();
+    return out;
+}
+
+}  // namespace amsvp::abstraction

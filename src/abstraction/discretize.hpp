@@ -1,0 +1,46 @@
+// Resolution of ddt()/idt() operators into finite-difference form (the
+// paper's ResolveDerivative, Algorithm 2 lines 6-7/13-14).
+//
+// Backward Euler is the primary scheme (it matches the paper's "the output
+// of interest appearing on the right side is already delayed by dt"
+// argument). Trapezoidal integration is provided as the accuracy ablation:
+// it introduces one auxiliary derivative-history variable per state, updated
+// by a post-assignment after the coupled solve.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "abstraction/assembler.hpp"
+#include "abstraction/signal_flow_model.hpp"
+
+namespace amsvp::abstraction {
+
+enum class DiscretizationScheme {
+    kBackwardEuler,
+    kTrapezoidal,
+};
+
+[[nodiscard]] std::string_view to_string(DiscretizationScheme scheme);
+
+struct DiscretizedRoot {
+    expr::Symbol symbol;
+    expr::ExprPtr tree;  ///< free of ddt/idt; linear in root symbols for LTI inputs
+};
+
+struct DiscretizedSystem {
+    std::vector<DiscretizedRoot> roots;
+    /// Evaluated after the roots each step (trapezoidal derivative history).
+    std::vector<Assignment> post_assignments;
+};
+
+/// Discretize every root tree of an assembled system. Fails (with `error`
+/// set) when a ddt() wraps a non-linear subexpression or an idt() survived
+/// into the conservative path.
+[[nodiscard]] std::optional<DiscretizedSystem> discretize(const AssembledSystem& system,
+                                                          double timestep,
+                                                          DiscretizationScheme scheme,
+                                                          std::string* error = nullptr);
+
+}  // namespace amsvp::abstraction

@@ -1,0 +1,106 @@
+#include "abstraction/signal_flow_model.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "expr/printer.hpp"
+#include "expr/traversal.hpp"
+#include "support/strings.hpp"
+
+namespace amsvp::abstraction {
+
+using expr::ExprKind;
+using expr::ExprPtr;
+using expr::Symbol;
+
+std::vector<Symbol> SignalFlowModel::state_symbols() const {
+    std::set<Symbol> state;
+    for (const Assignment& a : assignments) {
+        for (const Symbol& s : expr::collect_delayed_symbols(a.value)) {
+            state.insert(s);
+        }
+    }
+    return {state.begin(), state.end()};
+}
+
+int SignalFlowModel::max_delay(const Symbol& s) const {
+    int max_delay = 0;
+    for (const Assignment& a : assignments) {
+        expr::visit(a.value, [&](const ExprPtr& node) {
+            if (node->kind() == ExprKind::kDelayed && node->symbol() == s) {
+                max_delay = std::max(max_delay, node->delay());
+            }
+            return true;
+        });
+    }
+    return max_delay;
+}
+
+std::vector<std::string> SignalFlowModel::validate() const {
+    std::vector<std::string> problems;
+
+    std::set<Symbol> defined(inputs.begin(), inputs.end());
+    defined.insert(expr::time_symbol());
+    std::set<Symbol> assigned_anywhere;
+    for (const Assignment& a : assignments) {
+        assigned_anywhere.insert(a.target);
+    }
+
+    for (const Assignment& a : assignments) {
+        for (const Symbol& s : expr::collect_symbols(a.value)) {
+            if (!defined.contains(s)) {
+                problems.push_back("assignment to " + a.target.display() + " reads " +
+                                   s.display() + " before it is defined");
+            }
+        }
+        for (const Symbol& s : expr::collect_delayed_symbols(a.value)) {
+            if (!assigned_anywhere.contains(s) &&
+                std::find(inputs.begin(), inputs.end(), s) == inputs.end()) {
+                problems.push_back("assignment to " + a.target.display() +
+                                   " reads history of " + s.display() +
+                                   ", which is never computed");
+            }
+        }
+        defined.insert(a.target);
+    }
+
+    for (const Symbol& out : outputs) {
+        if (!assigned_anywhere.contains(out)) {
+            problems.push_back("output " + out.display() + " is never assigned");
+        }
+    }
+    return problems;
+}
+
+std::size_t SignalFlowModel::node_count() const {
+    std::size_t n = 0;
+    for (const Assignment& a : assignments) {
+        n += a.value->node_count();
+    }
+    return n;
+}
+
+std::string SignalFlowModel::describe() const {
+    std::string out = "signal-flow model '" + name + "' (dt = " +
+                      support::format_double(timestep) + " s)\n";
+    out += "  inputs:";
+    for (const Symbol& s : inputs) {
+        out += " " + s.display();
+    }
+    out += "\n  state:";
+    for (const Symbol& s : state_symbols()) {
+        out += " " + s.display();
+    }
+    out += "\n  program:\n";
+    for (const Assignment& a : assignments) {
+        out += "    " + a.target.display() + " := " + expr::to_string(a.value) + "\n";
+    }
+    out += "  outputs:";
+    for (const Symbol& s : outputs) {
+        out += " " + s.display();
+    }
+    out += "\n";
+    return out;
+}
+
+}  // namespace amsvp::abstraction

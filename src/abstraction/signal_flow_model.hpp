@@ -1,0 +1,55 @@
+// The artifact the abstraction flow produces: an ordered signal-flow program
+// (Eq. 1 of the paper) computing the outputs of interest from inputs and
+// state history, one fixed timestep at a time.
+//
+// The same structure feeds every backend: the in-process runtime executes it
+// directly; the code generators print it as C++ / SystemC-DE / SC-AMS-TDF.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "expr/expr.hpp"
+
+namespace amsvp::abstraction {
+
+/// One step statement: target := value, evaluated in sequence order.
+struct Assignment {
+    expr::Symbol target;
+    expr::ExprPtr value;
+};
+
+class SignalFlowModel {
+public:
+    std::string name;
+    double timestep = 0.0;  ///< seconds
+    std::vector<expr::Symbol> inputs;
+    std::vector<Assignment> assignments;
+    std::vector<expr::Symbol> outputs;
+    /// Initial values of symbols referenced with a delay; absent = 0.0.
+    std::map<expr::Symbol, double> initial_values;
+
+    /// Symbols referenced with a delay anywhere in the program (the model
+    /// state), in deterministic order.
+    [[nodiscard]] std::vector<expr::Symbol> state_symbols() const;
+
+    /// Largest delay (in steps) with which `s` is referenced; 0 when never
+    /// referenced delayed.
+    [[nodiscard]] int max_delay(const expr::Symbol& s) const;
+
+    /// Structural validation:
+    ///  * every current-time symbol used is an input or assigned earlier,
+    ///  * every delayed symbol is an input or assigned somewhere,
+    ///  * every output is assigned.
+    /// Returns problems as text; empty when well-formed.
+    [[nodiscard]] std::vector<std::string> validate() const;
+
+    /// Total expression nodes across assignments (complexity metric).
+    [[nodiscard]] std::size_t node_count() const;
+
+    /// Human-readable listing of the program.
+    [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace amsvp::abstraction

@@ -1,0 +1,173 @@
+#include "backends/runner.hpp"
+
+#include <chrono>
+
+#include "backends/de_modules.hpp"
+#include "backends/tdf_modules.hpp"
+#include "cosim/coupler.hpp"
+#include "eln/engine.hpp"
+#include "runtime/simulate.hpp"
+#include "support/check.hpp"
+
+namespace amsvp::backends {
+
+using Clock = std::chrono::steady_clock;
+
+std::string_view to_string(BackendKind kind) {
+    switch (kind) {
+        case BackendKind::kVerilogAmsCosim:
+            return "Verilog-AMS";
+        case BackendKind::kElnSystemC:
+            return "SC-AMS/ELN";
+        case BackendKind::kTdfSystemC:
+            return "SC-AMS/TDF";
+        case BackendKind::kDeSystemC:
+            return "SC-DE";
+        case BackendKind::kCpp:
+            return "C++";
+    }
+    return "unknown";
+}
+
+const std::vector<BackendKind>& all_backends() {
+    static const std::vector<BackendKind> kAll = {
+        BackendKind::kVerilogAmsCosim, BackendKind::kElnSystemC, BackendKind::kTdfSystemC,
+        BackendKind::kDeSystemC, BackendKind::kCpp};
+    return kAll;
+}
+
+namespace {
+
+double elapsed(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::unique_ptr<runtime::ModelExecutor> make_executor(const IsolationSetup& setup) {
+    if (setup.executor_factory) {
+        return setup.executor_factory(*setup.model);
+    }
+    return std::make_unique<runtime::CompiledModel>(*setup.model);
+}
+
+BackendRun run_vams(const IsolationSetup& setup, double duration) {
+    AMSVP_CHECK(setup.circuit != nullptr, "Verilog-AMS backend needs the conservative circuit");
+    de::Simulator sim;
+    spice::SpiceOptions options = setup.spice;
+    options.timestep = setup.timestep;
+    cosim::CosimCoupler coupler(sim, *setup.circuit, options, setup.stimuli,
+                                setup.observed_pos, setup.observed_neg);
+    const auto start = Clock::now();
+    sim.run_until(de::from_seconds(duration));
+    BackendRun run;
+    run.wall_seconds = elapsed(start);
+    run.trace = coupler.trace();
+    return run;
+}
+
+BackendRun run_eln(const IsolationSetup& setup, double duration) {
+    AMSVP_CHECK(setup.circuit != nullptr, "ELN backend needs the conservative circuit");
+    de::Simulator sim;
+    eln::ElnDeModule module(sim, *setup.circuit, setup.timestep, setup.stimuli,
+                            setup.observed_pos, setup.observed_neg);
+    const auto start = Clock::now();
+    sim.run_until(de::from_seconds(duration));
+    BackendRun run;
+    run.wall_seconds = elapsed(start);
+    run.trace = module.trace();
+    return run;
+}
+
+BackendRun run_tdf(const IsolationSetup& setup, double duration) {
+    AMSVP_CHECK(setup.model != nullptr, "TDF backend needs the abstracted model");
+    const abstraction::SignalFlowModel& model = *setup.model;
+
+    std::vector<std::unique_ptr<TdfSource>> sources;
+    TdfModel dut("dut", model, make_executor(setup));
+    TdfSink sink("sink");
+    tdf::TdfCluster cluster;
+    cluster.add(dut);
+    cluster.add(sink);
+    for (std::size_t i = 0; i < model.inputs.size(); ++i) {
+        const auto it = setup.stimuli.find(model.inputs[i].name);
+        AMSVP_CHECK(it != setup.stimuli.end(), "missing stimulus");
+        sources.push_back(std::make_unique<TdfSource>("src" + std::to_string(i), it->second));
+        cluster.add(*sources.back());
+        cluster.connect(sources.back()->out, dut.input(i));
+    }
+    cluster.connect(dut.output(0), sink.in);
+    cluster.set_timestep(dut, model.timestep);
+    std::string error;
+    const bool ok = cluster.elaborate(&error);
+    AMSVP_CHECK(ok, "TDF elaboration failed");
+
+    // Embedded in the DE kernel, as SystemC-AMS embeds TDF clusters.
+    de::Simulator sim;
+    cluster.attach(sim);
+    const auto start = Clock::now();
+    sim.run_until(de::from_seconds(duration));
+    BackendRun run;
+    run.wall_seconds = elapsed(start);
+    run.trace = sink.trace();
+    return run;
+}
+
+BackendRun run_de(const IsolationSetup& setup, double duration) {
+    AMSVP_CHECK(setup.model != nullptr, "DE backend needs the abstracted model");
+    const abstraction::SignalFlowModel& model = *setup.model;
+
+    de::Simulator sim;
+    de::Clock clock(sim, "clk", de::from_seconds(model.timestep));
+    std::vector<std::unique_ptr<DeSource>> sources;
+    std::vector<de::Signal<double>*> input_signals;
+    for (std::size_t i = 0; i < model.inputs.size(); ++i) {
+        const auto it = setup.stimuli.find(model.inputs[i].name);
+        AMSVP_CHECK(it != setup.stimuli.end(), "missing stimulus");
+        sources.push_back(std::make_unique<DeSource>(
+            sim, clock, "src" + std::to_string(i), it->second));
+        input_signals.push_back(&sources.back()->out());
+    }
+    DeModel dut(sim, clock, "dut", model, std::move(input_signals), make_executor(setup));
+    DeSink sink(sim, clock, dut.output(0));
+
+    const auto start = Clock::now();
+    // Run half a clock period past the end so the sink samples the final
+    // rising-edge value on its falling edge.
+    sim.run_until(de::from_seconds(duration) + de::from_seconds(model.timestep) / 2);
+    BackendRun run;
+    run.wall_seconds = elapsed(start);
+    run.trace = sink.trace();
+    return run;
+}
+
+BackendRun run_cpp(const IsolationSetup& setup, double duration) {
+    AMSVP_CHECK(setup.model != nullptr, "C++ backend needs the abstracted model");
+    std::unique_ptr<runtime::ModelExecutor> compiled = make_executor(setup);
+    const auto start = Clock::now();
+    runtime::TransientResult result =
+        runtime::simulate_transient(*compiled, setup.model->inputs, setup.stimuli, duration);
+    BackendRun run;
+    run.wall_seconds = elapsed(start);
+    run.trace = std::move(result.outputs.front());
+    return run;
+}
+
+}  // namespace
+
+BackendRun run_isolated(BackendKind kind, const IsolationSetup& setup, double duration) {
+    switch (kind) {
+        case BackendKind::kVerilogAmsCosim:
+            return run_vams(setup, duration);
+        case BackendKind::kElnSystemC:
+            return run_eln(setup, duration);
+        case BackendKind::kTdfSystemC:
+            return run_tdf(setup, duration);
+        case BackendKind::kDeSystemC:
+            return run_de(setup, duration);
+        case BackendKind::kCpp:
+            return run_cpp(setup, duration);
+    }
+    AMSVP_CHECK(false, "unknown backend");
+    return {};
+}
+
+}  // namespace amsvp::backends

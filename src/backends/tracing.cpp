@@ -1,0 +1,13 @@
+#include "backends/tracing.hpp"
+
+namespace amsvp::backends {
+
+void SignalTracer::trace(de::Signal<double>& signal, const std::string& name) {
+    attach(signal, vcd_.add_real(name));
+}
+
+void SignalTracer::trace(de::Signal<bool>& signal, const std::string& name) {
+    attach(signal, vcd_.add_bit(name));
+}
+
+}  // namespace amsvp::backends

@@ -1,0 +1,46 @@
+// Bridge between DE-kernel channels and the VCD exporter: subscribe to
+// signals and record every committed change, so analog and digital activity
+// of the platform land in one waveform file (the holistic view of Fig. 1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "de/signal.hpp"
+#include "numeric/vcd.hpp"
+
+namespace amsvp::backends {
+
+class SignalTracer {
+public:
+    explicit SignalTracer(de::Simulator& sim, double timescale_seconds = 1e-9)
+        : sim_(sim), vcd_(timescale_seconds) {}
+
+    /// Trace a double-valued signal as a VCD real channel.
+    void trace(de::Signal<double>& signal, const std::string& name);
+    /// Trace a boolean signal as a 1-bit wire.
+    void trace(de::Signal<bool>& signal, const std::string& name);
+
+    [[nodiscard]] const numeric::VcdWriter& vcd() const { return vcd_; }
+    [[nodiscard]] numeric::VcdWriter& vcd() { return vcd_; }
+
+private:
+    template <typename T>
+    void attach(de::Signal<T>& signal, std::size_t channel) {
+        const de::ProcessId pid = sim_.add_process(
+            "trace:" + signal.name(), [this, &signal, channel] {
+                vcd_.change(channel, de::to_seconds(sim_.now()),
+                            static_cast<double>(signal.read()));
+            });
+        signal.add_sensitive(pid);
+        // Record the initial value at the current time.
+        vcd_.change(channel, de::to_seconds(sim_.now()),
+                    static_cast<double>(signal.read()));
+    }
+
+    de::Simulator& sim_;
+    numeric::VcdWriter vcd_;
+};
+
+}  // namespace amsvp::backends

@@ -1,0 +1,51 @@
+#include "codegen/codegen.hpp"
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace amsvp::codegen {
+
+std::string_view to_string(Target target) {
+    switch (target) {
+        case Target::kCpp:
+            return "C++";
+        case Target::kSystemCDe:
+            return "SystemC-DE";
+        case Target::kSystemCAmsTdf:
+            return "SystemC-AMS/TDF";
+    }
+    return "unknown";
+}
+
+std::string default_type_name(const abstraction::SignalFlowModel& model) {
+    std::string out = support::to_lower(model.name);
+    for (char& c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+        if (!ok) {
+            c = '_';
+        }
+    }
+    if (out.empty()) {
+        out = "model";
+    }
+    if (out[0] >= '0' && out[0] <= '9') {
+        out.insert(out.begin(), 'm');
+    }
+    return out + "_model";
+}
+
+std::string generate(const abstraction::SignalFlowModel& model, Target target,
+                     const CodegenOptions& options) {
+    switch (target) {
+        case Target::kCpp:
+            return emit_cpp(model, options);
+        case Target::kSystemCDe:
+            return emit_systemc_de(model, options);
+        case Target::kSystemCAmsTdf:
+            return emit_systemc_tdf(model, options);
+    }
+    AMSVP_CHECK(false, "unknown codegen target");
+    return {};
+}
+
+}  // namespace amsvp::codegen

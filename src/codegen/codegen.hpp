@@ -1,0 +1,52 @@
+// Step 4 of the flow (Section IV-D): code generation.
+//
+// Three targets, matching the paper's evaluation rows:
+//  * plain C++     — dependency-free struct with a step() method (Fig. 7b);
+//  * SystemC-DE    — an SC_MODULE with a clocked process over sc_signal ports;
+//  * SystemC-AMS   — an SCA_TDF_MODULE with set_timestep / processing().
+//
+// The C++ target is directly compilable (integration tests build and run it
+// with the system compiler); the SystemC targets emit source for the
+// standard OSCI APIs so they can be dropped into an existing virtual
+// platform. In-tree simulation of DE/TDF backends does not go through
+// generated text: the kernels execute the SignalFlowModel directly, so
+// backend benchmarks compare kernel overhead, not codegen fidelity.
+#pragma once
+
+#include <string>
+
+#include "abstraction/signal_flow_model.hpp"
+
+namespace amsvp::codegen {
+
+enum class Target {
+    kCpp,
+    kSystemCDe,
+    kSystemCAmsTdf,
+};
+
+[[nodiscard]] std::string_view to_string(Target target);
+
+struct CodegenOptions {
+    /// Class / module name; empty derives one from the model name.
+    std::string type_name;
+    /// Emit a doc-comment header with provenance information.
+    bool header_comment = true;
+};
+
+/// Generate source text for the requested target.
+[[nodiscard]] std::string generate(const abstraction::SignalFlowModel& model, Target target,
+                                   const CodegenOptions& options = {});
+
+/// Individual emitters (generate() dispatches to these).
+[[nodiscard]] std::string emit_cpp(const abstraction::SignalFlowModel& model,
+                                   const CodegenOptions& options);
+[[nodiscard]] std::string emit_systemc_de(const abstraction::SignalFlowModel& model,
+                                          const CodegenOptions& options);
+[[nodiscard]] std::string emit_systemc_tdf(const abstraction::SignalFlowModel& model,
+                                           const CodegenOptions& options);
+
+/// Sanitised default type name for a model ("rc1_model").
+[[nodiscard]] std::string default_type_name(const abstraction::SignalFlowModel& model);
+
+}  // namespace amsvp::codegen

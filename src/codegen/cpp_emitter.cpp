@@ -1,0 +1,74 @@
+#include "codegen/codegen.hpp"
+#include "codegen/emit_common.hpp"
+#include "support/strings.hpp"
+
+namespace amsvp::codegen {
+
+using detail::ModelLayout;
+
+// Plain C++ target (Fig. 7b of the paper): a dependency-free struct whose
+// step() evaluates the signal-flow program once and rotates the history.
+std::string emit_cpp(const abstraction::SignalFlowModel& model, const CodegenOptions& options) {
+    const ModelLayout layout = detail::build_layout(model, options.type_name);
+    std::string out;
+    if (options.header_comment) {
+        out += detail::provenance_comment(model, "C++");
+    }
+    out += "#pragma once\n";
+    out += "\n";
+    out += "#include <algorithm>\n";
+    out += "#include <cmath>\n";
+    out += "\n";
+    out += "struct " + layout.type_name + " {\n";
+    out += "    static constexpr double dt = " + support::format_double(layout.timestep) +
+           ";  // seconds\n";
+    if (!layout.inputs.empty()) {
+        out += "\n    // Inputs: set before each step() call.\n";
+        for (const std::string& in : layout.inputs) {
+            out += "    double " + in + " = 0;\n";
+        }
+    }
+    if (!layout.states.empty()) {
+        out += "\n    // State variables and their history.\n";
+        for (const auto& s : layout.states) {
+            out += "    double " + s.id + " = " + support::format_double(s.initial) + ";\n";
+            for (int k = 1; k <= s.depth; ++k) {
+                out += "    double " + detail::history_name(s.id, k) + " = " +
+                       support::format_double(s.initial) + ";\n";
+            }
+        }
+    }
+    if (!layout.plain_members.empty()) {
+        out += "\n    // Intermediate quantities.\n";
+        for (const std::string& m : layout.plain_members) {
+            out += "    double " + m + " = 0;\n";
+        }
+    }
+    if (layout.uses_time) {
+        out += "\n    double _abstime = 0;  // $abstime\n";
+    }
+    out += "\n    // Evaluate one timestep at absolute time t (seconds).\n";
+    out += "    void step(double t) {\n";
+    out += layout.uses_time ? "        _abstime = t;\n" : "        (void)t;\n";
+    for (const std::string& stmt : layout.assignments) {
+        out += "        " + stmt + "\n";
+    }
+    if (!layout.rotations.empty()) {
+        out += "        // History rotation.\n";
+        for (const std::string& stmt : layout.rotations) {
+            out += "        " + stmt + "\n";
+        }
+    }
+    out += "    }\n";
+    if (!layout.outputs.empty()) {
+        out += "\n    // Outputs of interest.\n";
+        for (std::size_t i = 0; i < layout.outputs.size(); ++i) {
+            out += "    double output" + std::to_string(i) + "() const { return " +
+                   layout.outputs[i] + "; }\n";
+        }
+    }
+    out += "};\n";
+    return out;
+}
+
+}  // namespace amsvp::codegen

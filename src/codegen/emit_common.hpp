@@ -1,0 +1,45 @@
+// Internal helpers shared by the three emitters. Not part of the public API.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "abstraction/signal_flow_model.hpp"
+
+namespace amsvp::codegen::detail {
+
+/// Pre-rendered pieces of a model, ready for any textual target.
+struct ModelLayout {
+    std::string type_name;
+    double timestep = 0.0;
+    std::vector<std::string> inputs;  ///< input identifiers, model order
+
+    struct StateVar {
+        std::string id;
+        int depth;       ///< history slots: id_prev .. id_prev<depth>
+        double initial;  ///< initial value for all history slots
+    };
+    /// Every assigned or input symbol that is referenced with a delay.
+    std::vector<StateVar> states;
+
+    /// Assignment statements in evaluation order: "V_C1 = <expr>;".
+    std::vector<std::string> assignments;
+    /// History rotation statements, deepest first.
+    std::vector<std::string> rotations;
+    /// Non-state assignment targets that still need member declarations.
+    std::vector<std::string> plain_members;
+    std::vector<std::string> outputs;  ///< output identifiers
+    bool uses_time = false;
+};
+
+[[nodiscard]] ModelLayout build_layout(const abstraction::SignalFlowModel& model,
+                                       const std::string& requested_type_name);
+
+/// "name_prev" / "name_prev2" — matches the kCpp expression printer.
+[[nodiscard]] std::string history_name(const std::string& id, int delay);
+
+/// Provenance header comment shared by all targets.
+[[nodiscard]] std::string provenance_comment(const abstraction::SignalFlowModel& model,
+                                             std::string_view target_name);
+
+}  // namespace amsvp::codegen::detail

@@ -1,0 +1,61 @@
+// Native execution of generated models: emit the plain-C++ form (Step 4),
+// compile it with the system compiler into a shared object, and load it via
+// dlopen. This is precisely the deployment path the paper measures in its
+// "C++" rows — the generated code runs as machine code, with no interpreter
+// or simulation kernel in the loop.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.hpp"
+
+namespace amsvp::codegen {
+
+class NativeModel final : public runtime::ModelExecutor {
+public:
+    /// Generate, compile and load. Returns nullptr (with `error` set) when
+    /// no compiler is available or compilation fails.
+    [[nodiscard]] static std::unique_ptr<NativeModel> compile(
+        const abstraction::SignalFlowModel& model, std::string* error = nullptr);
+
+    ~NativeModel() override;
+    NativeModel(const NativeModel&) = delete;
+    NativeModel& operator=(const NativeModel&) = delete;
+
+    void reset() override { reset_fn_(); }
+    void set_input(std::size_t index, double value) override { inputs_.at(index) = value; }
+    void step(double time_seconds) override {
+        step_fn_(inputs_.data(), time_seconds, outputs_.data());
+    }
+    [[nodiscard]] double output(std::size_t index) const override {
+        return outputs_.at(index);
+    }
+    [[nodiscard]] std::size_t input_count() const override { return inputs_.size(); }
+    [[nodiscard]] std::size_t output_count() const override { return outputs_.size(); }
+    [[nodiscard]] double timestep() const override { return timestep_; }
+
+private:
+    NativeModel() = default;
+
+    using ResetFn = void (*)();
+    using StepFn = void (*)(const double*, double, double*);
+
+    void* handle_ = nullptr;
+    ResetFn reset_fn_ = nullptr;
+    StepFn step_fn_ = nullptr;
+    std::vector<double> inputs_;
+    std::vector<double> outputs_;
+    double timestep_ = 0.0;
+    std::string so_path_;
+};
+
+/// True when a usable `c++` compiler is on PATH (cached after first call).
+[[nodiscard]] bool native_compilation_available();
+
+/// Executor factory: native when a compiler is available, bytecode fallback
+/// otherwise (a note is printed once on fallback).
+[[nodiscard]] runtime::ExecutorFactory native_executor_factory();
+
+}  // namespace amsvp::codegen

@@ -1,0 +1,124 @@
+#include "codegen/codegen.hpp"
+#include "codegen/emit_common.hpp"
+#include "support/strings.hpp"
+
+namespace amsvp::codegen {
+
+using detail::ModelLayout;
+
+namespace {
+
+/// Body shared by the DE and TDF processing() methods: read ports into
+/// locals named after the input symbols, run the program, write outputs,
+/// rotate history.
+std::string processing_body(const ModelLayout& layout, std::string_view read_suffix,
+                            std::string_view time_expr) {
+    std::string out;
+    for (const std::string& in : layout.inputs) {
+        out += "        const double " + in + " = " + in + "_port" + std::string(read_suffix) +
+               ";\n";
+    }
+    if (layout.uses_time) {
+        out += "        _abstime = " + std::string(time_expr) + ";\n";
+    }
+    for (const std::string& stmt : layout.assignments) {
+        out += "        " + stmt + "\n";
+    }
+    for (std::size_t i = 0; i < layout.outputs.size(); ++i) {
+        out += "        out" + std::to_string(i) + "_port.write(" + layout.outputs[i] + ");\n";
+    }
+    if (!layout.rotations.empty()) {
+        out += "        // History rotation.\n";
+        for (const std::string& stmt : layout.rotations) {
+            out += "        " + stmt + "\n";
+        }
+    }
+    return out;
+}
+
+std::string member_declarations(const ModelLayout& layout) {
+    std::string out;
+    for (const auto& s : layout.states) {
+        out += "    double " + s.id + " = " + support::format_double(s.initial) + ";\n";
+        for (int k = 1; k <= s.depth; ++k) {
+            out += "    double " + detail::history_name(s.id, k) + " = " +
+                   support::format_double(s.initial) + ";\n";
+        }
+    }
+    for (const std::string& m : layout.plain_members) {
+        out += "    double " + m + " = 0;\n";
+    }
+    if (layout.uses_time) {
+        out += "    double _abstime = 0;\n";
+    }
+    return out;
+}
+
+}  // namespace
+
+// SystemC discrete-event target: a clocked SC_MODULE evaluating the program
+// on every rising edge. The clock period encodes the model timestep.
+std::string emit_systemc_de(const abstraction::SignalFlowModel& model,
+                            const CodegenOptions& options) {
+    const ModelLayout layout = detail::build_layout(model, options.type_name);
+    std::string out;
+    if (options.header_comment) {
+        out += detail::provenance_comment(model, "SystemC-DE");
+    }
+    out += "#pragma once\n\n#include <cmath>\n#include <systemc.h>\n\n";
+    out += "SC_MODULE(" + layout.type_name + ") {\n";
+    out += "    sc_core::sc_in<bool> clk;  // period = " +
+           support::format_double(layout.timestep) + " s\n";
+    for (const std::string& in : layout.inputs) {
+        out += "    sc_core::sc_in<double> " + in + "_port;\n";
+    }
+    for (std::size_t i = 0; i < layout.outputs.size(); ++i) {
+        out += "    sc_core::sc_out<double> out" + std::to_string(i) + "_port;  // " +
+               layout.outputs[i] + "\n";
+    }
+    out += "\n";
+    out += member_declarations(layout);
+    out += "\n    void processing() {\n";
+    out += processing_body(layout, ".read()",
+                           "sc_core::sc_time_stamp().to_seconds()");
+    out += "    }\n\n";
+    out += "    SC_CTOR(" + layout.type_name + ") {\n";
+    out += "        SC_METHOD(processing);\n";
+    out += "        sensitive << clk.pos();\n";
+    out += "    }\n";
+    out += "};\n";
+    return out;
+}
+
+// SystemC-AMS timed-dataflow target: rate-1 ports and a static timestep.
+std::string emit_systemc_tdf(const abstraction::SignalFlowModel& model,
+                             const CodegenOptions& options) {
+    const ModelLayout layout = detail::build_layout(model, options.type_name);
+    std::string out;
+    if (options.header_comment) {
+        out += detail::provenance_comment(model, "SystemC-AMS/TDF");
+    }
+    out += "#pragma once\n\n#include <cmath>\n#include <systemc-ams.h>\n\n";
+    out += "SCA_TDF_MODULE(" + layout.type_name + ") {\n";
+    for (const std::string& in : layout.inputs) {
+        out += "    sca_tdf::sca_in<double> " + in + "_port;\n";
+    }
+    for (std::size_t i = 0; i < layout.outputs.size(); ++i) {
+        out += "    sca_tdf::sca_out<double> out" + std::to_string(i) + "_port;  // " +
+               layout.outputs[i] + "\n";
+    }
+    out += "\n";
+    out += member_declarations(layout);
+    out += "\n    void set_attributes() {\n";
+    out += "        set_timestep(" + support::format_double(layout.timestep) +
+           ", sc_core::SC_SEC);\n";
+    out += "    }\n";
+    out += "\n    void processing() {\n";
+    out += processing_body(layout, ".read()", "get_time().to_seconds()");
+    out += "    }\n\n";
+    out += "    SCA_CTOR(" + layout.type_name + ") {}\n";
+    out += "};\n";
+    return out;
+}
+
+}  // namespace amsvp::codegen

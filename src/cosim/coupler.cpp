@@ -1,0 +1,80 @@
+#include "cosim/coupler.hpp"
+
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace amsvp::cosim {
+
+CosimCoupler::CosimCoupler(de::Simulator& sim, const netlist::Circuit& circuit,
+                           const spice::SpiceOptions& options,
+                           std::map<std::string, numeric::SourceFunction> stimuli,
+                           std::string observed_pos, std::string observed_neg)
+    : sim_(sim),
+      pos_(std::move(observed_pos)),
+      neg_(std::move(observed_neg)),
+      trace_(options.timestep, options.timestep),
+      period_(de::from_seconds(options.timestep)) {
+    std::string error;
+    auto engine = spice::SpiceEngine::create(circuit, options, &error);
+    if (!engine) {
+        std::fprintf(stderr, "cosim: %s\n", error.c_str());
+    }
+    AMSVP_CHECK(engine.has_value(), "co-simulation engine creation failed");
+    engine_ = std::make_unique<spice::SpiceEngine>(std::move(*engine));
+
+    for (const std::string& name : engine_->input_names()) {
+        const auto it = stimuli.find(name);
+        AMSVP_CHECK(it != stimuli.end(), "missing stimulus for co-simulated input");
+        sources_.push_back(it->second);
+    }
+    output_ = std::make_unique<de::Signal<double>>(sim, "cosim_out", 0.0);
+    sim_.schedule_after(period_, [this] { synchronize(); });
+}
+
+void CosimCoupler::marshal(const std::vector<double>& values, Message& msg) {
+    msg.sequence = ++sequence_;
+    msg.payload.resize(values.size() * sizeof(double));
+    std::memcpy(msg.payload.data(), values.data(), msg.payload.size());
+    stats_.bytes_marshalled += msg.payload.size() + sizeof msg.sequence;
+}
+
+void CosimCoupler::unmarshal(const Message& msg, std::vector<double>& values) {
+    values.resize(msg.payload.size() / sizeof(double));
+    std::memcpy(values.data(), msg.payload.data(), msg.payload.size());
+    stats_.bytes_marshalled += msg.payload.size() + sizeof msg.sequence;
+}
+
+void CosimCoupler::synchronize() {
+    const double t = de::to_seconds(sim_.now());
+    ++stats_.sync_points;
+
+    // Digital -> analog: sample the stimuli and marshal them across the
+    // simulator boundary.
+    std::vector<double> inputs(sources_.size());
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+        inputs[i] = sources_[i](t);
+    }
+    marshal(inputs, to_analog_);
+
+    // "Context switch" to the analog solver: it unpacks the message,
+    // advances its own time by one step, and packs the observations.
+    std::vector<double> analog_inputs;
+    unmarshal(to_analog_, analog_inputs);
+    const bool ok = engine_->step(analog_inputs, t);
+    AMSVP_CHECK(ok, "analog solver failed to converge during co-simulation");
+    std::vector<double> observations{engine_->voltage_between(pos_, neg_)};
+    marshal(observations, from_analog_);
+
+    // Analog -> digital: handshake check, then commit to kernel channels.
+    std::vector<double> results;
+    unmarshal(from_analog_, results);
+    AMSVP_CHECK(from_analog_.sequence == sequence_, "co-simulation handshake out of order");
+    ++stats_.handshakes;
+
+    output_->write(results.front());
+    trace_.append(results.front());
+    sim_.schedule_after(period_, [this] { synchronize(); });
+}
+
+}  // namespace amsvp::cosim

@@ -1,0 +1,31 @@
+#include "de/clock.hpp"
+
+#include "support/check.hpp"
+
+namespace amsvp::de {
+
+Clock::Clock(Simulator& sim, std::string name, Time period)
+    : sim_(sim), signal_(sim, std::move(name), false), period_(period) {
+    AMSVP_CHECK(period_ >= 2, "clock period must be at least 2 fs");
+    // First rising edge lands at exactly one period, so clocked samples sit
+    // at t = T, 2T, ... — the sampling convention shared by all backends.
+    sim_.schedule_after(period_, [this] { toggle(); });
+}
+
+void Clock::toggle() {
+    const bool rising = !signal_.read();
+    signal_.write(rising);
+    if (rising) {
+        ++posedges_;
+        for (const ProcessId pid : pos_sensitive_) {
+            sim_.trigger(pid);
+        }
+    } else {
+        for (const ProcessId pid : neg_sensitive_) {
+            sim_.trigger(pid);
+        }
+    }
+    sim_.schedule_after(period_ / 2, [this] { toggle(); });
+}
+
+}  // namespace amsvp::de

@@ -1,0 +1,34 @@
+// Free-running clock built on the kernel's timed events, with edge
+// sensitivity helpers (the sc_clock analogue).
+#pragma once
+
+#include "de/signal.hpp"
+
+namespace amsvp::de {
+
+class Clock {
+public:
+    /// Starts low; first rising edge at `period / 2` (50% duty cycle).
+    Clock(Simulator& sim, std::string name, Time period);
+
+    [[nodiscard]] bool read() const { return signal_.read(); }
+    [[nodiscard]] Time period() const { return period_; }
+    [[nodiscard]] std::uint64_t posedge_count() const { return posedges_; }
+
+    /// Wake `pid` on every rising edge.
+    void pos_sensitive(ProcessId pid) { pos_sensitive_.push_back(pid); }
+    /// Wake `pid` on every falling edge.
+    void neg_sensitive(ProcessId pid) { neg_sensitive_.push_back(pid); }
+
+private:
+    void toggle();
+
+    Simulator& sim_;
+    Signal<bool> signal_;
+    Time period_;
+    std::uint64_t posedges_ = 0;
+    std::vector<ProcessId> pos_sensitive_;
+    std::vector<ProcessId> neg_sensitive_;
+};
+
+}  // namespace amsvp::de

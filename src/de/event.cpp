@@ -1,0 +1,28 @@
+#include "de/event.hpp"
+
+namespace amsvp::de {
+
+void Event::notify() {
+    fire(generation_);
+}
+
+void Event::notify_after(Time delay) {
+    const std::uint64_t generation = generation_;
+    sim_.schedule_after(delay, [this, generation] { fire(generation); });
+}
+
+void Event::cancel() {
+    ++generation_;
+}
+
+void Event::fire(std::uint64_t generation) {
+    if (generation != generation_) {
+        return;  // cancelled while in flight
+    }
+    ++notifications_;
+    for (const ProcessId pid : sensitive_) {
+        sim_.trigger(pid);
+    }
+}
+
+}  // namespace amsvp::de

@@ -1,0 +1,42 @@
+// Named events (the sc_event analogue): processes subscribe, notifications
+// fire immediately (same delta), next-delta, or after a time delay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "de/kernel.hpp"
+
+namespace amsvp::de {
+
+class Event {
+public:
+    Event(Simulator& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+
+    /// Wake `pid` on every notification.
+    void add_sensitive(ProcessId pid) { sensitive_.push_back(pid); }
+
+    /// Next-delta notification (sc_event::notify(SC_ZERO_TIME)).
+    void notify();
+    /// Timed notification after `delay`.
+    void notify_after(Time delay);
+    /// Cancel pending timed notifications (they fire but are ignored).
+    void cancel();
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] std::uint64_t notification_count() const { return notifications_; }
+
+private:
+    void fire(std::uint64_t generation);
+
+    Simulator& sim_;
+    std::string name_;
+    std::vector<ProcessId> sensitive_;
+    std::uint64_t notifications_ = 0;
+    std::uint64_t generation_ = 0;  ///< bumped by cancel()
+};
+
+}  // namespace amsvp::de

@@ -1,0 +1,83 @@
+#include "de/kernel.hpp"
+
+#include "support/check.hpp"
+
+namespace amsvp::de {
+
+ProcessId Simulator::add_process(std::string name, ProcessFn fn) {
+    processes_.push_back(Process{std::move(name), std::move(fn), false});
+    return static_cast<ProcessId>(processes_.size() - 1);
+}
+
+const std::string& Simulator::process_name(ProcessId pid) const {
+    AMSVP_CHECK(pid >= 0 && pid < static_cast<ProcessId>(processes_.size()),
+                "process id out of range");
+    return processes_[static_cast<std::size_t>(pid)].name;
+}
+
+void Simulator::trigger(ProcessId pid) {
+    AMSVP_CHECK(pid >= 0 && pid < static_cast<ProcessId>(processes_.size()),
+                "process id out of range");
+    Process& p = processes_[static_cast<std::size_t>(pid)];
+    if (!p.runnable) {
+        p.runnable = true;
+        runnable_.push_back(pid);
+    }
+}
+
+void Simulator::schedule_at(Time at, Callback cb) {
+    AMSVP_CHECK(at >= now_, "cannot schedule an event in the past");
+    timed_.push(TimedEvent{at, next_seq_++, std::move(cb)});
+}
+
+void Simulator::schedule_after(Time delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+}
+
+void Simulator::request_update(Callback update) {
+    updates_.push_back(std::move(update));
+}
+
+void Simulator::settle() {
+    while (!runnable_.empty() || !updates_.empty()) {
+        // Evaluate phase.
+        std::vector<ProcessId> to_run;
+        to_run.swap(runnable_);
+        for (const ProcessId pid : to_run) {
+            Process& p = processes_[static_cast<std::size_t>(pid)];
+            p.runnable = false;
+            p.fn();
+            ++stats_.process_activations;
+        }
+        // Update phase.
+        std::vector<Callback> to_update;
+        to_update.swap(updates_);
+        for (const Callback& update : to_update) {
+            update();
+            ++stats_.channel_updates;
+        }
+        ++stats_.delta_cycles;
+    }
+}
+
+Time Simulator::run_until(Time end) {
+    // Settle anything already runnable at the current time (e.g. triggers
+    // issued before run).
+    settle();
+    while (!timed_.empty() && timed_.top().at <= end) {
+        const Time at = timed_.top().at;
+        now_ = at;
+        // Drain all events at this timestamp in FIFO order.
+        while (!timed_.empty() && timed_.top().at == at) {
+            Callback cb = timed_.top().cb;
+            timed_.pop();
+            ++stats_.timed_events;
+            cb();
+        }
+        settle();
+    }
+    now_ = end;
+    return now_;
+}
+
+}  // namespace amsvp::de

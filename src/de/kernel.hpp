@@ -1,0 +1,100 @@
+// Discrete-event simulation kernel — the SystemC stand-in substrate.
+//
+// Reproduces the cost structure of an event-driven HDL kernel:
+//  * a timed event queue (binary heap),
+//  * two-phase delta cycles (evaluate, then channel update),
+//  * processes triggered through sensitivity lists.
+//
+// Generated SystemC-DE models, the TDF/ELN AMS layers, the virtual platform
+// and the co-simulation coupler all run on this kernel, so Table I/III's
+// "kernel overhead" rows are measured against a real scheduler, not a stub.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "de/time.hpp"
+
+namespace amsvp::de {
+
+using ProcessId = int;
+
+struct KernelStats {
+    std::uint64_t process_activations = 0;
+    std::uint64_t delta_cycles = 0;
+    std::uint64_t timed_events = 0;
+    std::uint64_t channel_updates = 0;
+};
+
+class Simulator {
+public:
+    using ProcessFn = std::function<void()>;
+    using Callback = std::function<void()>;
+
+    /// Register a process. Processes never run before being triggered
+    /// (either via sensitivity or an explicit timed trigger).
+    ProcessId add_process(std::string name, ProcessFn fn);
+
+    [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
+    [[nodiscard]] const std::string& process_name(ProcessId pid) const;
+
+    /// Make a process runnable in the next delta cycle of the current time.
+    void trigger(ProcessId pid);
+
+    /// Run `cb` at absolute time `at` (timed notification). `at` must not be
+    /// in the past.
+    void schedule_at(Time at, Callback cb);
+    /// Run `cb` after `delay` from now.
+    void schedule_after(Time delay, Callback cb);
+
+    /// Channel update request for the current delta's update phase.
+    void request_update(Callback update);
+
+    [[nodiscard]] Time now() const { return now_; }
+    [[nodiscard]] const KernelStats& stats() const { return stats_; }
+
+    /// Advance until `end` (inclusive). Returns the time actually reached
+    /// (== end, or earlier when no events remain).
+    Time run_until(Time end);
+    /// Advance by `duration` from the current time.
+    Time run(Time duration) { return run_until(now_ + duration); }
+
+    /// True when timed events remain.
+    [[nodiscard]] bool has_pending_events() const { return !timed_.empty(); }
+
+private:
+    struct Process {
+        std::string name;
+        ProcessFn fn;
+        bool runnable = false;
+    };
+    struct TimedEvent {
+        Time at;
+        std::uint64_t seq;  ///< FIFO order among same-time events
+        Callback cb;
+    };
+    struct TimedEventOrder {
+        bool operator()(const TimedEvent& a, const TimedEvent& b) const {
+            if (a.at != b.at) {
+                return a.at > b.at;
+            }
+            return a.seq > b.seq;
+        }
+    };
+
+    /// Run delta cycles at the current time until quiescent.
+    void settle();
+
+    std::vector<Process> processes_;
+    std::vector<ProcessId> runnable_;
+    std::vector<Callback> updates_;
+    std::priority_queue<TimedEvent, std::vector<TimedEvent>, TimedEventOrder> timed_;
+    std::uint64_t next_seq_ = 0;
+    Time now_ = 0;
+    KernelStats stats_;
+};
+
+}  // namespace amsvp::de

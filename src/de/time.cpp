@@ -1,0 +1,32 @@
+#include "de/time.hpp"
+
+#include <cstdio>
+
+namespace amsvp::de {
+
+std::string format_time(Time t) {
+    struct Unit {
+        Time scale;
+        const char* suffix;
+    };
+    static constexpr Unit kUnits[] = {
+        {kSecond, "s"},      {kMillisecond, "ms"}, {kMicrosecond, "us"},
+        {kNanosecond, "ns"}, {kPicosecond, "ps"},  {kFemtosecond, "fs"},
+    };
+    for (const Unit& u : kUnits) {
+        if (t >= u.scale && t % u.scale == 0) {
+            return std::to_string(t / u.scale) + " " + u.suffix;
+        }
+    }
+    for (const Unit& u : kUnits) {
+        if (t >= u.scale) {
+            char buffer[64];
+            std::snprintf(buffer, sizeof buffer, "%.3f %s",
+                          static_cast<double>(t) / static_cast<double>(u.scale), u.suffix);
+            return buffer;
+        }
+    }
+    return "0 s";
+}
+
+}  // namespace amsvp::de

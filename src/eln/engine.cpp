@@ -1,0 +1,94 @@
+#include "eln/engine.hpp"
+
+#include "support/check.hpp"
+
+namespace amsvp::eln {
+
+ElnEngine::ElnEngine(const netlist::Circuit& circuit, double timestep)
+    : tableau_([&] {
+          std::string error;
+          auto t = Tableau::build(circuit, timestep, &error);
+          if (!t) {
+              std::fprintf(stderr, "ELN: %s\n", error.c_str());
+          }
+          AMSVP_CHECK(t.has_value(), "ELN engine requires a linear circuit");
+          return std::move(*t);
+      }()) {
+    numeric::Matrix a;
+    tableau_.stamp_matrix(a);
+    auto lu = numeric::LuFactorization::factorise(a);
+    AMSVP_CHECK(lu.has_value(), "ELN system matrix is singular");
+    lu_ = std::move(*lu);
+    x_.assign(tableau_.size(), 0.0);
+    b_.assign(tableau_.size(), 0.0);
+}
+
+void ElnEngine::reset() {
+    x_.assign(tableau_.size(), 0.0);
+    steps_ = 0;
+}
+
+void ElnEngine::step(const std::vector<double>& input_values, double time_seconds) {
+    tableau_.build_rhs(x_, input_values, time_seconds, b_);
+    lu_.solve_in_place(b_);
+    x_.swap(b_);
+    ++steps_;
+}
+
+double ElnEngine::node_voltage(std::string_view node_name) const {
+    const auto node = tableau_.circuit().find_node(node_name);
+    AMSVP_CHECK(node.has_value(), "unknown node");
+    return tableau_.node_voltage(x_, *node);
+}
+
+double ElnEngine::branch_voltage(std::string_view branch_name) const {
+    const auto branch = tableau_.circuit().find_branch(branch_name);
+    AMSVP_CHECK(branch.has_value(), "unknown branch");
+    return tableau_.branch_voltage(x_, *branch);
+}
+
+double ElnEngine::branch_current(std::string_view branch_name) const {
+    const auto branch = tableau_.circuit().find_branch(branch_name);
+    AMSVP_CHECK(branch.has_value(), "unknown branch");
+    return tableau_.branch_current(x_, *branch);
+}
+
+double ElnEngine::voltage_between(std::string_view pos, std::string_view neg) const {
+    const auto p = tableau_.circuit().find_node(pos);
+    const auto n = tableau_.circuit().find_node(neg);
+    AMSVP_CHECK(p.has_value() && n.has_value(), "unknown node");
+    return tableau_.node_voltage(x_, *p) - tableau_.node_voltage(x_, *n);
+}
+
+ElnDeModule::ElnDeModule(de::Simulator& sim, const netlist::Circuit& circuit, double timestep,
+                         std::map<std::string, numeric::SourceFunction> stimuli,
+                         std::string observed_pos, std::string observed_neg)
+    : sim_(sim),
+      engine_(circuit, timestep),
+      pos_(std::move(observed_pos)),
+      neg_(std::move(observed_neg)),
+      trace_(timestep, timestep),
+      period_(de::from_seconds(timestep)) {
+    for (const std::string& name : engine_.input_names()) {
+        const auto it = stimuli.find(name);
+        AMSVP_CHECK(it != stimuli.end(), "missing stimulus for ELN input");
+        sources_.push_back(it->second);
+    }
+    output_ = std::make_unique<de::Signal<double>>(sim, "eln_out", 0.0);
+    sim_.schedule_after(period_, [this] { activate(); });
+}
+
+void ElnDeModule::activate() {
+    const double t = de::to_seconds(sim_.now());
+    std::vector<double> inputs(sources_.size());
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+        inputs[i] = sources_[i](t);
+    }
+    engine_.step(inputs, t);
+    const double v = engine_.voltage_between(pos_, neg_);
+    output_->write(v);
+    trace_.append(v);
+    sim_.schedule_after(period_, [this] { activate(); });
+}
+
+}  // namespace amsvp::eln

@@ -1,0 +1,294 @@
+#include "expr/bytecode.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace amsvp::expr {
+
+namespace {
+
+OpCode opcode_for(UnaryOp op) {
+    switch (op) {
+        case UnaryOp::kNeg:
+            return OpCode::kNeg;
+        case UnaryOp::kNot:
+            return OpCode::kNot;
+        case UnaryOp::kExp:
+            return OpCode::kExp;
+        case UnaryOp::kLn:
+            return OpCode::kLn;
+        case UnaryOp::kLog10:
+            return OpCode::kLog10;
+        case UnaryOp::kSqrt:
+            return OpCode::kSqrt;
+        case UnaryOp::kSin:
+            return OpCode::kSin;
+        case UnaryOp::kCos:
+            return OpCode::kCos;
+        case UnaryOp::kTan:
+            return OpCode::kTan;
+        case UnaryOp::kAbs:
+            return OpCode::kAbs;
+    }
+    AMSVP_CHECK(false, "unhandled unary op");
+    return OpCode::kNeg;
+}
+
+OpCode opcode_for(BinaryOp op) {
+    switch (op) {
+        case BinaryOp::kAdd:
+            return OpCode::kAdd;
+        case BinaryOp::kSub:
+            return OpCode::kSub;
+        case BinaryOp::kMul:
+            return OpCode::kMul;
+        case BinaryOp::kDiv:
+            return OpCode::kDiv;
+        case BinaryOp::kPow:
+            return OpCode::kPow;
+        case BinaryOp::kMin:
+            return OpCode::kMin;
+        case BinaryOp::kMax:
+            return OpCode::kMax;
+        case BinaryOp::kLt:
+            return OpCode::kLt;
+        case BinaryOp::kLe:
+            return OpCode::kLe;
+        case BinaryOp::kGt:
+            return OpCode::kGt;
+        case BinaryOp::kGe:
+            return OpCode::kGe;
+        case BinaryOp::kEq:
+            return OpCode::kEq;
+        case BinaryOp::kNe:
+            return OpCode::kNe;
+        case BinaryOp::kAnd:
+            return OpCode::kAnd;
+        case BinaryOp::kOr:
+            return OpCode::kOr;
+    }
+    AMSVP_CHECK(false, "unhandled binary op");
+    return OpCode::kAdd;
+}
+
+void compile_into(const ExprPtr& e, const SlotResolver& resolver, std::vector<Instruction>& code) {
+    switch (e->kind()) {
+        case ExprKind::kConstant:
+            code.push_back({OpCode::kPushConst, e->constant_value(), 0});
+            break;
+        case ExprKind::kSymbol:
+            code.push_back({OpCode::kLoadSlot, 0.0, resolver(e->symbol(), 0)});
+            break;
+        case ExprKind::kDelayed:
+            code.push_back({OpCode::kLoadSlot, 0.0, resolver(e->symbol(), e->delay())});
+            break;
+        case ExprKind::kUnary:
+            compile_into(e->operand(), resolver, code);
+            code.push_back({opcode_for(e->unary_op()), 0.0, 0});
+            break;
+        case ExprKind::kBinary:
+            compile_into(e->left(), resolver, code);
+            compile_into(e->right(), resolver, code);
+            code.push_back({opcode_for(e->binary_op()), 0.0, 0});
+            break;
+        case ExprKind::kConditional:
+            compile_into(e->condition(), resolver, code);
+            compile_into(e->then_branch(), resolver, code);
+            compile_into(e->else_branch(), resolver, code);
+            code.push_back({OpCode::kSelect, 0.0, 0});
+            break;
+        case ExprKind::kDdt:
+        case ExprKind::kIdt:
+            AMSVP_CHECK(false, "ddt/idt must be discretized before compilation");
+            break;
+    }
+}
+
+std::size_t stack_effect(const std::vector<Instruction>& code) {
+    std::size_t depth = 0;
+    std::size_t max_depth = 0;
+    for (const Instruction& ins : code) {
+        switch (ins.op) {
+            case OpCode::kPushConst:
+            case OpCode::kLoadSlot:
+                ++depth;
+                break;
+            case OpCode::kSelect:
+                depth -= 2;
+                break;
+            case OpCode::kNeg:
+            case OpCode::kNot:
+            case OpCode::kExp:
+            case OpCode::kLn:
+            case OpCode::kLog10:
+            case OpCode::kSqrt:
+            case OpCode::kSin:
+            case OpCode::kCos:
+            case OpCode::kTan:
+            case OpCode::kAbs:
+                break;  // unary: pop 1, push 1
+            default:
+                --depth;  // binary: pop 2, push 1
+                break;
+        }
+        max_depth = std::max(max_depth, depth);
+    }
+    return max_depth;
+}
+
+}  // namespace
+
+Program Program::compile(const ExprPtr& e, const SlotResolver& resolver) {
+    AMSVP_CHECK(e != nullptr, "compile of null expression");
+    Program p;
+    compile_into(e, resolver, p.code_);
+    p.max_stack_ = stack_effect(p.code_);
+    return p;
+}
+
+double Program::evaluate(const double* slots) const {
+    // Stack small enough for alloca-style fixed buffer in practice; keep a
+    // member-free local to stay thread-safe.
+    double stack[64];
+    AMSVP_CHECK(max_stack_ < 64, "expression too deep for fixed evaluation stack");
+    std::size_t sp = 0;
+    for (const Instruction& ins : code_) {
+        switch (ins.op) {
+            case OpCode::kPushConst:
+                stack[sp++] = ins.constant;
+                break;
+            case OpCode::kLoadSlot:
+                stack[sp++] = slots[ins.slot];
+                break;
+            case OpCode::kNeg:
+                stack[sp - 1] = -stack[sp - 1];
+                break;
+            case OpCode::kNot:
+                stack[sp - 1] = stack[sp - 1] == 0.0 ? 1.0 : 0.0;
+                break;
+            case OpCode::kAdd:
+                stack[sp - 2] += stack[sp - 1];
+                --sp;
+                break;
+            case OpCode::kSub:
+                stack[sp - 2] -= stack[sp - 1];
+                --sp;
+                break;
+            case OpCode::kMul:
+                stack[sp - 2] *= stack[sp - 1];
+                --sp;
+                break;
+            case OpCode::kDiv:
+                stack[sp - 2] /= stack[sp - 1];
+                --sp;
+                break;
+            case OpCode::kPow:
+                stack[sp - 2] = std::pow(stack[sp - 2], stack[sp - 1]);
+                --sp;
+                break;
+            case OpCode::kMin:
+                stack[sp - 2] = std::min(stack[sp - 2], stack[sp - 1]);
+                --sp;
+                break;
+            case OpCode::kMax:
+                stack[sp - 2] = std::max(stack[sp - 2], stack[sp - 1]);
+                --sp;
+                break;
+            case OpCode::kExp:
+                stack[sp - 1] = std::exp(stack[sp - 1]);
+                break;
+            case OpCode::kLn:
+                stack[sp - 1] = std::log(stack[sp - 1]);
+                break;
+            case OpCode::kLog10:
+                stack[sp - 1] = std::log10(stack[sp - 1]);
+                break;
+            case OpCode::kSqrt:
+                stack[sp - 1] = std::sqrt(stack[sp - 1]);
+                break;
+            case OpCode::kSin:
+                stack[sp - 1] = std::sin(stack[sp - 1]);
+                break;
+            case OpCode::kCos:
+                stack[sp - 1] = std::cos(stack[sp - 1]);
+                break;
+            case OpCode::kTan:
+                stack[sp - 1] = std::tan(stack[sp - 1]);
+                break;
+            case OpCode::kAbs:
+                stack[sp - 1] = std::fabs(stack[sp - 1]);
+                break;
+            case OpCode::kLt:
+                stack[sp - 2] = stack[sp - 2] < stack[sp - 1] ? 1.0 : 0.0;
+                --sp;
+                break;
+            case OpCode::kLe:
+                stack[sp - 2] = stack[sp - 2] <= stack[sp - 1] ? 1.0 : 0.0;
+                --sp;
+                break;
+            case OpCode::kGt:
+                stack[sp - 2] = stack[sp - 2] > stack[sp - 1] ? 1.0 : 0.0;
+                --sp;
+                break;
+            case OpCode::kGe:
+                stack[sp - 2] = stack[sp - 2] >= stack[sp - 1] ? 1.0 : 0.0;
+                --sp;
+                break;
+            case OpCode::kEq:
+                stack[sp - 2] = stack[sp - 2] == stack[sp - 1] ? 1.0 : 0.0;
+                --sp;
+                break;
+            case OpCode::kNe:
+                stack[sp - 2] = stack[sp - 2] != stack[sp - 1] ? 1.0 : 0.0;
+                --sp;
+                break;
+            case OpCode::kAnd:
+                stack[sp - 2] =
+                    (stack[sp - 2] != 0.0 && stack[sp - 1] != 0.0) ? 1.0 : 0.0;
+                --sp;
+                break;
+            case OpCode::kOr:
+                stack[sp - 2] =
+                    (stack[sp - 2] != 0.0 || stack[sp - 1] != 0.0) ? 1.0 : 0.0;
+                --sp;
+                break;
+            case OpCode::kSelect: {
+                const double else_v = stack[sp - 1];
+                const double then_v = stack[sp - 2];
+                const double cond = stack[sp - 3];
+                stack[sp - 3] = cond != 0.0 ? then_v : else_v;
+                sp -= 2;
+                break;
+            }
+        }
+    }
+    AMSVP_CHECK(sp == 1, "unbalanced bytecode program");
+    return stack[0];
+}
+
+double evaluate_tree(const ExprPtr& e, const SlotResolver& resolver, const double* slots) {
+    switch (e->kind()) {
+        case ExprKind::kConstant:
+            return e->constant_value();
+        case ExprKind::kSymbol:
+            return slots[resolver(e->symbol(), 0)];
+        case ExprKind::kDelayed:
+            return slots[resolver(e->symbol(), e->delay())];
+        case ExprKind::kUnary:
+            return apply_unary(e->unary_op(), evaluate_tree(e->operand(), resolver, slots));
+        case ExprKind::kBinary:
+            return apply_binary(e->binary_op(), evaluate_tree(e->left(), resolver, slots),
+                                evaluate_tree(e->right(), resolver, slots));
+        case ExprKind::kConditional:
+            return evaluate_tree(e->condition(), resolver, slots) != 0.0
+                       ? evaluate_tree(e->then_branch(), resolver, slots)
+                       : evaluate_tree(e->else_branch(), resolver, slots);
+        case ExprKind::kDdt:
+        case ExprKind::kIdt:
+            AMSVP_CHECK(false, "ddt/idt must be discretized before evaluation");
+    }
+    return 0.0;
+}
+
+}  // namespace amsvp::expr

@@ -1,0 +1,63 @@
+#include "expr/equation.hpp"
+
+#include "expr/printer.hpp"
+#include "support/check.hpp"
+
+namespace amsvp::expr {
+
+std::string_view to_string(EquationKind kind) {
+    switch (kind) {
+        case EquationKind::kDipole:
+            return "dipole";
+        case EquationKind::kKirchhoffCurrent:
+            return "KCL";
+        case EquationKind::kKirchhoffVoltage:
+            return "KVL";
+        case EquationKind::kSolvedVariant:
+            return "solved";
+        case EquationKind::kBehavioral:
+            return "behavioral";
+    }
+    return "unknown";
+}
+
+LinearKey Equation::lhs_key() const {
+    AMSVP_CHECK(lhs != nullptr, "equation without lhs");
+    if (lhs->kind() == ExprKind::kSymbol) {
+        return LinearKey{lhs->symbol(), false};
+    }
+    if (lhs->kind() == ExprKind::kDdt && lhs->operand()->kind() == ExprKind::kSymbol) {
+        return LinearKey{lhs->operand()->symbol(), true};
+    }
+    AMSVP_CHECK(false, "equation lhs must be a symbol or ddt(symbol)");
+    return {};
+}
+
+bool Equation::lhs_has_derivative() const {
+    return lhs && lhs->kind() == ExprKind::kDdt;
+}
+
+std::string Equation::display() const {
+    return to_string(lhs, PrintStyle::kMath) + " = " + to_string(rhs, PrintStyle::kMath);
+}
+
+Equation make_equation(EquationKind kind, Symbol lhs, ExprPtr rhs, std::string origin) {
+    Equation eq;
+    eq.kind = kind;
+    eq.lhs = Expr::symbol(std::move(lhs));
+    eq.rhs = std::move(rhs);
+    eq.origin = std::move(origin);
+    return eq;
+}
+
+Equation make_derivative_equation(EquationKind kind, Symbol lhs, ExprPtr rhs,
+                                  std::string origin) {
+    Equation eq;
+    eq.kind = kind;
+    eq.lhs = Expr::ddt(Expr::symbol(std::move(lhs)));
+    eq.rhs = std::move(rhs);
+    eq.origin = std::move(origin);
+    return eq;
+}
+
+}  // namespace amsvp::expr

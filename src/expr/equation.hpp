@@ -1,0 +1,50 @@
+// Equations: the unit the abstraction pipeline manipulates.
+//
+// A dipole equation, a Kirchhoff law, or a solved variant produced by
+// Enrichment is stored as `lhs = rhs` where lhs is a symbol or ddt(symbol)
+// (the paper's hash-table key) and rhs an arbitrary expression.
+#pragma once
+
+#include <string>
+
+#include "expr/expr.hpp"
+#include "expr/linear_form.hpp"
+
+namespace amsvp::expr {
+
+enum class EquationKind {
+    kDipole,            ///< constitutive equation of one branch
+    kKirchhoffCurrent,  ///< KCL at a node (nodal analysis)
+    kKirchhoffVoltage,  ///< KVL around a fundamental loop (mesh analysis)
+    kSolvedVariant,     ///< produced by Enrichment's Solve(equation, term)
+    kBehavioral,        ///< signal-flow statement from a behavioral block
+};
+
+[[nodiscard]] std::string_view to_string(EquationKind kind);
+
+struct Equation {
+    EquationKind kind = EquationKind::kDipole;
+    ExprPtr lhs;          ///< symbol or ddt(symbol)
+    ExprPtr rhs;
+    std::string origin;   ///< provenance, e.g. "dipole(C1)", "KCL@n1", "KVL#0"
+
+    /// The key this equation defines: the lhs symbol plus derivative flag.
+    [[nodiscard]] LinearKey lhs_key() const;
+
+    /// True when the lhs is wrapped in ddt() (needs ResolveDerivative when
+    /// consumed by the assembler, Algorithm 2 line 13).
+    [[nodiscard]] bool lhs_has_derivative() const;
+
+    /// "V(C1) = u0 - 5000 * I(C1)".
+    [[nodiscard]] std::string display() const;
+};
+
+/// Build `lhs = rhs` with lhs a plain symbol.
+[[nodiscard]] Equation make_equation(EquationKind kind, Symbol lhs, ExprPtr rhs,
+                                     std::string origin);
+
+/// Build `ddt(lhs) = rhs`.
+[[nodiscard]] Equation make_derivative_equation(EquationKind kind, Symbol lhs, ExprPtr rhs,
+                                                std::string origin);
+
+}  // namespace amsvp::expr

@@ -1,0 +1,228 @@
+#include "expr/linear_form.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace amsvp::expr {
+
+std::string LinearKey::display() const {
+    if (derivative) {
+        return "ddt(" + symbol.display() + ")";
+    }
+    return symbol.display();
+}
+
+ExprPtr LinearKey::to_expr() const {
+    ExprPtr s = Expr::symbol(symbol);
+    return derivative ? Expr::ddt(std::move(s)) : s;
+}
+
+UnknownPredicate branch_quantities_unknown() {
+    return [](const Symbol& s) {
+        return s.kind == SymbolKind::kBranchVoltage || s.kind == SymbolKind::kBranchCurrent;
+    };
+}
+
+double LinearForm::coefficient(const LinearKey& key) const {
+    auto it = coeffs_.find(key);
+    return it == coeffs_.end() ? 0.0 : it->second;
+}
+
+void LinearForm::add_term(const LinearKey& key, double coefficient) {
+    if (coefficient == 0.0) {
+        return;
+    }
+    auto [it, inserted] = coeffs_.try_emplace(key, coefficient);
+    if (!inserted) {
+        it->second += coefficient;
+        if (it->second == 0.0) {
+            coeffs_.erase(it);
+        }
+    }
+}
+
+void LinearForm::add_offset(const ExprPtr& e) {
+    offset_ = Expr::add(offset_, e);
+}
+
+LinearForm LinearForm::plus(const LinearForm& other) const {
+    LinearForm out = *this;
+    for (const auto& [key, c] : other.coeffs_) {
+        out.add_term(key, c);
+    }
+    out.add_offset(other.offset_);
+    return out;
+}
+
+LinearForm LinearForm::minus(const LinearForm& other) const {
+    return plus(other.scaled(-1.0));
+}
+
+LinearForm LinearForm::scaled(double factor) const {
+    LinearForm out;
+    for (const auto& [key, c] : coeffs_) {
+        out.add_term(key, c * factor);
+    }
+    out.offset_ = Expr::mul(Expr::constant(factor), offset_);
+    return out;
+}
+
+std::optional<ExprPtr> LinearForm::solve_for(const LinearKey& key,
+                                             double coefficient_tolerance) const {
+    const double c = coefficient(key);
+    if (std::fabs(c) < coefficient_tolerance) {
+        return std::nullopt;
+    }
+    // this == 0  =>  key = -(rest)/c
+    LinearForm rest = *this;
+    rest.coeffs_.erase(key);
+    return Expr::div(Expr::neg(rest.to_expr()), Expr::constant(c));
+}
+
+ExprPtr LinearForm::to_expr() const {
+    ExprPtr acc = offset_;
+    for (const auto& [key, c] : coeffs_) {
+        acc = Expr::add(std::move(acc), Expr::mul(Expr::constant(c), key.to_expr()));
+    }
+    return acc;
+}
+
+namespace {
+
+/// Recursive extraction; returns nullopt on non-linearity.
+std::optional<LinearForm> extract_impl(const ExprPtr& e, const UnknownPredicate& is_unknown) {
+    LinearForm out;
+    switch (e->kind()) {
+        case ExprKind::kConstant:
+            out.add_offset(e);
+            return out;
+        case ExprKind::kSymbol:
+            if (is_unknown(e->symbol())) {
+                out.add_term(LinearKey{e->symbol(), false}, 1.0);
+            } else {
+                out.add_offset(e);
+            }
+            return out;
+        case ExprKind::kDelayed:
+            // History values are known at evaluation time.
+            out.add_offset(e);
+            return out;
+        case ExprKind::kUnary: {
+            if (e->unary_op() == UnaryOp::kNeg) {
+                auto inner = extract_impl(e->operand(), is_unknown);
+                if (!inner) {
+                    return std::nullopt;
+                }
+                return inner->scaled(-1.0);
+            }
+            // Non-linear function: allowed only on unknown-free subtrees.
+            auto inner = extract_impl(e->operand(), is_unknown);
+            if (!inner || inner->has_unknowns()) {
+                return std::nullopt;
+            }
+            out.add_offset(e);
+            return out;
+        }
+        case ExprKind::kBinary: {
+            const BinaryOp op = e->binary_op();
+            auto lhs = extract_impl(e->left(), is_unknown);
+            auto rhs = extract_impl(e->right(), is_unknown);
+            if (!lhs || !rhs) {
+                return std::nullopt;
+            }
+            switch (op) {
+                case BinaryOp::kAdd:
+                    return lhs->plus(*rhs);
+                case BinaryOp::kSub:
+                    return lhs->minus(*rhs);
+                case BinaryOp::kMul: {
+                    // One side must be unknown-free; to scale coefficients it
+                    // must additionally be a numeric constant.
+                    const bool lhs_known = !lhs->has_unknowns();
+                    const bool rhs_known = !rhs->has_unknowns();
+                    if (lhs_known && rhs_known) {
+                        out.add_offset(e);
+                        return out;
+                    }
+                    const LinearForm& linear = lhs_known ? *rhs : *lhs;
+                    const ExprPtr& factor_expr = lhs_known ? e->left() : e->right();
+                    if (factor_expr->kind() != ExprKind::kConstant) {
+                        return std::nullopt;  // time-varying coefficient
+                    }
+                    return linear.scaled(factor_expr->constant_value());
+                }
+                case BinaryOp::kDiv: {
+                    if (rhs->has_unknowns()) {
+                        return std::nullopt;
+                    }
+                    if (!lhs->has_unknowns()) {
+                        out.add_offset(e);
+                        return out;
+                    }
+                    if (e->right()->kind() != ExprKind::kConstant) {
+                        return std::nullopt;
+                    }
+                    const double d = e->right()->constant_value();
+                    if (d == 0.0) {
+                        return std::nullopt;
+                    }
+                    return lhs->scaled(1.0 / d);
+                }
+                default:
+                    // pow/min/max/relational: allowed only unknown-free.
+                    if (lhs->has_unknowns() || rhs->has_unknowns()) {
+                        return std::nullopt;
+                    }
+                    out.add_offset(e);
+                    return out;
+            }
+        }
+        case ExprKind::kDdt: {
+            auto inner = extract_impl(e->operand(), is_unknown);
+            if (!inner) {
+                return std::nullopt;
+            }
+            // ddt is linear: lift every first-order key to a derivative key.
+            for (const auto& [key, c] : inner->coefficients()) {
+                if (key.derivative) {
+                    return std::nullopt;  // second derivative not supported
+                }
+                out.add_term(LinearKey{key.symbol, true}, c);
+            }
+            if (!inner->offset()->is_constant(0.0)) {
+                if (inner->offset()->kind() == ExprKind::kConstant) {
+                    // ddt of a constant vanishes.
+                } else {
+                    out.add_offset(Expr::ddt(inner->offset()));
+                }
+            }
+            return out;
+        }
+        case ExprKind::kIdt:
+            // Integral operators are handled at tree level by the assembler,
+            // not by linear extraction.
+            return std::nullopt;
+        case ExprKind::kConditional: {
+            auto c = extract_impl(e->condition(), is_unknown);
+            auto t = extract_impl(e->then_branch(), is_unknown);
+            auto f = extract_impl(e->else_branch(), is_unknown);
+            if (!c || !t || !f || c->has_unknowns() || t->has_unknowns() || f->has_unknowns()) {
+                return std::nullopt;
+            }
+            out.add_offset(e);
+            return out;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<LinearForm> LinearForm::extract(const ExprPtr& e,
+                                              const UnknownPredicate& is_unknown) {
+    AMSVP_CHECK(e != nullptr, "extract of null expression");
+    return extract_impl(e, is_unknown);
+}
+
+}  // namespace amsvp::expr

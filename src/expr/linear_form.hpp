@@ -1,0 +1,82 @@
+// Linear-form extraction: rewrite an expression as
+//
+//     sum_i  c_i * u_i   +   offset
+//
+// where each u_i is an *unknown* occurrence — a branch quantity at current
+// time, possibly under a ddt() — with a numeric coefficient c_i, and `offset`
+// is an arbitrary expression free of unknowns (inputs, time, delayed history).
+//
+// This is the algebraic workhorse behind three steps of the paper's flow:
+//  * Enrichment's Solve(equation, term) (Algorithm 1, line 7),
+//  * the removal of the output self-reference (Fig. 7a),
+//  * the generic MNA stamping used by the SPICE / ELN engines.
+//
+// Extraction fails (returns std::nullopt) when the expression is not linear
+// in the unknowns (e.g. V*I products); callers fall back to tree-level
+// handling in that case.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "expr/expr.hpp"
+
+namespace amsvp::expr {
+
+/// One unknown occurrence: a symbol at current time, optionally under ddt().
+struct LinearKey {
+    Symbol symbol;
+    bool derivative = false;
+
+    friend bool operator==(const LinearKey&, const LinearKey&) = default;
+    friend auto operator<=>(const LinearKey&, const LinearKey&) = default;
+
+    [[nodiscard]] std::string display() const;
+    /// Rebuild the expression this key denotes.
+    [[nodiscard]] ExprPtr to_expr() const;
+};
+
+/// Predicate deciding which symbols count as unknowns. The default treats
+/// branch voltages and currents as unknowns and everything else as known.
+using UnknownPredicate = std::function<bool(const Symbol&)>;
+[[nodiscard]] UnknownPredicate branch_quantities_unknown();
+
+class LinearForm {
+public:
+    LinearForm() = default;
+
+    /// Extract; nullopt when not linear in the unknowns.
+    [[nodiscard]] static std::optional<LinearForm> extract(const ExprPtr& e,
+                                                           const UnknownPredicate& is_unknown);
+
+    [[nodiscard]] const std::map<LinearKey, double>& coefficients() const { return coeffs_; }
+    /// Offset expression; never null (defaults to the constant 0).
+    [[nodiscard]] const ExprPtr& offset() const { return offset_; }
+
+    [[nodiscard]] bool has_unknowns() const { return !coeffs_.empty(); }
+    [[nodiscard]] double coefficient(const LinearKey& key) const;
+
+    void add_term(const LinearKey& key, double coefficient);
+    void add_offset(const ExprPtr& e);
+
+    [[nodiscard]] LinearForm plus(const LinearForm& other) const;
+    [[nodiscard]] LinearForm minus(const LinearForm& other) const;
+    [[nodiscard]] LinearForm scaled(double factor) const;
+
+    /// Solve `this == 0` for `key`: returns the expression
+    /// `-(rest)/(coefficient of key)`. nullopt if the key is absent or has a
+    /// negligible coefficient.
+    [[nodiscard]] std::optional<ExprPtr> solve_for(const LinearKey& key,
+                                                   double coefficient_tolerance = 1e-12) const;
+
+    /// Rebuild the full expression sum.
+    [[nodiscard]] ExprPtr to_expr() const;
+
+private:
+    std::map<LinearKey, double> coeffs_;
+    ExprPtr offset_ = Expr::constant(0.0);
+};
+
+}  // namespace amsvp::expr

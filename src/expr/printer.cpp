@@ -1,0 +1,177 @@
+#include "expr/printer.hpp"
+
+#include "support/strings.hpp"
+
+namespace amsvp::expr {
+
+namespace {
+
+// Precedence levels, higher binds tighter.
+int precedence(const ExprPtr& e) {
+    switch (e->kind()) {
+        case ExprKind::kConstant:
+        case ExprKind::kSymbol:
+        case ExprKind::kDelayed:
+        case ExprKind::kDdt:
+        case ExprKind::kIdt:
+            return 100;
+        case ExprKind::kUnary:
+            return (e->unary_op() == UnaryOp::kNeg || e->unary_op() == UnaryOp::kNot) ? 80 : 100;
+        case ExprKind::kConditional:
+            return 5;
+        case ExprKind::kBinary:
+            switch (e->binary_op()) {
+                case BinaryOp::kMul:
+                case BinaryOp::kDiv:
+                    return 60;
+                case BinaryOp::kAdd:
+                case BinaryOp::kSub:
+                    return 50;
+                case BinaryOp::kLt:
+                case BinaryOp::kLe:
+                case BinaryOp::kGt:
+                case BinaryOp::kGe:
+                    return 40;
+                case BinaryOp::kEq:
+                case BinaryOp::kNe:
+                    return 35;
+                case BinaryOp::kAnd:
+                    return 30;
+                case BinaryOp::kOr:
+                    return 25;
+                default:
+                    return 100;  // function-call style (pow, min, max)
+            }
+    }
+    return 0;
+}
+
+bool is_function_style(BinaryOp op) {
+    return op == BinaryOp::kPow || op == BinaryOp::kMin || op == BinaryOp::kMax;
+}
+
+std::string function_name(UnaryOp op, PrintStyle style) {
+    if (style == PrintStyle::kCpp) {
+        switch (op) {
+            case UnaryOp::kExp:
+                return "std::exp";
+            case UnaryOp::kLn:
+                return "std::log";
+            case UnaryOp::kLog10:
+                return "std::log10";
+            case UnaryOp::kSqrt:
+                return "std::sqrt";
+            case UnaryOp::kSin:
+                return "std::sin";
+            case UnaryOp::kCos:
+                return "std::cos";
+            case UnaryOp::kTan:
+                return "std::tan";
+            case UnaryOp::kAbs:
+                return "std::fabs";
+            default:
+                break;
+        }
+    }
+    return std::string(to_string(op));
+}
+
+std::string function_name(BinaryOp op, PrintStyle style) {
+    if (style == PrintStyle::kCpp) {
+        switch (op) {
+            case BinaryOp::kPow:
+                return "std::pow";
+            case BinaryOp::kMin:
+                return "std::min";
+            case BinaryOp::kMax:
+                return "std::max";
+            default:
+                break;
+        }
+    }
+    return std::string(to_string(op));
+}
+
+std::string render(const ExprPtr& e, PrintStyle style);
+
+std::string render_child(const ExprPtr& child, int parent_precedence, PrintStyle style) {
+    std::string text = render(child, style);
+    if (precedence(child) < parent_precedence) {
+        return "(" + text + ")";
+    }
+    return text;
+}
+
+std::string render_symbol(const Symbol& s, PrintStyle style) {
+    return style == PrintStyle::kCpp ? s.identifier() : s.display();
+}
+
+std::string render_delayed(const ExprPtr& e, PrintStyle style) {
+    const std::string base = render_symbol(e->symbol(), style);
+    if (style == PrintStyle::kCpp) {
+        if (e->delay() == 1) {
+            return base + "_prev";
+        }
+        return base + "_prev" + std::to_string(e->delay());
+    }
+    if (e->delay() == 1) {
+        return base + "@(t-dt)";
+    }
+    return base + "@(t-" + std::to_string(e->delay()) + "dt)";
+}
+
+std::string render(const ExprPtr& e, PrintStyle style) {
+    switch (e->kind()) {
+        case ExprKind::kConstant:
+            return support::format_double(e->constant_value());
+        case ExprKind::kSymbol:
+            return render_symbol(e->symbol(), style);
+        case ExprKind::kDelayed:
+            return render_delayed(e, style);
+        case ExprKind::kUnary: {
+            const UnaryOp op = e->unary_op();
+            if (op == UnaryOp::kNeg || op == UnaryOp::kNot) {
+                return std::string(to_string(op)) + render_child(e->operand(), 80, style);
+            }
+            return function_name(op, style) + "(" + render(e->operand(), style) + ")";
+        }
+        case ExprKind::kBinary: {
+            const BinaryOp op = e->binary_op();
+            if (is_function_style(op)) {
+                return function_name(op, style) + "(" + render(e->left(), style) + ", " +
+                       render(e->right(), style) + ")";
+            }
+            const int prec = precedence(e);
+            // C++ parses arithmetic left-associatively, so a right child at
+            // equal precedence must keep its parentheses — not only for the
+            // non-associative - and /, but also for + and *: floating-point
+            // addition/multiplication are not associative, and generated
+            // code must evaluate in exactly the tree's order.
+            const bool strict_right = (op == BinaryOp::kAdd || op == BinaryOp::kSub ||
+                                       op == BinaryOp::kMul || op == BinaryOp::kDiv);
+            std::string left = render_child(e->left(), prec, style);
+            std::string right = render_child(e->right(), strict_right ? prec + 1 : prec, style);
+            return left + " " + std::string(to_string(op)) + " " + right;
+        }
+        case ExprKind::kDdt:
+            return "ddt(" + render(e->operand(), style) + ")";
+        case ExprKind::kIdt:
+            return "idt(" + render(e->operand(), style) + ")";
+        case ExprKind::kConditional:
+            return render_child(e->condition(), 6, style) + " ? " +
+                   render_child(e->then_branch(), 6, style) + " : " +
+                   render_child(e->else_branch(), 5, style);
+    }
+    return "?";
+}
+
+}  // namespace
+
+std::string to_string(const ExprPtr& e, PrintStyle style) {
+    if (!e) {
+        return "<null>";
+    }
+    return render(e, style);
+}
+
+}  // namespace amsvp::expr

@@ -1,0 +1,24 @@
+// Expression pretty-printing.
+//
+// Two flavours:
+//  * math style: "V(C1) = (u0 + 0.125 * V'(C1)) / 8" — used in diagnostics
+//    and the abstraction walkthrough (paper Figs. 5-7);
+//  * C++ style: symbols rendered as identifiers, functions as std:: calls —
+//    used by the code generators.
+#pragma once
+
+#include <string>
+
+#include "expr/expr.hpp"
+
+namespace amsvp::expr {
+
+enum class PrintStyle {
+    kMath,
+    kCpp,
+};
+
+/// Render an expression with minimal parentheses (precedence-aware).
+[[nodiscard]] std::string to_string(const ExprPtr& e, PrintStyle style = PrintStyle::kMath);
+
+}  // namespace amsvp::expr

@@ -1,0 +1,157 @@
+#include "expr/simplify.hpp"
+
+#include "expr/traversal.hpp"
+
+namespace amsvp::expr {
+
+namespace {
+
+bool is_neg(const ExprPtr& e) {
+    return e->kind() == ExprKind::kUnary && e->unary_op() == UnaryOp::kNeg;
+}
+
+/// Split `e` into (constant factor, symbolic remainder). The remainder is
+/// null when the expression is a pure constant.
+struct Factored {
+    double constant = 1.0;
+    ExprPtr rest;  ///< may be null
+};
+
+Factored factor_constants(const ExprPtr& e) {
+    switch (e->kind()) {
+        case ExprKind::kConstant:
+            return {e->constant_value(), nullptr};
+        case ExprKind::kUnary:
+            if (e->unary_op() == UnaryOp::kNeg) {
+                Factored inner = factor_constants(e->operand());
+                inner.constant = -inner.constant;
+                return inner;
+            }
+            break;
+        case ExprKind::kBinary: {
+            const BinaryOp op = e->binary_op();
+            if (op == BinaryOp::kMul) {
+                Factored l = factor_constants(e->left());
+                Factored r = factor_constants(e->right());
+                Factored out;
+                out.constant = l.constant * r.constant;
+                if (l.rest && r.rest) {
+                    out.rest = Expr::mul(l.rest, r.rest);
+                } else {
+                    out.rest = l.rest ? l.rest : r.rest;
+                }
+                return out;
+            }
+            if (op == BinaryOp::kDiv && e->right()->kind() == ExprKind::kConstant) {
+                Factored l = factor_constants(e->left());
+                l.constant /= e->right()->constant_value();
+                return l;
+            }
+            break;
+        }
+        default:
+            break;
+    }
+    return {1.0, e};
+}
+
+ExprPtr rebuild(const Factored& f) {
+    if (!f.rest) {
+        return Expr::constant(f.constant);
+    }
+    if (f.constant == 1.0) {
+        return f.rest;
+    }
+    if (f.constant == -1.0) {
+        return Expr::neg(f.rest);
+    }
+    return Expr::mul(Expr::constant(f.constant), f.rest);
+}
+
+ExprPtr simplify_node(const ExprPtr& e) {
+    switch (e->kind()) {
+        case ExprKind::kBinary: {
+            const BinaryOp op = e->binary_op();
+            const ExprPtr& l = e->left();
+            const ExprPtr& r = e->right();
+            switch (op) {
+                case BinaryOp::kSub:
+                    // a - (-b) => a + b
+                    if (is_neg(r)) {
+                        return Expr::add(l, r->operand());
+                    }
+                    // (-a) - b => -(a + b)
+                    if (is_neg(l)) {
+                        return Expr::neg(Expr::add(l->operand(), r));
+                    }
+                    break;
+                case BinaryOp::kAdd:
+                    // a + (-b) => a - b;  (-a) + b => b - a
+                    if (is_neg(r)) {
+                        return Expr::sub(l, r->operand());
+                    }
+                    if (is_neg(l)) {
+                        return Expr::sub(r, l->operand());
+                    }
+                    break;
+                case BinaryOp::kMul:
+                case BinaryOp::kDiv: {
+                    // Collapse constant factors and sign chains.
+                    if (op == BinaryOp::kMul) {
+                        const Factored f = factor_constants(e);
+                        ExprPtr collapsed = rebuild(f);
+                        if (!structurally_equal(collapsed, e)) {
+                            return collapsed;
+                        }
+                    } else {
+                        if (is_neg(l) && is_neg(r)) {
+                            return Expr::div(l->operand(), r->operand());
+                        }
+                        if (is_neg(l)) {
+                            return Expr::neg(Expr::div(l->operand(), r));
+                        }
+                        if (is_neg(r)) {
+                            return Expr::neg(Expr::div(l, r->operand()));
+                        }
+                        // (c1 * x) / c2 => (c1/c2) * x
+                        if (r->kind() == ExprKind::kConstant) {
+                            const Factored f = factor_constants(e);
+                            ExprPtr collapsed = rebuild(f);
+                            if (!structurally_equal(collapsed, e)) {
+                                return collapsed;
+                            }
+                        }
+                    }
+                    break;
+                }
+                default:
+                    break;
+            }
+            break;
+        }
+        default:
+            break;
+    }
+    return e;
+}
+
+}  // namespace
+
+ExprPtr simplify(const ExprPtr& e) {
+    // Bottom-up rewrite; repeat locally until the node is stable (each
+    // rewrite strictly reduces node count or sign-chain length, so this
+    // terminates).
+    return rewrite(e, [](const ExprPtr& node) {
+        ExprPtr current = node;
+        for (int guard = 0; guard < 8; ++guard) {
+            ExprPtr next = simplify_node(current);
+            if (next == current || structurally_equal(next, current)) {
+                return current;
+            }
+            current = next;
+        }
+        return current;
+    });
+}
+
+}  // namespace amsvp::expr

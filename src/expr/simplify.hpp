@@ -1,0 +1,17 @@
+// Deep algebraic simplification, applied after the symbolic linear solution
+// so generated code reads like the hand-written Fig. 7b form:
+//   * folds nested constant factors: 2 * (3 * x) -> 6 * x, (x / 2) / 4 -> x / 8
+//   * cancels sign chains: a - (-b) -> a + b, (-a) * (-b) -> a * b
+//   * re-folds constants exposed by the above.
+// Idempotent and value-preserving up to floating-point reassociation of the
+// *constant* factors only; symbolic operand order never changes.
+#pragma once
+
+#include "expr/expr.hpp"
+
+namespace amsvp::expr {
+
+/// Bottom-up simplification; returns the input pointer when nothing changed.
+[[nodiscard]] ExprPtr simplify(const ExprPtr& e);
+
+}  // namespace amsvp::expr

@@ -1,0 +1,84 @@
+#include "expr/symbol.hpp"
+
+namespace amsvp::expr {
+
+std::string_view to_string(SymbolKind kind) {
+    switch (kind) {
+        case SymbolKind::kBranchVoltage:
+            return "branch-voltage";
+        case SymbolKind::kBranchCurrent:
+            return "branch-current";
+        case SymbolKind::kInput:
+            return "input";
+        case SymbolKind::kParameter:
+            return "parameter";
+        case SymbolKind::kVariable:
+            return "variable";
+        case SymbolKind::kTime:
+            return "time";
+    }
+    return "unknown";
+}
+
+std::string Symbol::display() const {
+    switch (kind) {
+        case SymbolKind::kBranchVoltage:
+            return "V(" + name + ")";
+        case SymbolKind::kBranchCurrent:
+            return "I(" + name + ")";
+        default:
+            return name;
+    }
+}
+
+std::string Symbol::identifier() const {
+    std::string out;
+    switch (kind) {
+        case SymbolKind::kBranchVoltage:
+            out = "V_" + name;
+            break;
+        case SymbolKind::kBranchCurrent:
+            out = "I_" + name;
+            break;
+        default:
+            out = name;
+            break;
+    }
+    for (char& c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                        c == '_';
+        if (!ok) {
+            c = '_';
+        }
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+        out.insert(out.begin(), '_');
+    }
+    return out;
+}
+
+Symbol branch_voltage(std::string branch_name) {
+    return Symbol{SymbolKind::kBranchVoltage, std::move(branch_name)};
+}
+
+Symbol branch_current(std::string branch_name) {
+    return Symbol{SymbolKind::kBranchCurrent, std::move(branch_name)};
+}
+
+Symbol input_symbol(std::string name) {
+    return Symbol{SymbolKind::kInput, std::move(name)};
+}
+
+Symbol parameter_symbol(std::string name) {
+    return Symbol{SymbolKind::kParameter, std::move(name)};
+}
+
+Symbol variable_symbol(std::string name) {
+    return Symbol{SymbolKind::kVariable, std::move(name)};
+}
+
+Symbol time_symbol() {
+    return Symbol{SymbolKind::kTime, "$abstime"};
+}
+
+}  // namespace amsvp::expr

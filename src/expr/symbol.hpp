@@ -1,0 +1,52 @@
+// Symbols name the quantities manipulated by the abstraction pipeline:
+// branch potentials/flows of the conservative network (V(b), I(b)), input
+// stimuli, parameters, and auxiliary variables introduced by discretization.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace amsvp::expr {
+
+enum class SymbolKind {
+    kBranchVoltage,  ///< potential across a named branch, e.g. V(C1)
+    kBranchCurrent,  ///< flow through a named branch, e.g. I(C1)
+    kInput,          ///< external stimulus U(t)
+    kParameter,      ///< named constant (usually folded before abstraction)
+    kVariable,       ///< behavioral / auxiliary variable
+    kTime,           ///< simulation time $abstime
+};
+
+[[nodiscard]] std::string_view to_string(SymbolKind kind);
+
+/// Identity is (kind, name): a branch named "C1" owns the two distinct
+/// symbols V(C1) and I(C1).
+struct Symbol {
+    SymbolKind kind = SymbolKind::kVariable;
+    std::string name;
+
+    /// Display form: "V(C1)", "I(R2)", "u0", "$abstime".
+    [[nodiscard]] std::string display() const;
+
+    /// A valid C/C++ identifier derived from the display form: "V_C1".
+    [[nodiscard]] std::string identifier() const;
+
+    friend bool operator==(const Symbol&, const Symbol&) = default;
+    friend auto operator<=>(const Symbol&, const Symbol&) = default;
+};
+
+[[nodiscard]] Symbol branch_voltage(std::string branch_name);
+[[nodiscard]] Symbol branch_current(std::string branch_name);
+[[nodiscard]] Symbol input_symbol(std::string name);
+[[nodiscard]] Symbol parameter_symbol(std::string name);
+[[nodiscard]] Symbol variable_symbol(std::string name);
+[[nodiscard]] Symbol time_symbol();
+
+struct SymbolHash {
+    [[nodiscard]] std::size_t operator()(const Symbol& s) const {
+        return std::hash<std::string>{}(s.name) * 31 + static_cast<std::size_t>(s.kind);
+    }
+};
+
+}  // namespace amsvp::expr

@@ -1,0 +1,159 @@
+#include "expr/traversal.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace amsvp::expr {
+
+void visit(const ExprPtr& e, const std::function<bool(const ExprPtr&)>& visitor) {
+    if (!e) {
+        return;
+    }
+    if (!visitor(e)) {
+        return;
+    }
+    switch (e->kind()) {
+        case ExprKind::kConstant:
+        case ExprKind::kSymbol:
+        case ExprKind::kDelayed:
+            break;
+        case ExprKind::kUnary:
+        case ExprKind::kDdt:
+        case ExprKind::kIdt:
+            visit(e->operand(), visitor);
+            break;
+        case ExprKind::kBinary:
+            visit(e->left(), visitor);
+            visit(e->right(), visitor);
+            break;
+        case ExprKind::kConditional:
+            visit(e->condition(), visitor);
+            visit(e->then_branch(), visitor);
+            visit(e->else_branch(), visitor);
+            break;
+    }
+}
+
+std::set<Symbol> collect_symbols(const ExprPtr& e) {
+    std::set<Symbol> out;
+    visit(e, [&](const ExprPtr& node) {
+        if (node->kind() == ExprKind::kSymbol) {
+            out.insert(node->symbol());
+        }
+        return true;
+    });
+    return out;
+}
+
+std::set<Symbol> collect_delayed_symbols(const ExprPtr& e) {
+    std::set<Symbol> out;
+    visit(e, [&](const ExprPtr& node) {
+        if (node->kind() == ExprKind::kDelayed) {
+            out.insert(node->symbol());
+        }
+        return true;
+    });
+    return out;
+}
+
+bool references_symbol(const ExprPtr& e, const Symbol& s) {
+    bool found = false;
+    visit(e, [&](const ExprPtr& node) {
+        if (found) {
+            return false;
+        }
+        if (node->kind() == ExprKind::kSymbol && node->symbol() == s) {
+            found = true;
+            return false;
+        }
+        return true;
+    });
+    return found;
+}
+
+ExprPtr substitute(const ExprPtr& e, const Substitution& map) {
+    return rewrite(e, [&](const ExprPtr& node) -> ExprPtr {
+        if (node->kind() == ExprKind::kSymbol) {
+            auto it = map.find(node->symbol());
+            if (it != map.end()) {
+                return it->second;
+            }
+        }
+        return node;
+    });
+}
+
+ExprPtr rewrite(const ExprPtr& e, const std::function<ExprPtr(const ExprPtr&)>& rewriter) {
+    AMSVP_CHECK(e != nullptr, "rewrite of null expression");
+    ExprPtr rebuilt = e;
+    switch (e->kind()) {
+        case ExprKind::kConstant:
+        case ExprKind::kSymbol:
+        case ExprKind::kDelayed:
+            break;
+        case ExprKind::kUnary: {
+            ExprPtr a = rewrite(e->operand(), rewriter);
+            if (a != e->operand()) {
+                rebuilt = Expr::unary(e->unary_op(), std::move(a));
+            }
+            break;
+        }
+        case ExprKind::kDdt: {
+            ExprPtr a = rewrite(e->operand(), rewriter);
+            if (a != e->operand()) {
+                rebuilt = Expr::ddt(std::move(a));
+            }
+            break;
+        }
+        case ExprKind::kIdt: {
+            ExprPtr a = rewrite(e->operand(), rewriter);
+            if (a != e->operand()) {
+                rebuilt = Expr::idt(std::move(a));
+            }
+            break;
+        }
+        case ExprKind::kBinary: {
+            ExprPtr l = rewrite(e->left(), rewriter);
+            ExprPtr r = rewrite(e->right(), rewriter);
+            if (l != e->left() || r != e->right()) {
+                rebuilt = Expr::binary(e->binary_op(), std::move(l), std::move(r));
+            }
+            break;
+        }
+        case ExprKind::kConditional: {
+            ExprPtr c = rewrite(e->condition(), rewriter);
+            ExprPtr t = rewrite(e->then_branch(), rewriter);
+            ExprPtr f = rewrite(e->else_branch(), rewriter);
+            if (c != e->condition() || t != e->then_branch() || f != e->else_branch()) {
+                rebuilt = Expr::conditional(std::move(c), std::move(t), std::move(f));
+            }
+            break;
+        }
+    }
+    return rewriter(rebuilt);
+}
+
+std::size_t depth(const ExprPtr& e) {
+    if (!e) {
+        return 0;
+    }
+    switch (e->kind()) {
+        case ExprKind::kConstant:
+        case ExprKind::kSymbol:
+        case ExprKind::kDelayed:
+            return 1;
+        case ExprKind::kUnary:
+        case ExprKind::kDdt:
+        case ExprKind::kIdt:
+            return 1 + depth(e->operand());
+        case ExprKind::kBinary:
+            return 1 + std::max(depth(e->left()), depth(e->right()));
+        case ExprKind::kConditional:
+            return 1 + std::max({depth(e->condition()), depth(e->then_branch()),
+                                 depth(e->else_branch())});
+    }
+    return 1;
+}
+
+}  // namespace amsvp::expr

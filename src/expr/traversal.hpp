@@ -1,0 +1,40 @@
+// Generic traversal / rewriting helpers over expression trees.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "expr/expr.hpp"
+
+namespace amsvp::expr {
+
+/// Visit every node (pre-order). The visitor returns false to prune the
+/// subtree below the current node.
+void visit(const ExprPtr& e, const std::function<bool(const ExprPtr&)>& visitor);
+
+/// All distinct symbols referenced at current time (kSymbol nodes).
+[[nodiscard]] std::set<Symbol> collect_symbols(const ExprPtr& e);
+
+/// All distinct symbols referenced with a delay (kDelayed nodes).
+[[nodiscard]] std::set<Symbol> collect_delayed_symbols(const ExprPtr& e);
+
+/// True if `e` references `s` at current time.
+[[nodiscard]] bool references_symbol(const ExprPtr& e, const Symbol& s);
+
+/// Substitution map: symbol -> replacement expression.
+using Substitution = std::unordered_map<Symbol, ExprPtr, SymbolHash>;
+
+/// Replace every current-time occurrence of the mapped symbols. Delayed
+/// occurrences are left untouched (they refer to already-computed history).
+[[nodiscard]] ExprPtr substitute(const ExprPtr& e, const Substitution& map);
+
+/// Rewrite bottom-up: `rewriter` sees each rebuilt node and may return a
+/// replacement (or the node unchanged).
+[[nodiscard]] ExprPtr rewrite(const ExprPtr& e,
+                              const std::function<ExprPtr(const ExprPtr&)>& rewriter);
+
+/// Depth of the tree (a constant/symbol has depth 1).
+[[nodiscard]] std::size_t depth(const ExprPtr& e);
+
+}  // namespace amsvp::expr

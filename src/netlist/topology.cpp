@@ -1,0 +1,114 @@
+#include "netlist/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/check.hpp"
+
+namespace amsvp::netlist {
+
+SpanningTree build_spanning_tree(const Circuit& circuit) {
+    const std::size_t n = circuit.node_count();
+    AMSVP_CHECK(n > 0, "empty circuit");
+
+    SpanningTree tree;
+    tree.parent_branch.assign(n, -1);
+    tree.parent_node.assign(n, -1);
+
+    std::vector<bool> node_seen(n, false);
+    std::vector<bool> branch_in_tree(circuit.branch_count(), false);
+
+    const NodeId root = circuit.has_ground() ? circuit.ground() : 0;
+    std::deque<NodeId> queue{root};
+    node_seen[static_cast<std::size_t>(root)] = true;
+
+    while (!queue.empty()) {
+        const NodeId node = queue.front();
+        queue.pop_front();
+        for (const Circuit::Incidence& inc : circuit.incident(node)) {
+            const Branch& b = circuit.branch(inc.branch);
+            const NodeId other = (b.pos == node) ? b.neg : b.pos;
+            if (node_seen[static_cast<std::size_t>(other)]) {
+                continue;
+            }
+            node_seen[static_cast<std::size_t>(other)] = true;
+            branch_in_tree[static_cast<std::size_t>(inc.branch)] = true;
+            tree.tree_branches.push_back(inc.branch);
+            tree.parent_branch[static_cast<std::size_t>(other)] = inc.branch;
+            tree.parent_node[static_cast<std::size_t>(other)] = node;
+            queue.push_back(other);
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        AMSVP_CHECK(node_seen[i], "spanning tree requires a connected circuit");
+    }
+    for (std::size_t i = 0; i < circuit.branch_count(); ++i) {
+        if (!branch_in_tree[i]) {
+            tree.chords.push_back(static_cast<BranchId>(i));
+        }
+    }
+    return tree;
+}
+
+namespace {
+
+/// Path from `node` up to the root as a list of (branch, direction) pairs;
+/// direction +1 when the branch is traversed pos -> neg while walking upward.
+std::vector<LoopEntry> path_to_root(const Circuit& circuit, const SpanningTree& tree,
+                                    NodeId node) {
+    std::vector<LoopEntry> path;
+    NodeId current = node;
+    while (tree.parent_branch[static_cast<std::size_t>(current)] != -1) {
+        const BranchId bid = tree.parent_branch[static_cast<std::size_t>(current)];
+        const Branch& b = circuit.branch(bid);
+        // Walking from `current` to its parent.
+        const int sign = (b.pos == current) ? +1 : -1;
+        path.push_back({bid, sign});
+        current = tree.parent_node[static_cast<std::size_t>(current)];
+    }
+    return path;
+}
+
+}  // namespace
+
+std::vector<Loop> fundamental_loops(const Circuit& circuit) {
+    return fundamental_loops(circuit, build_spanning_tree(circuit));
+}
+
+std::vector<Loop> fundamental_loops(const Circuit& circuit, const SpanningTree& tree) {
+    std::vector<Loop> loops;
+    loops.reserve(tree.chords.size());
+
+    for (const BranchId chord : tree.chords) {
+        const Branch& cb = circuit.branch(chord);
+        // Loop orientation: traverse the chord pos -> neg, then return from
+        // neg to pos through the tree. The tree path neg->pos equals
+        // path(neg -> root) followed by reversed path(pos -> root), after
+        // cancelling the common suffix (the shared ancestor segment).
+        std::vector<LoopEntry> from_neg = path_to_root(circuit, tree, cb.neg);
+        std::vector<LoopEntry> from_pos = path_to_root(circuit, tree, cb.pos);
+
+        // Cancel common tail (same branches near the root).
+        while (!from_neg.empty() && !from_pos.empty() &&
+               from_neg.back().branch == from_pos.back().branch) {
+            from_neg.pop_back();
+            from_pos.pop_back();
+        }
+
+        Loop loop;
+        loop.entries.push_back({chord, +1});
+        // neg -> ancestor: branch signs as computed (walking upward).
+        for (const LoopEntry& e : from_neg) {
+            loop.entries.push_back(e);
+        }
+        // ancestor -> pos: reverse of pos -> ancestor, signs flipped.
+        for (auto it = from_pos.rbegin(); it != from_pos.rend(); ++it) {
+            loop.entries.push_back({it->branch, -it->sign});
+        }
+        loops.push_back(std::move(loop));
+    }
+    return loops;
+}
+
+}  // namespace amsvp::netlist

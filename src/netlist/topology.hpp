@@ -1,0 +1,45 @@
+// Graph-topology queries backing the Enrichment step (Section IV-B):
+//  * nodal analysis needs the incident branches of every node (KCL),
+//  * mesh analysis needs the fundamental loops of the graph (KVL), obtained
+//    from a spanning tree: every chord (non-tree branch) closes exactly one
+//    loop through the tree path connecting its endpoints.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace amsvp::netlist {
+
+/// A branch traversed inside a loop, with its orientation relative to the
+/// traversal direction (+1 when traversed pos->neg).
+struct LoopEntry {
+    BranchId branch;
+    int sign;
+};
+
+/// One fundamental loop: the chord first, then the tree path back.
+struct Loop {
+    std::vector<LoopEntry> entries;
+};
+
+/// Spanning tree computed by BFS from the ground node (or node 0 when no
+/// ground is set). Requires a connected circuit.
+struct SpanningTree {
+    std::vector<BranchId> tree_branches;
+    std::vector<BranchId> chords;
+    /// parent_branch[n] is the tree branch connecting node n towards the
+    /// root, -1 for the root itself.
+    std::vector<BranchId> parent_branch;
+    std::vector<NodeId> parent_node;
+};
+
+[[nodiscard]] SpanningTree build_spanning_tree(const Circuit& circuit);
+
+/// All fundamental loops (one per chord). Loop orientation follows the chord
+/// pos -> neg direction.
+[[nodiscard]] std::vector<Loop> fundamental_loops(const Circuit& circuit);
+[[nodiscard]] std::vector<Loop> fundamental_loops(const Circuit& circuit,
+                                                  const SpanningTree& tree);
+
+}  // namespace amsvp::netlist

@@ -1,0 +1,100 @@
+#include "numeric/lu.hpp"
+
+#include <cmath>
+
+namespace amsvp::numeric {
+
+std::optional<LuFactorization> LuFactorization::factorise(const Matrix& a,
+                                                          double pivot_tolerance) {
+    AMSVP_CHECK(a.rows() == a.cols(), "LU requires a square matrix");
+    const std::size_t n = a.rows();
+
+    LuFactorization f;
+    f.lu_ = a;
+    f.permutation_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        f.permutation_[i] = i;
+    }
+
+    Matrix& lu = f.lu_;
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivoting: pick the largest magnitude entry in column k.
+        std::size_t pivot_row = k;
+        double pivot_mag = std::fabs(lu(k, k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double mag = std::fabs(lu(r, k));
+            if (mag > pivot_mag) {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        if (pivot_mag < pivot_tolerance) {
+            return std::nullopt;
+        }
+        if (pivot_row != k) {
+            for (std::size_t c = 0; c < n; ++c) {
+                std::swap(lu(k, c), lu(pivot_row, c));
+            }
+            std::swap(f.permutation_[k], f.permutation_[pivot_row]);
+        }
+        const double pivot = lu(k, k);
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double factor = lu(r, k) / pivot;
+            lu(r, k) = factor;
+            if (factor == 0.0) {
+                continue;
+            }
+            for (std::size_t c = k + 1; c < n; ++c) {
+                lu(r, c) -= factor * lu(k, c);
+            }
+        }
+    }
+    return f;
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+    Vector x(b);
+    solve_in_place(x);
+    return x;
+}
+
+void LuFactorization::solve_in_place(Vector& b_to_x) const {
+    const std::size_t n = lu_.rows();
+    AMSVP_CHECK(b_to_x.size() == n, "rhs size mismatch");
+
+    // Apply the permutation: y = P b.
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        y[i] = b_to_x[permutation_[i]];
+    }
+
+    // Forward substitution (L has an implicit unit diagonal).
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = y[i];
+        for (std::size_t j = 0; j < i; ++j) {
+            acc -= lu_(i, j) * y[j];
+        }
+        y[i] = acc;
+    }
+
+    // Backward substitution with U.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) {
+            acc -= lu_(ii, j) * y[j];
+        }
+        y[ii] = acc / lu_(ii, ii);
+    }
+
+    b_to_x = std::move(y);
+}
+
+std::optional<Vector> solve_linear_system(const Matrix& a, const Vector& b) {
+    auto f = LuFactorization::factorise(a);
+    if (!f) {
+        return std::nullopt;
+    }
+    return f->solve(b);
+}
+
+}  // namespace amsvp::numeric

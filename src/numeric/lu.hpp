@@ -1,0 +1,45 @@
+// LU factorisation with partial pivoting.
+//
+// Two use patterns, matching the two analog back-ends:
+//  * the SPICE-like conservative engine refactorises at every timestep
+//    (device re-evaluation may change the matrix), which is precisely the
+//    bottleneck the paper attributes to conservative simulation;
+//  * the ELN engine factorises once (linear network with a fixed timestep)
+//    and only back-substitutes per step.
+#pragma once
+
+#include <optional>
+
+#include "numeric/matrix.hpp"
+
+namespace amsvp::numeric {
+
+/// Factorised form of a square matrix. Invalidated if the source matrix size
+/// changes; re-run factorise().
+class LuFactorization {
+public:
+    /// Default-constructed factorisation is empty; assign from factorise().
+    LuFactorization() = default;
+
+    /// Factorise `a` (copied). Returns std::nullopt when the matrix is
+    /// numerically singular (pivot below `pivot_tolerance`).
+    [[nodiscard]] static std::optional<LuFactorization> factorise(const Matrix& a,
+                                                                  double pivot_tolerance = 1e-13);
+
+    /// Solve A x = b using the stored factors.
+    [[nodiscard]] Vector solve(const Vector& b) const;
+
+    /// In-place variant used by per-step solver loops to avoid allocation.
+    void solve_in_place(Vector& b_to_x) const;
+
+    [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+private:
+    Matrix lu_;
+    std::vector<std::size_t> permutation_;
+};
+
+/// One-shot convenience: solve A x = b. Returns std::nullopt when singular.
+[[nodiscard]] std::optional<Vector> solve_linear_system(const Matrix& a, const Vector& b);
+
+}  // namespace amsvp::numeric

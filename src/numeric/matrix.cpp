@@ -1,0 +1,71 @@
+#include "numeric/matrix.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace amsvp::numeric {
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = 1.0;
+    }
+    return m;
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+    AMSVP_CHECK(x.size() == cols_, "matrix-vector size mismatch");
+    Vector y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        const double* row = data_.data() + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            acc += row[c] * x[c];
+        }
+        y[r] = acc;
+    }
+    return y;
+}
+
+double Matrix::difference_norm(const Matrix& other) const {
+    AMSVP_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "matrix shape mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        const double d = data_[i] - other.data_[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc);
+}
+
+std::string Matrix::to_string(int precision) const {
+    std::string out;
+    char buffer[64];
+    for (std::size_t r = 0; r < rows_; ++r) {
+        out += "[ ";
+        for (std::size_t c = 0; c < cols_; ++c) {
+            std::snprintf(buffer, sizeof buffer, "%.*g ", precision, (*this)(r, c));
+            out += buffer;
+        }
+        out += "]\n";
+    }
+    return out;
+}
+
+double norm2(const Vector& v) {
+    double acc = 0.0;
+    for (double x : v) {
+        acc += x * x;
+    }
+    return std::sqrt(acc);
+}
+
+double max_abs_difference(const Vector& a, const Vector& b) {
+    AMSVP_CHECK(a.size() == b.size(), "vector size mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        worst = std::max(worst, std::fabs(a[i] - b[i]));
+    }
+    return worst;
+}
+
+}  // namespace amsvp::numeric

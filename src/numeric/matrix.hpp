@@ -1,0 +1,73 @@
+// Dense matrix / vector types used by the MNA solvers (ELN and SPICE
+// substrates). Circuits in this domain are small (tens of nodes), so a dense
+// row-major layout beats a sparse structure in both speed and simplicity; the
+// paper's own bottleneck argument (sparse solve + device evaluation, [5])
+// is preserved because cost still scales with the full system size.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace amsvp::numeric {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+    [[nodiscard]] std::size_t rows() const { return rows_; }
+    [[nodiscard]] std::size_t cols() const { return cols_; }
+
+    [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+        AMSVP_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+    [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+        AMSVP_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    /// Unchecked access for solver inner loops.
+    [[nodiscard]] double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+        return data_[r * cols_ + c];
+    }
+
+    void fill(double value) { data_.assign(data_.size(), value); }
+
+    /// Resize and zero.
+    void reset(std::size_t rows, std::size_t cols) {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(rows * cols, 0.0);
+    }
+
+    [[nodiscard]] static Matrix identity(std::size_t n);
+
+    /// Matrix-vector product; `x.size()` must equal `cols()`.
+    [[nodiscard]] Vector multiply(const Vector& x) const;
+
+    /// Frobenius norm of (this - other); matrices must be the same shape.
+    [[nodiscard]] double difference_norm(const Matrix& other) const;
+
+    /// Human-readable rendering for debugging and golden tests.
+    [[nodiscard]] std::string to_string(int precision = 6) const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(const Vector& v);
+
+/// max_i |a[i] - b[i]|; vectors must be the same length.
+[[nodiscard]] double max_abs_difference(const Vector& a, const Vector& b);
+
+}  // namespace amsvp::numeric

@@ -1,0 +1,44 @@
+#include "numeric/metrics.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace amsvp::numeric {
+
+double rmse(const std::vector<double>& reference, const std::vector<double>& test) {
+    AMSVP_CHECK(reference.size() == test.size(), "rmse: size mismatch");
+    AMSVP_CHECK(!reference.empty(), "rmse: empty input");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        const double d = reference[i] - test[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(reference.size()));
+}
+
+double nrmse(const Waveform& reference, const Waveform& test) {
+    AMSVP_CHECK(reference.size() == test.size(), "nrmse: length mismatch");
+    // Normalise by the reference peak-to-peak range; for degenerate
+    // (constant) references fall back to the peak magnitude, then to 1
+    // (pure RMSE), so short constant-stimulus runs remain comparable.
+    double range = reference.max_value() - reference.min_value();
+    if (range <= 0.0) {
+        range = std::max(std::fabs(reference.max_value()), std::fabs(reference.min_value()));
+    }
+    if (range <= 0.0) {
+        range = 1.0;
+    }
+    return rmse(reference.samples(), test.samples()) / range;
+}
+
+double max_error(const Waveform& reference, const Waveform& test) {
+    AMSVP_CHECK(reference.size() == test.size(), "max_error: length mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        worst = std::max(worst, std::fabs(reference.value(i) - test.value(i)));
+    }
+    return worst;
+}
+
+}  // namespace amsvp::numeric

@@ -1,0 +1,20 @@
+// Accuracy metrics used by the evaluation (Table I reports NRMSE of each
+// generated model against the conservative Verilog-AMS reference).
+#pragma once
+
+#include "numeric/waveform.hpp"
+
+namespace amsvp::numeric {
+
+/// Root-mean-square error between two equally sized sample sets.
+[[nodiscard]] double rmse(const std::vector<double>& reference, const std::vector<double>& test);
+
+/// NRMSE as used in the paper: RMSE normalised by the reference peak-to-peak
+/// range. Zero when the signals are identical; the reference range must be
+/// non-degenerate.
+[[nodiscard]] double nrmse(const Waveform& reference, const Waveform& test);
+
+/// Maximum absolute pointwise error.
+[[nodiscard]] double max_error(const Waveform& reference, const Waveform& test);
+
+}  // namespace amsvp::numeric

@@ -1,0 +1,38 @@
+// Stimulus generators. The paper drives every experiment with a square wave
+// (period 1 ms) because "model inaccuracies are emphasized by transient
+// signals" and the continuous/discrete versions coincide; we additionally
+// provide sine/step/PWL sources for wider testing.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace amsvp::numeric {
+
+/// A time-domain stimulus: value as a function of time in seconds.
+using SourceFunction = std::function<double(double)>;
+
+/// Square wave toggling between `low` and `high`, starting at `high` for the
+/// first half period (matching the paper's generator).
+[[nodiscard]] SourceFunction square_wave(double period_seconds, double low = 0.0,
+                                         double high = 1.0);
+
+/// Sine wave: offset + amplitude * sin(2*pi*f*t + phase).
+[[nodiscard]] SourceFunction sine_wave(double frequency_hz, double amplitude = 1.0,
+                                       double offset = 0.0, double phase_radians = 0.0);
+
+/// Unit step at `at_seconds` scaled by `amplitude`.
+[[nodiscard]] SourceFunction step(double at_seconds, double amplitude = 1.0);
+
+/// Piecewise-linear source through (time, value) points; constant
+/// extrapolation outside the range. Points must be sorted by time.
+struct PwlPoint {
+    double time;
+    double value;
+};
+[[nodiscard]] SourceFunction piecewise_linear(std::vector<PwlPoint> points);
+
+/// Constant value.
+[[nodiscard]] SourceFunction constant(double value);
+
+}  // namespace amsvp::numeric

@@ -1,0 +1,125 @@
+#include "numeric/vcd.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace amsvp::numeric {
+
+namespace {
+
+/// VCD identifier codes: printable ASCII 33..126, shortest-first.
+std::string id_for(std::size_t index) {
+    std::string id;
+    std::size_t n = index;
+    do {
+        id.push_back(static_cast<char>(33 + n % 94));
+        n /= 94;
+    } while (n != 0);
+    return id;
+}
+
+/// Timescale rendering: pick a supported VCD unit string.
+std::string timescale_text(double seconds) {
+    struct Unit {
+        double scale;
+        const char* text;
+    };
+    static constexpr Unit kUnits[] = {
+        {1.0, "1 s"},   {1e-3, "1 ms"}, {1e-6, "1 us"},
+        {1e-9, "1 ns"}, {1e-12, "1 ps"}, {1e-15, "1 fs"},
+    };
+    for (const Unit& u : kUnits) {
+        if (seconds >= u.scale * 0.999) {
+            return u.text;
+        }
+    }
+    return "1 fs";
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(double timescale_seconds) : timescale_(timescale_seconds) {
+    AMSVP_CHECK(timescale_ > 0.0, "VCD timescale must be positive");
+}
+
+std::size_t VcdWriter::add_real(std::string name) {
+    channels_.push_back(Channel{std::move(name), id_for(channels_.size()), true});
+    return channels_.size() - 1;
+}
+
+std::size_t VcdWriter::add_bit(std::string name) {
+    channels_.push_back(Channel{std::move(name), id_for(channels_.size()), false});
+    return channels_.size() - 1;
+}
+
+std::uint64_t VcdWriter::to_ticks(double time_seconds) const {
+    return static_cast<std::uint64_t>(time_seconds / timescale_ + 0.5);
+}
+
+void VcdWriter::change(std::size_t channel, double time_seconds, double value) {
+    AMSVP_CHECK(channel < channels_.size(), "unknown VCD channel");
+    changes_.push_back(Change{to_ticks(time_seconds), channel, value, next_sequence_++});
+}
+
+void VcdWriter::add_waveform(const std::string& name, const Waveform& waveform) {
+    const std::size_t channel = add_real(name);
+    for (std::size_t k = 0; k < waveform.size(); ++k) {
+        change(channel, waveform.time(k), waveform.value(k));
+    }
+}
+
+std::string VcdWriter::render() const {
+    std::string out;
+    out += "$date amsvp trace $end\n";
+    out += "$version amsvp (DATE'16 reproduction) $end\n";
+    out += "$timescale " + timescale_text(timescale_) + " $end\n";
+    out += "$scope module amsvp $end\n";
+    for (const Channel& c : channels_) {
+        if (c.is_real) {
+            out += "$var real 64 " + c.id + " " + c.name + " $end\n";
+        } else {
+            out += "$var wire 1 " + c.id + " " + c.name + " $end\n";
+        }
+    }
+    out += "$upscope $end\n$enddefinitions $end\n";
+
+    std::stable_sort(changes_.begin(), changes_.end(), [](const Change& a, const Change& b) {
+        if (a.ticks != b.ticks) {
+            return a.ticks < b.ticks;
+        }
+        return a.sequence < b.sequence;
+    });
+
+    std::uint64_t current_time = ~0ull;
+    char buffer[96];
+    for (const Change& ch : changes_) {
+        if (ch.ticks != current_time) {
+            current_time = ch.ticks;
+            std::snprintf(buffer, sizeof buffer, "#%llu\n",
+                          static_cast<unsigned long long>(current_time));
+            out += buffer;
+        }
+        const Channel& c = channels_[ch.channel];
+        if (c.is_real) {
+            out += "r" + support::format_double(ch.value) + " " + c.id + "\n";
+        } else {
+            out += (ch.value != 0.0 ? "1" : "0") + c.id + "\n";
+        }
+    }
+    return out;
+}
+
+bool VcdWriter::write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    out << render();
+    return static_cast<bool>(out);
+}
+
+}  // namespace amsvp::numeric

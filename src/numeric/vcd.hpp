@@ -1,0 +1,58 @@
+// VCD (Value Change Dump) export of simulation traces, so waveforms from
+// any backend can be inspected in GTKWave & friends alongside the digital
+// platform activity — the "holistic" view of Fig. 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "numeric/waveform.hpp"
+
+namespace amsvp::numeric {
+
+class VcdWriter {
+public:
+    /// `timescale_seconds` is the VCD time unit (e.g. 1e-9 for 1 ns).
+    explicit VcdWriter(double timescale_seconds = 1e-9);
+
+    /// Register an analog (real-valued) channel before writing. Returns the
+    /// channel index used with `change`.
+    std::size_t add_real(std::string name);
+    /// Register a 1-bit digital channel.
+    std::size_t add_bit(std::string name);
+
+    /// Record a value change at `time_seconds` (must be monotone
+    /// non-decreasing across calls).
+    void change(std::size_t channel, double time_seconds, double value);
+
+    /// Add every sample of a waveform as changes on a real channel.
+    void add_waveform(const std::string& name, const Waveform& waveform);
+
+    /// Render the complete VCD document.
+    [[nodiscard]] std::string render() const;
+
+    /// Convenience: render to file; returns false on I/O failure.
+    [[nodiscard]] bool write_file(const std::string& path) const;
+
+private:
+    struct Channel {
+        std::string name;
+        std::string id;  ///< VCD identifier code
+        bool is_real;
+    };
+    struct Change {
+        std::uint64_t ticks;
+        std::size_t channel;
+        double value;
+        std::uint64_t sequence;
+    };
+
+    [[nodiscard]] std::uint64_t to_ticks(double time_seconds) const;
+
+    double timescale_;
+    std::vector<Channel> channels_;
+    mutable std::vector<Change> changes_;
+    std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace amsvp::numeric

@@ -1,0 +1,48 @@
+// Uniformly sampled waveforms. All engines in this library trace their
+// observed outputs into Waveform objects, so accuracy comparisons (NRMSE,
+// Table I) work uniformly across back-ends.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace amsvp::numeric {
+
+/// A uniformly sampled scalar signal: sample k is the value at time
+/// `start_time + k * step`.
+class Waveform {
+public:
+    Waveform() = default;
+    Waveform(double step_seconds, double start_time_seconds = 0.0)
+        : step_(step_seconds), start_(start_time_seconds) {}
+
+    void append(double value) { samples_.push_back(value); }
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
+    [[nodiscard]] std::size_t size() const { return samples_.size(); }
+    [[nodiscard]] bool empty() const { return samples_.empty(); }
+    [[nodiscard]] double step() const { return step_; }
+    [[nodiscard]] double start_time() const { return start_; }
+
+    [[nodiscard]] double value(std::size_t k) const { return samples_[k]; }
+    [[nodiscard]] double time(std::size_t k) const {
+        return start_ + static_cast<double>(k) * step_;
+    }
+
+    [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+    [[nodiscard]] std::vector<double>& samples() { return samples_; }
+
+    [[nodiscard]] double min_value() const;
+    [[nodiscard]] double max_value() const;
+
+    /// Render as two-column "time value" text (gnuplot-friendly).
+    [[nodiscard]] std::string to_table(std::size_t max_rows = 0) const;
+
+private:
+    double step_ = 0.0;
+    double start_ = 0.0;
+    std::vector<double> samples_;
+};
+
+}  // namespace amsvp::numeric

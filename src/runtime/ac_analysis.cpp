@@ -1,0 +1,73 @@
+#include "runtime/ac_analysis.hpp"
+
+#include <cmath>
+
+#include "runtime/compiled_model.hpp"
+#include "support/check.hpp"
+
+namespace amsvp::runtime {
+
+std::vector<double> log_frequency_grid(double f_min, double f_max, int points) {
+    AMSVP_CHECK(f_min > 0.0 && f_max > f_min && points >= 2, "bad frequency grid");
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(points));
+    const double ratio = std::log(f_max / f_min);
+    for (int i = 0; i < points; ++i) {
+        const double w = static_cast<double>(i) / static_cast<double>(points - 1);
+        out.push_back(f_min * std::exp(ratio * w));
+    }
+    return out;
+}
+
+std::vector<AcPoint> measure_frequency_response(const abstraction::SignalFlowModel& model,
+                                                const std::string& input_name,
+                                                const std::vector<double>& frequencies_hz,
+                                                const AcOptions& options) {
+    CompiledModel compiled(model);
+    const std::size_t input = compiled.input_index(input_name);
+    const double dt = model.timestep;
+    AMSVP_CHECK(dt > 0.0, "model has no timestep");
+
+    std::vector<AcPoint> out;
+    out.reserve(frequencies_hz.size());
+    for (const double f : frequencies_hz) {
+        AMSVP_CHECK(f > 0.0 && f < 0.25 / dt, "frequency outside the model's band");
+        const double omega = 2.0 * M_PI * f;
+        const auto steps_per_cycle = static_cast<std::uint64_t>(1.0 / (f * dt) + 0.5);
+        const std::uint64_t settle =
+            steps_per_cycle * static_cast<std::uint64_t>(options.settle_cycles);
+        const std::uint64_t window =
+            steps_per_cycle * static_cast<std::uint64_t>(options.measure_cycles);
+
+        compiled.reset();
+        // Other inputs (if any) held at zero: small-signal measurement.
+        for (std::size_t i = 0; i < compiled.input_count(); ++i) {
+            compiled.set_input(i, 0.0);
+        }
+
+        double acc_cos = 0.0;
+        double acc_sin = 0.0;
+        for (std::uint64_t k = 1; k <= settle + window; ++k) {
+            const double t = static_cast<double>(k) * dt;
+            compiled.set_input(input, options.amplitude * std::sin(omega * t));
+            compiled.step(t);
+            if (k > settle) {
+                const double y = compiled.output(0);
+                acc_sin += y * std::sin(omega * t);
+                acc_cos += y * std::cos(omega * t);
+            }
+        }
+        // Single-bin DFT against the drive: y ~ A sin(wt) + B cos(wt).
+        const double n = static_cast<double>(window);
+        const double a = 2.0 * acc_sin / n;
+        const double b = 2.0 * acc_cos / n;
+        AcPoint point;
+        point.frequency_hz = f;
+        point.magnitude = std::sqrt(a * a + b * b) / options.amplitude;
+        point.phase_radians = std::atan2(b, a);
+        out.push_back(point);
+    }
+    return out;
+}
+
+}  // namespace amsvp::runtime

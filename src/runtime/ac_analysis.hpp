@@ -1,0 +1,35 @@
+// Small-signal frequency-response measurement of generated models: drive a
+// sine, let the transient settle, extract magnitude/phase with a single-bin
+// DFT. Gives Bode data for any abstracted component — the analog designer's
+// first sanity check on an abstracted filter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "abstraction/signal_flow_model.hpp"
+
+namespace amsvp::runtime {
+
+struct AcPoint {
+    double frequency_hz = 0.0;
+    double magnitude = 0.0;      ///< |H(jw)|
+    double phase_radians = 0.0;  ///< arg H(jw), in (-pi, pi]
+};
+
+struct AcOptions {
+    double amplitude = 1.0;
+    int settle_cycles = 8;   ///< discarded before measuring
+    int measure_cycles = 8;  ///< DFT window length
+};
+
+/// Measure the response from `input_name` to the model's first output at
+/// each frequency. Frequencies must satisfy f << 1/(2 dt).
+[[nodiscard]] std::vector<AcPoint> measure_frequency_response(
+    const abstraction::SignalFlowModel& model, const std::string& input_name,
+    const std::vector<double>& frequencies_hz, const AcOptions& options = {});
+
+/// Logarithmically spaced frequency grid [f_min, f_max], `points` entries.
+[[nodiscard]] std::vector<double> log_frequency_grid(double f_min, double f_max, int points);
+
+}  // namespace amsvp::runtime

@@ -1,0 +1,82 @@
+// In-process execution of SignalFlowModel programs.
+//
+// This is the "plain C++" backend of the paper's evaluation: the generated
+// model runs as a flat sequence of compiled expressions over a slot file,
+// with no simulation kernel around it. The same compiled form is reused by
+// the SystemC-DE and TDF wrappers, so backend comparisons measure kernel
+// overhead, not evaluation differences.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "abstraction/signal_flow_model.hpp"
+#include "expr/bytecode.hpp"
+#include "runtime/executor.hpp"
+
+namespace amsvp::runtime {
+
+enum class EvalStrategy {
+    kBytecode,  ///< flat postfix programs (default)
+    kTreeWalk,  ///< shared_ptr tree interpretation (ablation baseline)
+};
+
+class CompiledModel final : public ModelExecutor {
+public:
+    explicit CompiledModel(const abstraction::SignalFlowModel& model,
+                           EvalStrategy strategy = EvalStrategy::kBytecode);
+
+    /// Reset state to the model's initial values (zeros by default).
+    void reset() override;
+
+    [[nodiscard]] std::size_t input_count() const override { return input_slots_.size(); }
+    [[nodiscard]] std::size_t output_count() const override { return output_slots_.size(); }
+    [[nodiscard]] double timestep() const override { return timestep_; }
+
+    /// Input index by stimulus name; aborts on unknown names.
+    [[nodiscard]] std::size_t input_index(const std::string& name) const;
+
+    void set_input(std::size_t index, double value) override;
+
+    /// Evaluate one step at absolute time `time_seconds` (drives $abstime),
+    /// then rotate history.
+    void step(double time_seconds) override;
+
+    [[nodiscard]] double output(std::size_t index) const override;
+
+    /// Value of an arbitrary model symbol at the current step (testing).
+    [[nodiscard]] double value_of(const expr::Symbol& symbol) const;
+
+    [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+
+private:
+    struct SymbolSlots {
+        int base = 0;   ///< slot of the current value
+        int depth = 0;  ///< number of history slots behind it
+    };
+
+    struct CompiledAssignment {
+        int target_slot;
+        expr::Program program;     // kBytecode
+        expr::ExprPtr tree;        // kTreeWalk
+    };
+
+    [[nodiscard]] int slot_for(const expr::Symbol& s, int delay) const;
+    int ensure_symbol(const expr::Symbol& s, int extra_depth);
+
+    EvalStrategy strategy_;
+    double timestep_ = 0.0;
+    std::vector<double> slots_;
+    std::unordered_map<expr::Symbol, SymbolSlots, expr::SymbolHash> layout_;
+    std::vector<CompiledAssignment> assignments_;
+    std::vector<int> input_slots_;
+    std::vector<int> output_slots_;
+    int time_slot_ = -1;
+    std::vector<std::pair<int, double>> initial_values_;  // slot -> value
+    /// (base, depth) pairs to rotate after each step.
+    std::vector<SymbolSlots> rotations_;
+    std::unordered_map<std::string, std::size_t> input_names_;
+};
+
+}  // namespace amsvp::runtime

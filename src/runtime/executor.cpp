@@ -1,0 +1,13 @@
+#include "runtime/executor.hpp"
+
+#include "runtime/compiled_model.hpp"
+
+namespace amsvp::runtime {
+
+ExecutorFactory bytecode_executor_factory() {
+    return [](const abstraction::SignalFlowModel& model) -> std::unique_ptr<ModelExecutor> {
+        return std::make_unique<CompiledModel>(model);
+    };
+}
+
+}  // namespace amsvp::runtime

@@ -1,0 +1,38 @@
+// Abstract execution interface for signal-flow models.
+//
+// Two implementations exist:
+//  * runtime::CompiledModel — in-process bytecode (always available);
+//  * codegen::NativeModel   — the generated C++ compiled by the system
+//    compiler and loaded via dlopen (the paper's actual deployment path).
+//
+// Backends accept a factory so benchmarks can swap the execution strategy
+// without touching the MoC wrappers.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "abstraction/signal_flow_model.hpp"
+
+namespace amsvp::runtime {
+
+class ModelExecutor {
+public:
+    virtual ~ModelExecutor() = default;
+
+    virtual void reset() = 0;
+    virtual void set_input(std::size_t index, double value) = 0;
+    virtual void step(double time_seconds) = 0;
+    [[nodiscard]] virtual double output(std::size_t index) const = 0;
+    [[nodiscard]] virtual std::size_t input_count() const = 0;
+    [[nodiscard]] virtual std::size_t output_count() const = 0;
+    [[nodiscard]] virtual double timestep() const = 0;
+};
+
+using ExecutorFactory =
+    std::function<std::unique_ptr<ModelExecutor>(const abstraction::SignalFlowModel&)>;
+
+/// Factory producing the in-process bytecode executor.
+[[nodiscard]] ExecutorFactory bytecode_executor_factory();
+
+}  // namespace amsvp::runtime

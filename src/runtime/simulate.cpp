@@ -1,0 +1,53 @@
+#include "runtime/simulate.hpp"
+
+#include "support/check.hpp"
+
+namespace amsvp::runtime {
+
+TransientResult simulate_transient(const abstraction::SignalFlowModel& model,
+                                   const std::map<std::string, numeric::SourceFunction>& stimuli,
+                                   double duration_seconds, EvalStrategy strategy) {
+    CompiledModel compiled(model, strategy);
+    return simulate_transient(compiled, model.inputs, stimuli, duration_seconds);
+}
+
+TransientResult simulate_transient(ModelExecutor& compiled,
+                                   const std::vector<expr::Symbol>& input_symbols,
+                                   const std::map<std::string, numeric::SourceFunction>& stimuli,
+                                   double duration_seconds) {
+    compiled.reset();
+    const double dt = compiled.timestep();
+    AMSVP_CHECK(dt > 0.0, "model has no timestep");
+
+    std::vector<const numeric::SourceFunction*> sources;
+    sources.reserve(input_symbols.size());
+    for (const expr::Symbol& in : input_symbols) {
+        const auto it = stimuli.find(in.name);
+        AMSVP_CHECK(it != stimuli.end(), "missing stimulus for model input");
+        sources.push_back(&it->second);
+    }
+
+    const auto steps = static_cast<std::size_t>(duration_seconds / dt);
+    TransientResult result;
+    result.steps = steps;
+    // All backends in this library sample at t = dt, 2dt, ... so traces are
+    // directly comparable.
+    result.outputs.assign(compiled.output_count(), numeric::Waveform(dt, dt));
+    for (auto& w : result.outputs) {
+        w.reserve(steps);
+    }
+
+    for (std::size_t k = 0; k < steps; ++k) {
+        const double t = static_cast<double>(k + 1) * dt;
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+            compiled.set_input(i, (*sources[i])(t));
+        }
+        compiled.step(t);
+        for (std::size_t o = 0; o < result.outputs.size(); ++o) {
+            result.outputs[o].append(compiled.output(o));
+        }
+    }
+    return result;
+}
+
+}  // namespace amsvp::runtime

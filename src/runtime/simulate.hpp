@@ -1,0 +1,32 @@
+// Convenience transient simulation of a signal-flow model under named
+// stimuli, tracing every output into a waveform.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "numeric/sources.hpp"
+#include "numeric/waveform.hpp"
+#include "runtime/compiled_model.hpp"
+
+namespace amsvp::runtime {
+
+struct TransientResult {
+    std::vector<numeric::Waveform> outputs;
+    std::size_t steps = 0;
+};
+
+/// Run `duration_seconds` of simulated time with the model's own timestep.
+/// Every model input must have a stimulus in `stimuli`.
+[[nodiscard]] TransientResult simulate_transient(
+    const abstraction::SignalFlowModel& model,
+    const std::map<std::string, numeric::SourceFunction>& stimuli, double duration_seconds,
+    EvalStrategy strategy = EvalStrategy::kBytecode);
+
+/// Same, reusing an existing executor (state is reset first). Works with
+/// any ModelExecutor, including the native-compiled one.
+[[nodiscard]] TransientResult simulate_transient(
+    ModelExecutor& executor, const std::vector<expr::Symbol>& input_symbols,
+    const std::map<std::string, numeric::SourceFunction>& stimuli, double duration_seconds);
+
+}  // namespace amsvp::runtime

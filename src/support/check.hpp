@@ -1,0 +1,27 @@
+// Precondition / invariant checking.
+//
+// AMSVP_CHECK is always on (also in Release builds): the library is a
+// simulation tool where silently wrong answers are worse than an abort, and
+// the checks guard structural invariants (index bounds, graph consistency)
+// whose cost is negligible next to the numerical work.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace amsvp::support::detail {
+
+[[noreturn]] inline void check_failed(const char* condition, const char* file, int line,
+                                      const char* message) {
+    std::fprintf(stderr, "amsvp check failed: %s (%s:%d): %s\n", condition, file, line, message);
+    std::abort();
+}
+
+}  // namespace amsvp::support::detail
+
+#define AMSVP_CHECK(condition, message)                                                     \
+    do {                                                                                    \
+        if (!(condition)) {                                                                 \
+            ::amsvp::support::detail::check_failed(#condition, __FILE__, __LINE__, message); \
+        }                                                                                   \
+    } while (false)

@@ -1,0 +1,63 @@
+#include "support/diagnostics.hpp"
+
+#include <utility>
+
+namespace amsvp::support {
+
+std::string_view to_string(Severity severity) {
+    switch (severity) {
+        case Severity::kNote:
+            return "note";
+        case Severity::kWarning:
+            return "warning";
+        case Severity::kError:
+            return "error";
+    }
+    return "unknown";
+}
+
+std::string Diagnostic::render() const {
+    std::string out{to_string(severity)};
+    if (location.valid()) {
+        out += " at ";
+        out += to_string(location);
+    }
+    out += ": ";
+    out += message;
+    return out;
+}
+
+void DiagnosticEngine::note(SourceLocation loc, std::string message) {
+    add(Severity::kNote, loc, std::move(message));
+}
+
+void DiagnosticEngine::warning(SourceLocation loc, std::string message) {
+    add(Severity::kWarning, loc, std::move(message));
+}
+
+void DiagnosticEngine::error(SourceLocation loc, std::string message) {
+    add(Severity::kError, loc, std::move(message));
+}
+
+std::string DiagnosticEngine::render_all() const {
+    std::string out;
+    for (const Diagnostic& diag : diagnostics_) {
+        out += diag.render();
+        out += '\n';
+    }
+    return out;
+}
+
+void DiagnosticEngine::clear() {
+    diagnostics_.clear();
+    error_count_ = 0;
+}
+
+void DiagnosticEngine::add(Severity severity, SourceLocation loc, std::string message) {
+    if (severity == Severity::kError) {
+        ++error_count_;
+    }
+    diagnostics_.push_back(Diagnostic{severity, loc, std::move(message)});
+}
+
+}  // namespace amsvp::support

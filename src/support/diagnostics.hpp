@@ -1,0 +1,58 @@
+// Diagnostic collection for the frontend and the abstraction pipeline.
+//
+// Tools in this library never print errors directly: they record diagnostics
+// into a DiagnosticEngine owned by the caller, which decides how to render
+// them. This keeps the library usable both from CLI tools and from tests that
+// assert on the precise set of emitted diagnostics.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace amsvp::support {
+
+enum class Severity {
+    kNote,
+    kWarning,
+    kError,
+};
+
+[[nodiscard]] std::string_view to_string(Severity severity);
+
+/// One diagnostic message, optionally anchored to a source location.
+struct Diagnostic {
+    Severity severity = Severity::kError;
+    SourceLocation location;
+    std::string message;
+
+    /// Render as "error at 3:14: something" / "warning: something".
+    [[nodiscard]] std::string render() const;
+};
+
+/// Accumulates diagnostics produced while processing one source buffer.
+class DiagnosticEngine {
+public:
+    void note(SourceLocation loc, std::string message);
+    void warning(SourceLocation loc, std::string message);
+    void error(SourceLocation loc, std::string message);
+
+    [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+    [[nodiscard]] std::size_t error_count() const { return error_count_; }
+    [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+    /// All diagnostics rendered one per line; empty string when clean.
+    [[nodiscard]] std::string render_all() const;
+
+    void clear();
+
+private:
+    void add(Severity severity, SourceLocation loc, std::string message);
+
+    std::vector<Diagnostic> diagnostics_;
+    std::size_t error_count_ = 0;
+};
+
+}  // namespace amsvp::support

@@ -1,0 +1,12 @@
+#include "support/source_location.hpp"
+
+namespace amsvp::support {
+
+std::string to_string(const SourceLocation& loc) {
+    if (!loc.valid()) {
+        return "?";
+    }
+    return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+}  // namespace amsvp::support

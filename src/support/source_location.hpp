@@ -1,0 +1,32 @@
+// Source positions for diagnostics emitted by the Verilog-AMS frontend and the
+// abstraction pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace amsvp::support {
+
+/// A position inside a Verilog-AMS (or assembler) source buffer.
+/// Lines and columns are 1-based; a value of 0 means "unknown".
+struct SourceLocation {
+    std::uint32_t line = 0;
+    std::uint32_t column = 0;
+
+    [[nodiscard]] constexpr bool valid() const { return line != 0; }
+
+    friend constexpr bool operator==(const SourceLocation&, const SourceLocation&) = default;
+};
+
+/// A half-open range of positions, used to underline offending tokens.
+struct SourceRange {
+    SourceLocation begin;
+    SourceLocation end;
+
+    friend constexpr bool operator==(const SourceRange&, const SourceRange&) = default;
+};
+
+/// Render "line:column" (or "?" when unknown).
+[[nodiscard]] std::string to_string(const SourceLocation& loc);
+
+}  // namespace amsvp::support

@@ -1,0 +1,235 @@
+#include "tdf/tdf.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace amsvp::tdf {
+
+TdfIn::TdfIn(TdfModule& owner, std::string name, int rate)
+    : owner_(owner), name_(std::move(name)), rate_(rate) {
+    AMSVP_CHECK(rate >= 1, "port rate must be positive");
+    owner.inputs_.push_back(this);
+}
+
+double TdfIn::read() {
+    AMSVP_CHECK(buffer_ != nullptr, "TDF input port not connected");
+    return buffer_->pop();
+}
+
+TdfOut::TdfOut(TdfModule& owner, std::string name, int rate)
+    : owner_(owner), name_(std::move(name)), rate_(rate) {
+    AMSVP_CHECK(rate >= 1, "port rate must be positive");
+    owner.outputs_.push_back(this);
+}
+
+void TdfOut::write(double value) {
+    AMSVP_CHECK(!buffers_.empty(), "TDF output port not connected");
+    for (TdfBuffer* b : buffers_) {
+        b->push(value);
+    }
+}
+
+void TdfCluster::add(TdfModule& module) {
+    AMSVP_CHECK(!elaborated_, "cluster already elaborated");
+    if (std::find(modules_.begin(), modules_.end(), &module) == modules_.end()) {
+        modules_.push_back(&module);
+    }
+}
+
+void TdfCluster::connect(TdfOut& from, TdfIn& to) {
+    AMSVP_CHECK(!elaborated_, "cluster already elaborated");
+    AMSVP_CHECK(to.buffer_ == nullptr, "TDF input already connected");
+    Arc arc{&from, &to, std::make_unique<TdfBuffer>()};
+    from.buffers_.push_back(arc.buffer.get());
+    to.buffer_ = arc.buffer.get();
+    arcs_.push_back(std::move(arc));
+}
+
+void TdfCluster::set_timestep(TdfModule& reference, double seconds) {
+    AMSVP_CHECK(seconds > 0.0, "timestep must be positive");
+    reference_ = &reference;
+    reference_timestep_ = seconds;
+}
+
+bool TdfCluster::elaborate(std::string* error) {
+    AMSVP_CHECK(!modules_.empty(), "empty TDF cluster");
+    AMSVP_CHECK(reference_ != nullptr, "set_timestep() must be called before elaborate()");
+
+    // --- Balance equations: repetitions as rationals, BFS over arcs. ------
+    struct Ratio {
+        long num = 0;
+        long den = 1;
+    };
+    std::map<TdfModule*, Ratio> ratio;
+    ratio[modules_.front()] = Ratio{1, 1};
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const Arc& arc : arcs_) {
+            TdfModule* src = &arc.from->owner_;
+            TdfModule* dst = &arc.to->owner_;
+            const bool has_src = ratio.contains(src);
+            const bool has_dst = ratio.contains(dst);
+            if (has_src == has_dst) {
+                if (has_src) {
+                    // Consistency: r_src * out_rate == r_dst * in_rate.
+                    const Ratio a = ratio[src];
+                    const Ratio b = ratio[dst];
+                    const long lhs = a.num * arc.from->rate() * b.den;
+                    const long rhs = b.num * arc.to->rate() * a.den;
+                    if (lhs != rhs) {
+                        if (error != nullptr) {
+                            *error = "inconsistent TDF rates on arc " + src->name() + " -> " +
+                                     dst->name();
+                        }
+                        return false;
+                    }
+                }
+                continue;
+            }
+            if (has_src) {
+                const Ratio a = ratio[src];
+                Ratio b{a.num * arc.from->rate(), a.den * arc.to->rate()};
+                const long g = std::gcd(b.num, b.den);
+                ratio[dst] = Ratio{b.num / g, b.den / g};
+            } else {
+                const Ratio b = ratio[dst];
+                Ratio a{b.num * arc.to->rate(), b.den * arc.from->rate()};
+                const long g = std::gcd(a.num, a.den);
+                ratio[src] = Ratio{a.num / g, a.den / g};
+            }
+            changed = true;
+        }
+    }
+    for (TdfModule* m : modules_) {
+        if (!ratio.contains(m)) {
+            // Disconnected module: fires once per period.
+            ratio[m] = Ratio{1, 1};
+        }
+    }
+
+    // Scale to the smallest integer repetition vector.
+    long lcm_den = 1;
+    for (const auto& [m, r] : ratio) {
+        lcm_den = std::lcm(lcm_den, r.den);
+    }
+    long gcd_num = 0;
+    for (const auto& [m, r] : ratio) {
+        gcd_num = std::gcd(gcd_num, r.num * (lcm_den / r.den));
+    }
+    for (TdfModule* m : modules_) {
+        const Ratio r = ratio[m];
+        m->repetitions_ = static_cast<int>(r.num * (lcm_den / r.den) / gcd_num);
+        AMSVP_CHECK(m->repetitions_ >= 1, "bad repetition count");
+    }
+
+    // --- Static schedule via token simulation. ----------------------------
+    std::map<const TdfBuffer*, long> tokens;
+    for (const Arc& arc : arcs_) {
+        tokens[arc.buffer.get()] = 0;
+    }
+    std::map<TdfModule*, int> fired;
+    schedule_.clear();
+    const std::size_t total_firings = [&] {
+        std::size_t n = 0;
+        for (TdfModule* m : modules_) {
+            n += static_cast<std::size_t>(m->repetitions_);
+        }
+        return n;
+    }();
+
+    while (schedule_.size() < total_firings) {
+        bool progressed = false;
+        for (TdfModule* m : modules_) {
+            if (fired[m] >= m->repetitions_) {
+                continue;
+            }
+            bool ready = true;
+            for (const TdfIn* in : m->inputs_) {
+                if (in->buffer_ == nullptr || tokens[in->buffer_] < in->rate()) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (!ready) {
+                continue;
+            }
+            for (const TdfIn* in : m->inputs_) {
+                tokens[in->buffer_] -= in->rate();
+            }
+            for (const TdfOut* out : m->outputs_) {
+                for (const TdfBuffer* b : out->buffers_) {
+                    tokens[b] += out->rate();
+                }
+            }
+            schedule_.push_back(m);
+            ++fired[m];
+            progressed = true;
+        }
+        if (!progressed) {
+            if (error != nullptr) {
+                *error = "TDF cluster deadlocks (cyclic topology without delays)";
+            }
+            return false;
+        }
+    }
+
+    // --- Timing and buffer sizing. ----------------------------------------
+    cluster_period_ = reference_timestep_ * static_cast<double>(reference_->repetitions_);
+    for (TdfModule* m : modules_) {
+        m->timestep_ = cluster_period_ / static_cast<double>(m->repetitions_);
+    }
+    for (Arc& arc : arcs_) {
+        arc.buffer->configure(static_cast<std::size_t>(arc.from->rate()) *
+                              static_cast<std::size_t>(arc.from->owner_.repetitions_));
+    }
+
+    for (TdfModule* m : modules_) {
+        m->initialize();
+    }
+    elaborated_ = true;
+    return true;
+}
+
+void TdfCluster::step() {
+    AMSVP_CHECK(elaborated_, "cluster not elaborated");
+    for (Arc& arc : arcs_) {
+        arc.buffer->reset_period();
+    }
+    // The n-th firing (1-based, lifetime) of a module lands at
+    // base_offset + n * module_timestep: a single multiplication, so long
+    // runs sample at bit-identical instants to the plain-C++ loop (which
+    // computes (k+1) * dt the same way).
+    for (TdfModule* m : schedule_) {
+        m->firing_time_ =
+            base_offset_ + static_cast<double>(m->firings_ + 1) * m->timestep_;
+        m->processing();
+        ++m->firings_;
+    }
+    ++periods_run_;
+}
+
+void TdfCluster::run(double duration) {
+    const auto periods = static_cast<std::size_t>(duration / cluster_period_);
+    for (std::size_t i = 0; i < periods; ++i) {
+        step();
+    }
+}
+
+void TdfCluster::attach(de::Simulator& sim) {
+    AMSVP_CHECK(elaborated_, "cluster not elaborated");
+    base_offset_ = de::to_seconds(sim.now());
+    periods_run_ = 0;
+    schedule_next(sim);  // first activation one cluster period from now
+}
+
+void TdfCluster::schedule_next(de::Simulator& sim) {
+    sim.schedule_after(de::from_seconds(cluster_period_), [this, &sim] {
+        step();
+        schedule_next(sim);
+    });
+}
+
+}  // namespace amsvp::tdf

@@ -1,0 +1,59 @@
+#include "vams/ast.hpp"
+
+#include "support/check.hpp"
+
+namespace amsvp::vams {
+
+std::string encode_node_pair(std::string_view pos, std::string_view neg) {
+    std::string out(pos);
+    out += ':';
+    out += neg;
+    return out;
+}
+
+bool is_node_pair(std::string_view symbol_name) {
+    return symbol_name.find(':') != std::string_view::npos;
+}
+
+NodePair decode_node_pair(std::string_view symbol_name) {
+    const std::size_t colon = symbol_name.find(':');
+    AMSVP_CHECK(colon != std::string_view::npos, "not a node-pair placeholder");
+    return NodePair{std::string(symbol_name.substr(0, colon)),
+                    std::string(symbol_name.substr(colon + 1))};
+}
+
+namespace {
+
+std::size_t count_statements(const Statement& s) {
+    std::size_t n = 1;
+    switch (s.kind) {
+        case Statement::Kind::kIf:
+            if (s.then_branch) {
+                n += count_statements(*s.then_branch);
+            }
+            if (s.else_branch) {
+                n += count_statements(*s.else_branch);
+            }
+            break;
+        case Statement::Kind::kBlock:
+            for (const StatementPtr& child : s.body) {
+                n += count_statements(*child);
+            }
+            break;
+        default:
+            break;
+    }
+    return n;
+}
+
+}  // namespace
+
+std::size_t Module::statement_count() const {
+    std::size_t n = 0;
+    for (const StatementPtr& s : analog) {
+        n += count_statements(*s);
+    }
+    return n;
+}
+
+}  // namespace amsvp::vams

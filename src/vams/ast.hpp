@@ -1,0 +1,87 @@
+// Abstract syntax tree for parsed Verilog-AMS modules.
+//
+// Expressions are represented directly as expr::ExprPtr. Access functions
+// V(a,b) / I(a,b) are parsed into branch-quantity symbols whose name encodes
+// the node pair as "a:b" (':' cannot appear in identifiers); the elaborator
+// later rewrites these placeholders to the symbols of real branches.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.hpp"
+#include "support/source_location.hpp"
+
+namespace amsvp::vams {
+
+/// Encode / decode the node-pair placeholder used inside parsed expressions.
+[[nodiscard]] std::string encode_node_pair(std::string_view pos, std::string_view neg);
+[[nodiscard]] bool is_node_pair(std::string_view symbol_name);
+struct NodePair {
+    std::string pos;
+    std::string neg;
+};
+[[nodiscard]] NodePair decode_node_pair(std::string_view symbol_name);
+
+struct Parameter {
+    std::string name;
+    expr::ExprPtr value;  ///< constant expression (may reference earlier parameters)
+    support::SourceLocation location;
+};
+
+struct BranchDecl {
+    std::string name;
+    std::string pos;
+    std::string neg;
+    support::SourceLocation location;
+};
+
+struct Statement;
+using StatementPtr = std::unique_ptr<Statement>;
+
+struct Statement {
+    enum class Kind {
+        kContribution,  ///< V(a,b) <+ rhs  or  I(a,b) <+ rhs
+        kAssign,        ///< real variable assignment
+        kIf,
+        kBlock,
+    };
+
+    Kind kind = Kind::kBlock;
+    support::SourceLocation location;
+
+    // kContribution.
+    bool contributes_flow = false;  ///< true for I(...), false for V(...)
+    std::string pos;                ///< access target nodes (neg empty = reference)
+    std::string neg;
+    expr::ExprPtr rhs;
+
+    // kAssign.
+    std::string target;
+
+    // kIf.
+    expr::ExprPtr condition;
+    StatementPtr then_branch;
+    StatementPtr else_branch;
+
+    // kBlock.
+    std::vector<StatementPtr> body;
+};
+
+struct Module {
+    std::string name;
+    std::vector<std::string> ports;
+    std::vector<std::string> nets;     ///< electrical net names (ports included)
+    std::vector<std::string> grounds;  ///< nets declared `ground`
+    std::vector<Parameter> parameters;
+    std::vector<BranchDecl> branch_decls;
+    std::vector<std::string> real_variables;
+    std::vector<StatementPtr> analog;  ///< statements of the analog block
+    support::SourceLocation location;
+
+    /// Total number of statements, recursively.
+    [[nodiscard]] std::size_t statement_count() const;
+};
+
+}  // namespace amsvp::vams

@@ -1,0 +1,460 @@
+#include "vams/elaborator.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "expr/printer.hpp"
+#include "expr/traversal.hpp"
+#include "support/check.hpp"
+
+namespace amsvp::vams {
+
+using expr::Equation;
+using expr::EquationKind;
+using expr::Expr;
+using expr::ExprKind;
+using expr::ExprPtr;
+using expr::Symbol;
+using expr::SymbolKind;
+using netlist::BranchId;
+using netlist::Circuit;
+using netlist::DeviceKind;
+
+namespace {
+
+/// Collected contribution after flattening blocks.
+struct FlatContribution {
+    bool is_flow = false;
+    std::string pos;
+    std::string neg;
+    ExprPtr rhs;
+    support::SourceLocation location;
+};
+
+class ElaboratorImpl {
+public:
+    ElaboratorImpl(const Module& module, support::DiagnosticEngine& diagnostics,
+                   const ParameterOverrides& overrides)
+        : module_(module), diagnostics_(diagnostics), overrides_(overrides),
+          circuit_(module.name) {}
+
+    std::optional<ElaborationResult> run() {
+        declare_nodes();
+        fold_parameters();
+        collect_contributions();
+        if (diagnostics_.has_errors()) {
+            return std::nullopt;
+        }
+        create_branches();
+        resolve_accesses();
+        if (diagnostics_.has_errors()) {
+            return std::nullopt;
+        }
+        const std::vector<std::string> problems = circuit_.validate();
+        for (const std::string& p : problems) {
+            diagnostics_.error(module_.location, "elaborated circuit invalid: " + p);
+        }
+        if (diagnostics_.has_errors()) {
+            return std::nullopt;
+        }
+        ElaborationResult result;
+        result.inputs = circuit_.input_names();
+        result.circuit = std::move(circuit_);
+        return result;
+    }
+
+private:
+    void declare_nodes() {
+        for (const std::string& port : module_.ports) {
+            circuit_.node(port);
+        }
+        for (const std::string& net : module_.nets) {
+            circuit_.node(net);
+        }
+        for (const std::string& g : module_.grounds) {
+            circuit_.set_ground(circuit_.node(g));
+        }
+        if (!circuit_.has_ground()) {
+            if (auto gnd = circuit_.find_node("gnd")) {
+                circuit_.set_ground(*gnd);
+            }
+        }
+        if (!circuit_.has_ground()) {
+            diagnostics_.error(module_.location,
+                               "module has no ground net (declare `ground g;` or a net named "
+                               "'gnd')");
+        }
+    }
+
+    void fold_parameters() {
+        for (const auto& [name, value] : overrides_) {
+            const bool declared =
+                std::any_of(module_.parameters.begin(), module_.parameters.end(),
+                            [&n = name](const Parameter& p) { return p.name == n; });
+            if (!declared) {
+                diagnostics_.error(module_.location,
+                                   "override names unknown parameter '" + name + "'");
+            }
+        }
+        for (const Parameter& p : module_.parameters) {
+            if (const auto it = overrides_.find(p.name); it != overrides_.end()) {
+                parameter_values_[expr::variable_symbol(p.name)] =
+                    Expr::constant(it->second);
+                continue;
+            }
+            if (!p.value) {
+                diagnostics_.error(p.location, "parameter '" + p.name + "' has no value");
+                continue;
+            }
+            // Substitute previously folded parameters, then require a
+            // constant.
+            ExprPtr value = expr::substitute(p.value, parameter_values_);
+            if (value->kind() != ExprKind::kConstant) {
+                diagnostics_.error(p.location,
+                                   "parameter '" + p.name + "' is not a constant expression: " +
+                                       expr::to_string(value));
+                continue;
+            }
+            parameter_values_[expr::variable_symbol(p.name)] = value;
+        }
+    }
+
+    void collect_contributions() {
+        for (const StatementPtr& s : module_.analog) {
+            collect_from(*s);
+        }
+        if (contributions_.empty()) {
+            diagnostics_.error(module_.location, "module has no contribution statements");
+        }
+    }
+
+    void collect_from(const Statement& s) {
+        switch (s.kind) {
+            case Statement::Kind::kBlock:
+                for (const StatementPtr& child : s.body) {
+                    collect_from(*child);
+                }
+                break;
+            case Statement::Kind::kContribution: {
+                FlatContribution c;
+                c.is_flow = s.contributes_flow;
+                c.pos = s.pos;
+                c.neg = s.neg;
+                c.rhs = expr::substitute(s.rhs, parameter_values_);
+                c.location = s.location;
+                contributions_.push_back(std::move(c));
+                break;
+            }
+            case Statement::Kind::kAssign:
+                diagnostics_.error(s.location,
+                                   "variable assignments are only supported in signal-flow "
+                                   "modules (use the behavioural converter)");
+                break;
+            case Statement::Kind::kIf:
+                diagnostics_.error(s.location,
+                                   "conditional statements are only supported in signal-flow "
+                                   "modules (use conditional expressions instead)");
+                break;
+        }
+    }
+
+    /// Preferred branch name: a declared `branch (a,b) name;` not used yet,
+    /// otherwise a synthesised "B<k>".
+    std::string branch_name_for(const std::string& pos, const std::string& neg) {
+        for (const BranchDecl& decl : module_.branch_decls) {
+            if (decl.pos == pos && decl.neg == neg &&
+                !circuit_.find_branch(decl.name).has_value()) {
+                return decl.name;
+            }
+        }
+        return "B" + std::to_string(next_branch_index_++);
+    }
+
+    std::string resolve_reference_node(const std::string& neg) {
+        if (!neg.empty()) {
+            return neg;
+        }
+        // Single-node access references ground.
+        return circuit_.node_info(circuit_.ground()).name;
+    }
+
+    void create_branches() {
+        for (FlatContribution& c : contributions_) {
+            const std::string neg = resolve_reference_node(c.neg);
+            if (!circuit_.find_node(c.pos)) {
+                diagnostics_.error(c.location, "undeclared node '" + c.pos + "'");
+                continue;
+            }
+            if (!circuit_.find_node(neg)) {
+                diagnostics_.error(c.location, "undeclared node '" + neg + "'");
+                continue;
+            }
+            netlist::Branch b;
+            b.name = branch_name_for(c.pos, neg);
+            b.pos = *circuit_.find_node(c.pos);
+            b.neg = *circuit_.find_node(neg);
+            b.kind = DeviceKind::kGeneric;
+
+            const Symbol lhs = c.is_flow ? b.current_symbol() : b.voltage_symbol();
+            Equation eq = expr::make_equation(EquationKind::kDipole, lhs, c.rhs,
+                                              "dipole(" + b.name + ")");
+            const BranchId id = circuit_.add_branch(std::move(b), std::move(eq));
+            contribution_branch_.push_back(id);
+        }
+    }
+
+    /// Map a node-pair placeholder to the branch spanning it; insert a probe
+    /// when a voltage access names a pair without a branch. `self` is the
+    /// branch owning the expression (its own pair resolves to itself).
+    std::optional<BranchId> branch_for_pair(const NodePair& pair, BranchId self,
+                                            bool is_voltage_access,
+                                            support::SourceLocation loc) {
+        const auto pos = circuit_.find_node(pair.pos);
+        const std::string neg_name = resolve_reference_node(pair.neg);
+        const auto neg = circuit_.find_node(neg_name);
+        if (!pos || !neg) {
+            diagnostics_.error(loc, "access references undeclared node '" +
+                                        (pos ? neg_name : pair.pos) + "'");
+            return std::nullopt;
+        }
+        const netlist::Branch& own = circuit_.branch(self);
+        if (own.pos == *pos && own.neg == *neg) {
+            return self;
+        }
+        if (auto found = circuit_.find_branch_between(*pos, *neg)) {
+            return found;
+        }
+        if (!is_voltage_access) {
+            diagnostics_.error(loc, "flow access I(" + pair.pos + ", " + neg_name +
+                                        ") does not name an existing branch");
+            return std::nullopt;
+        }
+        // Insert an open probe branch so the voltage is well-defined.
+        netlist::Branch probe;
+        probe.name = "P" + std::to_string(next_probe_index_++);
+        probe.pos = *pos;
+        probe.neg = *neg;
+        probe.kind = DeviceKind::kProbe;
+        Equation eq = expr::make_equation(EquationKind::kDipole, probe.current_symbol(),
+                                          Expr::constant(0.0), "dipole(" + probe.name + ")");
+        return circuit_.add_branch(std::move(probe), std::move(eq));
+    }
+
+    /// Orientation sign of the access (pos, neg) against branch `id`.
+    int orientation(const NodePair& pair, BranchId id) {
+        const netlist::Branch& b = circuit_.branch(id);
+        const auto pos = circuit_.find_node(pair.pos);
+        AMSVP_CHECK(pos.has_value(), "checked earlier");
+        return (b.pos == *pos) ? +1 : -1;
+    }
+
+    void resolve_accesses() {
+        for (std::size_t i = 0; i < contribution_branch_.size(); ++i) {
+            const BranchId self = contribution_branch_[i];
+            const support::SourceLocation loc = contributions_[i].location;
+            bool failed = false;
+
+            ExprPtr resolved = expr::rewrite(
+                circuit_.dipole_equation(self).rhs, [&](const ExprPtr& node) -> ExprPtr {
+                    if (node->kind() != ExprKind::kSymbol) {
+                        return node;
+                    }
+                    const Symbol& s = node->symbol();
+                    if ((s.kind == SymbolKind::kBranchVoltage ||
+                         s.kind == SymbolKind::kBranchCurrent) &&
+                        is_node_pair(s.name)) {
+                        const NodePair pair = decode_node_pair(s.name);
+                        const bool is_voltage = s.kind == SymbolKind::kBranchVoltage;
+                        auto target = branch_for_pair(pair, self, is_voltage, loc);
+                        if (!target) {
+                            failed = true;
+                            return node;
+                        }
+                        const netlist::Branch& tb = circuit_.branch(*target);
+                        Symbol mapped = is_voltage ? tb.voltage_symbol() : tb.current_symbol();
+                        ExprPtr out = Expr::symbol(std::move(mapped));
+                        if (orientation(pair, *target) < 0) {
+                            out = Expr::neg(std::move(out));
+                        }
+                        return out;
+                    }
+                    if (s.kind == SymbolKind::kVariable) {
+                        // Real variables are not allowed in conservative
+                        // contributions; everything else is an external input.
+                        if (std::find(module_.real_variables.begin(),
+                                      module_.real_variables.end(),
+                                      s.name) != module_.real_variables.end()) {
+                            diagnostics_.error(loc, "real variable '" + s.name +
+                                                        "' used in conservative contribution");
+                            failed = true;
+                            return node;
+                        }
+                        return Expr::symbol(expr::input_symbol(s.name));
+                    }
+                    return node;
+                });
+
+            if (!failed) {
+                update_equation(self, std::move(resolved));
+                classify_branch(self);
+            }
+        }
+    }
+
+    void update_equation(BranchId id, ExprPtr new_rhs) {
+        circuit_.set_equation_rhs(id, std::move(new_rhs));
+    }
+
+    /// Best-effort device classification for reporting and engine hints.
+    void classify_branch(BranchId id) {
+        netlist::Branch& b = circuit_.mutable_branch(id);
+        const Equation& eq = circuit_.dipole_equation(id);
+        const bool lhs_is_flow = eq.lhs_key().symbol.kind == SymbolKind::kBranchCurrent;
+        const ExprPtr& rhs = eq.rhs;
+
+        if (rhs->kind() == ExprKind::kConstant) {
+            b.kind = (lhs_is_flow && rhs->constant_value() == 0.0) ? DeviceKind::kProbe
+                                                                   : DeviceKind::kGeneric;
+            return;
+        }
+        if (rhs->kind() == ExprKind::kSymbol && rhs->symbol().kind == SymbolKind::kInput) {
+            b.kind = lhs_is_flow ? DeviceKind::kCurrentSource : DeviceKind::kVoltageSource;
+            b.input = rhs->symbol().name;
+            return;
+        }
+        // I(b) = V(b) / R
+        if (lhs_is_flow && rhs->kind() == ExprKind::kBinary &&
+            rhs->binary_op() == expr::BinaryOp::kDiv &&
+            rhs->left()->kind() == ExprKind::kSymbol &&
+            rhs->left()->symbol() == b.voltage_symbol() &&
+            rhs->right()->kind() == ExprKind::kConstant) {
+            b.kind = DeviceKind::kResistor;
+            b.value = rhs->right()->constant_value();
+            return;
+        }
+        // I(b) = C * ddt(V(b))  /  V(b) = L * ddt(I(b))
+        if (rhs->kind() == ExprKind::kBinary && rhs->binary_op() == expr::BinaryOp::kMul &&
+            rhs->left()->kind() == ExprKind::kConstant &&
+            rhs->right()->kind() == ExprKind::kDdt &&
+            rhs->right()->operand()->kind() == ExprKind::kSymbol) {
+            const Symbol& inner = rhs->right()->operand()->symbol();
+            if (lhs_is_flow && inner == b.voltage_symbol()) {
+                b.kind = DeviceKind::kCapacitor;
+                b.value = rhs->left()->constant_value();
+                return;
+            }
+            if (!lhs_is_flow && inner == b.current_symbol()) {
+                b.kind = DeviceKind::kInductor;
+                b.value = rhs->left()->constant_value();
+                return;
+            }
+        }
+        // V(b) = K * V(other)  /  I(b) = G * V(other)
+        if (rhs->kind() == ExprKind::kBinary && rhs->binary_op() == expr::BinaryOp::kMul &&
+            rhs->left()->kind() == ExprKind::kConstant) {
+            ExprPtr ctrl = rhs->right();
+            double gain = rhs->left()->constant_value();
+            if (ctrl->kind() == ExprKind::kUnary && ctrl->unary_op() == expr::UnaryOp::kNeg) {
+                gain = -gain;
+                ctrl = ctrl->operand();
+            }
+            if (ctrl->kind() == ExprKind::kSymbol &&
+                ctrl->symbol().kind == SymbolKind::kBranchVoltage) {
+                if (auto control = circuit_.find_branch(ctrl->symbol().name)) {
+                    b.kind = lhs_is_flow ? DeviceKind::kVccs : DeviceKind::kVcvs;
+                    b.value = gain;
+                    b.control = *control;
+                    return;
+                }
+            }
+        }
+        b.kind = DeviceKind::kGeneric;
+    }
+
+    const Module& module_;
+    support::DiagnosticEngine& diagnostics_;
+    const ParameterOverrides& overrides_;
+    Circuit circuit_;
+    expr::Substitution parameter_values_;
+    std::vector<FlatContribution> contributions_;
+    std::vector<BranchId> contribution_branch_;
+    int next_branch_index_ = 0;
+    int next_probe_index_ = 0;
+};
+
+bool statement_is_signal_flow(const Statement& s) {
+    switch (s.kind) {
+        case Statement::Kind::kAssign:
+            return true;
+        case Statement::Kind::kContribution:
+            // Signal-flow outputs are single-node potential contributions.
+            return !s.contributes_flow && s.neg.empty();
+        case Statement::Kind::kIf: {
+            const bool then_ok = !s.then_branch || statement_is_signal_flow(*s.then_branch);
+            const bool else_ok = !s.else_branch || statement_is_signal_flow(*s.else_branch);
+            return then_ok && else_ok;
+        }
+        case Statement::Kind::kBlock:
+            return std::all_of(s.body.begin(), s.body.end(), [](const StatementPtr& child) {
+                return statement_is_signal_flow(*child);
+            });
+    }
+    return false;
+}
+
+}  // namespace
+
+std::optional<ElaborationResult> elaborate(const Module& module,
+                                           support::DiagnosticEngine& diagnostics,
+                                           const ParameterOverrides& overrides) {
+    ElaboratorImpl impl(module, diagnostics, overrides);
+    return impl.run();
+}
+
+bool is_signal_flow(const Module& module) {
+    bool has_two_terminal_access = false;
+    for (const StatementPtr& s : module.analog) {
+        if (!statement_is_signal_flow(*s)) {
+            return false;
+        }
+    }
+    // Also reject conservative accesses inside right-hand sides.
+    std::function<void(const Statement&)> scan = [&](const Statement& s) {
+        auto scan_expr = [&](const ExprPtr& e) {
+            if (!e) {
+                return;
+            }
+            expr::visit(e, [&](const ExprPtr& node) {
+                if (node->kind() == ExprKind::kSymbol) {
+                    const Symbol& sym = node->symbol();
+                    if ((sym.kind == SymbolKind::kBranchVoltage ||
+                         sym.kind == SymbolKind::kBranchCurrent) &&
+                        is_node_pair(sym.name) && !decode_node_pair(sym.name).neg.empty()) {
+                        has_two_terminal_access = true;
+                    }
+                    if (sym.kind == SymbolKind::kBranchCurrent) {
+                        has_two_terminal_access = true;  // any flow access is conservative
+                    }
+                }
+                return true;
+            });
+        };
+        scan_expr(s.rhs);
+        scan_expr(s.condition);
+        if (s.then_branch) {
+            scan(*s.then_branch);
+        }
+        if (s.else_branch) {
+            scan(*s.else_branch);
+        }
+        for (const StatementPtr& child : s.body) {
+            scan(*child);
+        }
+    };
+    for (const StatementPtr& s : module.analog) {
+        scan(*s);
+    }
+    return !has_two_terminal_access && !module.analog.empty();
+}
+
+}  // namespace amsvp::vams

@@ -1,0 +1,44 @@
+// Elaboration: parsed Verilog-AMS module -> netlist::Circuit.
+//
+// This is Step 1 (Acquisition) of the paper's flow as far as conservative
+// models are concerned: every contribution statement becomes one branch of
+// G = (N, B) carrying its constitutive equation, parameters are folded to
+// numeric constants, and access functions V(a,b)/I(a,b) inside right-hand
+// sides are resolved to the corresponding branch quantities. Voltage probes
+// are inserted automatically for voltage accesses on node pairs that no
+// branch spans.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "netlist/circuit.hpp"
+#include "support/diagnostics.hpp"
+#include "vams/ast.hpp"
+
+namespace amsvp::vams {
+
+struct ElaborationResult {
+    netlist::Circuit circuit;
+    std::vector<std::string> inputs;  ///< external stimuli in first-use order
+};
+
+/// Instance parameter overrides (the `#(.R(10k))` of a Verilog-AMS
+/// instantiation): values here replace the module's declared defaults.
+using ParameterOverrides = std::map<std::string, double>;
+
+/// Elaborate a conservative module. Reports problems (unsupported statements,
+/// unresolved accesses, non-constant parameters, overrides naming unknown
+/// parameters) to `diagnostics` and returns nullopt when any error was
+/// emitted.
+[[nodiscard]] std::optional<ElaborationResult> elaborate(
+    const Module& module, support::DiagnosticEngine& diagnostics,
+    const ParameterOverrides& overrides = {});
+
+/// True when the module is a pure signal-flow description (Eq. 1 of the
+/// paper): no two-terminal conservative accesses, only assignments to real
+/// variables and contributions to single-node outputs. Such modules bypass
+/// the conservative abstraction and are converted statement-by-statement.
+[[nodiscard]] bool is_signal_flow(const Module& module);
+
+}  // namespace amsvp::vams

@@ -1,0 +1,274 @@
+#include "vams/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace amsvp::vams {
+
+namespace {
+
+bool is_identifier_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool is_identifier_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+    static const std::unordered_map<std::string_view, TokenKind> table = {
+        {"module", TokenKind::kModule},   {"endmodule", TokenKind::kEndmodule},
+        {"parameter", TokenKind::kParameter}, {"real", TokenKind::kReal},
+        {"electrical", TokenKind::kElectrical}, {"ground", TokenKind::kGround},
+        {"branch", TokenKind::kBranch},   {"analog", TokenKind::kAnalog},
+        {"begin", TokenKind::kBegin},     {"end", TokenKind::kEndKw},
+        {"if", TokenKind::kIf},           {"else", TokenKind::kElse},
+        {"inout", TokenKind::kInout},     {"input", TokenKind::kInput},
+        {"output", TokenKind::kOutput},
+    };
+    return table;
+}
+
+}  // namespace
+
+double scale_factor(char suffix) {
+    switch (suffix) {
+        case 'T':
+            return 1e12;
+        case 'G':
+            return 1e9;
+        case 'M':
+            return 1e6;
+        case 'K':
+        case 'k':
+            return 1e3;
+        case 'm':
+            return 1e-3;
+        case 'u':
+            return 1e-6;
+        case 'n':
+            return 1e-9;
+        case 'p':
+            return 1e-12;
+        case 'f':
+            return 1e-15;
+        case 'a':
+            return 1e-18;
+        default:
+            return 0.0;
+    }
+}
+
+Lexer::Lexer(std::string_view source, support::DiagnosticEngine& diagnostics)
+    : source_(source), diagnostics_(diagnostics) {}
+
+char Lexer::peek(std::size_t ahead) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        column_ = 1;
+    } else {
+        ++column_;
+    }
+    return c;
+}
+
+void Lexer::skip_whitespace_and_comments() {
+    while (!at_end()) {
+        const char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!at_end() && peek() != '\n') {
+                advance();
+            }
+        } else if (c == '/' && peek(1) == '*') {
+            const support::SourceLocation start = location();
+            advance();
+            advance();
+            bool closed = false;
+            while (!at_end()) {
+                if (peek() == '*' && peek(1) == '/') {
+                    advance();
+                    advance();
+                    closed = true;
+                    break;
+                }
+                advance();
+            }
+            if (!closed) {
+                diagnostics_.error(start, "unterminated block comment");
+            }
+        } else {
+            break;
+        }
+    }
+}
+
+Token Lexer::lex_identifier() {
+    const support::SourceLocation loc = location();
+    std::string text;
+    while (!at_end() && is_identifier_char(peek())) {
+        text.push_back(advance());
+    }
+    auto it = keyword_table().find(text);
+    if (it != keyword_table().end()) {
+        return Token{it->second, std::move(text), 0.0, loc};
+    }
+    return Token{TokenKind::kIdentifier, std::move(text), 0.0, loc};
+}
+
+Token Lexer::lex_number() {
+    const support::SourceLocation loc = location();
+    std::string text;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        text.push_back(advance());
+    }
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        text.push_back(advance());
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+            text.push_back(advance());
+        }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+        const char next = peek(1);
+        const char next2 = peek(2);
+        if (std::isdigit(static_cast<unsigned char>(next)) ||
+            ((next == '+' || next == '-') && std::isdigit(static_cast<unsigned char>(next2)))) {
+            text.push_back(advance());
+            if (peek() == '+' || peek() == '-') {
+                text.push_back(advance());
+            }
+            while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+                text.push_back(advance());
+            }
+        }
+    }
+    double value = std::strtod(text.c_str(), nullptr);
+    // Verilog-AMS scale suffix (must not be followed by identifier chars,
+    // otherwise "5kOhm" style spellings would silently mis-lex).
+    if (!at_end()) {
+        const double factor = scale_factor(peek());
+        if (factor != 0.0 && !is_identifier_char(peek(1))) {
+            advance();
+            value *= factor;
+        }
+    }
+    Token t{TokenKind::kNumber, std::move(text), value, loc};
+    return t;
+}
+
+Token Lexer::lex_operator() {
+    const support::SourceLocation loc = location();
+    const char c = advance();
+    auto two_char = [&](char second, TokenKind double_kind, TokenKind single_kind) {
+        if (peek() == second) {
+            advance();
+            return double_kind;
+        }
+        return single_kind;
+    };
+    TokenKind kind;
+    switch (c) {
+        case '(':
+            kind = TokenKind::kLParen;
+            break;
+        case ')':
+            kind = TokenKind::kRParen;
+            break;
+        case ',':
+            kind = TokenKind::kComma;
+            break;
+        case ';':
+            kind = TokenKind::kSemicolon;
+            break;
+        case '+':
+            kind = TokenKind::kPlus;
+            break;
+        case '-':
+            kind = TokenKind::kMinus;
+            break;
+        case '*':
+            kind = TokenKind::kStar;
+            break;
+        case '/':
+            kind = TokenKind::kSlash;
+            break;
+        case '?':
+            kind = TokenKind::kQuestion;
+            break;
+        case ':':
+            kind = TokenKind::kColon;
+            break;
+        case '=':
+            kind = two_char('=', TokenKind::kEqEq, TokenKind::kAssign);
+            break;
+        case '<':
+            if (peek() == '+') {
+                advance();
+                kind = TokenKind::kContrib;
+            } else {
+                kind = two_char('=', TokenKind::kLe, TokenKind::kLt);
+            }
+            break;
+        case '>':
+            kind = two_char('=', TokenKind::kGe, TokenKind::kGt);
+            break;
+        case '!':
+            kind = two_char('=', TokenKind::kNotEq, TokenKind::kNot);
+            break;
+        case '&':
+            if (peek() == '&') {
+                advance();
+                kind = TokenKind::kAndAnd;
+            } else {
+                diagnostics_.error(loc, "unexpected character '&'");
+                kind = TokenKind::kEnd;
+            }
+            break;
+        case '|':
+            if (peek() == '|') {
+                advance();
+                kind = TokenKind::kOrOr;
+            } else {
+                diagnostics_.error(loc, "unexpected character '|'");
+                kind = TokenKind::kEnd;
+            }
+            break;
+        default:
+            diagnostics_.error(loc, std::string("unexpected character '") + c + "'");
+            kind = TokenKind::kEnd;
+            break;
+    }
+    return Token{kind, "", 0.0, loc};
+}
+
+std::vector<Token> Lexer::tokenize() {
+    std::vector<Token> out;
+    while (true) {
+        skip_whitespace_and_comments();
+        if (at_end()) {
+            out.push_back(Token{TokenKind::kEnd, "", 0.0, location()});
+            break;
+        }
+        const char c = peek();
+        if (is_identifier_start(c)) {
+            out.push_back(lex_identifier());
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            out.push_back(lex_number());
+        } else {
+            Token t = lex_operator();
+            if (t.kind != TokenKind::kEnd) {
+                out.push_back(t);
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace amsvp::vams

@@ -1,0 +1,41 @@
+// Lexer for the Verilog-AMS subset. Handles // and /* */ comments and the
+// Verilog-AMS scale-factor suffixes on numeric literals (5k, 25n, 1.6M, ...).
+#pragma once
+
+#include <vector>
+
+#include "support/diagnostics.hpp"
+#include "vams/token.hpp"
+
+namespace amsvp::vams {
+
+class Lexer {
+public:
+    Lexer(std::string_view source, support::DiagnosticEngine& diagnostics);
+
+    /// Tokenise the whole buffer; the final token is always kEnd. Lexical
+    /// errors are reported to the diagnostic engine and skipped.
+    [[nodiscard]] std::vector<Token> tokenize();
+
+private:
+    [[nodiscard]] char peek(std::size_t ahead = 0) const;
+    char advance();
+    [[nodiscard]] bool at_end() const { return pos_ >= source_.size(); }
+    [[nodiscard]] support::SourceLocation location() const { return {line_, column_}; }
+
+    void skip_whitespace_and_comments();
+    [[nodiscard]] Token lex_identifier();
+    [[nodiscard]] Token lex_number();
+    [[nodiscard]] Token lex_operator();
+
+    std::string_view source_;
+    support::DiagnosticEngine& diagnostics_;
+    std::size_t pos_ = 0;
+    std::uint32_t line_ = 1;
+    std::uint32_t column_ = 1;
+};
+
+/// Scale factor for a Verilog-AMS suffix character; 0 when not a suffix.
+[[nodiscard]] double scale_factor(char suffix);
+
+}  // namespace amsvp::vams

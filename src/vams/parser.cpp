@@ -1,0 +1,588 @@
+#include "vams/parser.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "vams/lexer.hpp"
+
+namespace amsvp::vams {
+
+using expr::BinaryOp;
+using expr::Expr;
+using expr::ExprPtr;
+using expr::UnaryOp;
+
+Parser::Parser(std::vector<Token> tokens, support::DiagnosticEngine& diagnostics)
+    : tokens_(std::move(tokens)), diagnostics_(diagnostics) {
+    AMSVP_CHECK(!tokens_.empty() && tokens_.back().kind == TokenKind::kEnd,
+                "token stream must end with kEnd");
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+    const std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+}
+
+Token Parser::consume() {
+    Token t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) {
+        ++pos_;
+    }
+    return t;
+}
+
+bool Parser::accept(TokenKind kind) {
+    if (at(kind)) {
+        consume();
+        return true;
+    }
+    return false;
+}
+
+bool Parser::expect(TokenKind kind, std::string_view context) {
+    if (accept(kind)) {
+        return true;
+    }
+    diagnostics_.error(current().location, "expected '" + std::string(to_string(kind)) +
+                                               "' in " + std::string(context) + ", found '" +
+                                               std::string(to_string(current().kind)) + "'");
+    return false;
+}
+
+void Parser::error_here(std::string message) {
+    diagnostics_.error(current().location, std::move(message));
+}
+
+std::optional<Module> Parser::parse_module() {
+    Module module;
+    module.location = current().location;
+    if (!expect(TokenKind::kModule, "module header")) {
+        return std::nullopt;
+    }
+    if (!at(TokenKind::kIdentifier)) {
+        error_here("expected module name");
+        return std::nullopt;
+    }
+    module.name = consume().text;
+    if (accept(TokenKind::kLParen)) {
+        parse_port_list(module);
+    }
+    expect(TokenKind::kSemicolon, "module header");
+
+    while (!at(TokenKind::kEndmodule) && !at(TokenKind::kEnd)) {
+        if (at(TokenKind::kAnalog)) {
+            consume();
+            StatementPtr body = parse_statement();
+            if (body) {
+                module.analog.push_back(std::move(body));
+            }
+        } else {
+            parse_declaration(module);
+        }
+        if (diagnostics_.error_count() > 20) {
+            return std::nullopt;  // too broken to keep recovering
+        }
+    }
+    expect(TokenKind::kEndmodule, "module");
+    if (diagnostics_.has_errors()) {
+        return std::nullopt;
+    }
+    return module;
+}
+
+void Parser::parse_port_list(Module& module) {
+    if (accept(TokenKind::kRParen)) {
+        return;
+    }
+    do {
+        if (!at(TokenKind::kIdentifier)) {
+            error_here("expected port name");
+            break;
+        }
+        module.ports.push_back(consume().text);
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kRParen, "port list");
+}
+
+void Parser::parse_declaration(Module& module) {
+    switch (current().kind) {
+        case TokenKind::kInout:
+        case TokenKind::kInput:
+        case TokenKind::kOutput:
+            consume();
+            // Direction keywords may prefix an electrical declaration or a
+            // bare port direction list; both reduce to net declarations here.
+            if (at(TokenKind::kElectrical)) {
+                consume();
+            }
+            parse_net_declaration(module);
+            break;
+        case TokenKind::kElectrical:
+            consume();
+            parse_net_declaration(module);
+            break;
+        case TokenKind::kGround: {
+            consume();
+            do {
+                if (!at(TokenKind::kIdentifier)) {
+                    error_here("expected net name after 'ground'");
+                    break;
+                }
+                module.grounds.push_back(consume().text);
+            } while (accept(TokenKind::kComma));
+            expect(TokenKind::kSemicolon, "ground declaration");
+            break;
+        }
+        case TokenKind::kParameter:
+            consume();
+            parse_parameter(module);
+            break;
+        case TokenKind::kBranch:
+            consume();
+            parse_branch_decl(module);
+            break;
+        case TokenKind::kReal:
+            consume();
+            parse_real_decl(module);
+            break;
+        default:
+            error_here("unexpected token '" + std::string(to_string(current().kind)) +
+                       "' at module scope");
+            consume();  // skip to make progress
+            break;
+    }
+}
+
+void Parser::parse_net_declaration(Module& module) {
+    do {
+        if (!at(TokenKind::kIdentifier)) {
+            error_here("expected net name");
+            break;
+        }
+        std::string name = consume().text;
+        if (std::find(module.nets.begin(), module.nets.end(), name) == module.nets.end()) {
+            module.nets.push_back(std::move(name));
+        }
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kSemicolon, "net declaration");
+}
+
+void Parser::parse_parameter(Module& module) {
+    accept(TokenKind::kReal);  // `parameter real NAME = value;`
+    if (!at(TokenKind::kIdentifier)) {
+        error_here("expected parameter name");
+        return;
+    }
+    Parameter p;
+    p.location = current().location;
+    p.name = consume().text;
+    if (!expect(TokenKind::kAssign, "parameter declaration")) {
+        return;
+    }
+    p.value = parse_expression();
+    expect(TokenKind::kSemicolon, "parameter declaration");
+    module.parameters.push_back(std::move(p));
+}
+
+void Parser::parse_branch_decl(Module& module) {
+    // branch (a, b) name1 [, name2 ...] ;
+    if (!expect(TokenKind::kLParen, "branch declaration")) {
+        return;
+    }
+    BranchDecl decl;
+    decl.location = current().location;
+    if (!at(TokenKind::kIdentifier)) {
+        error_here("expected node name in branch declaration");
+        return;
+    }
+    decl.pos = consume().text;
+    if (accept(TokenKind::kComma)) {
+        if (!at(TokenKind::kIdentifier)) {
+            error_here("expected node name in branch declaration");
+            return;
+        }
+        decl.neg = consume().text;
+    }
+    expect(TokenKind::kRParen, "branch declaration");
+    do {
+        if (!at(TokenKind::kIdentifier)) {
+            error_here("expected branch name");
+            break;
+        }
+        BranchDecl named = decl;
+        named.name = consume().text;
+        module.branch_decls.push_back(std::move(named));
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kSemicolon, "branch declaration");
+}
+
+void Parser::parse_real_decl(Module& module) {
+    do {
+        if (!at(TokenKind::kIdentifier)) {
+            error_here("expected variable name");
+            break;
+        }
+        module.real_variables.push_back(consume().text);
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kSemicolon, "real declaration");
+}
+
+StatementPtr Parser::parse_statement() {
+    switch (current().kind) {
+        case TokenKind::kBegin:
+            return parse_block();
+        case TokenKind::kIf:
+            return parse_if();
+        case TokenKind::kIdentifier: {
+            auto stmt = std::make_unique<Statement>();
+            stmt->location = current().location;
+            const std::string head = current().text;
+            // Access-function contribution: V(...)/I(...) followed by <+.
+            if ((head == "V" || head == "I") && peek().kind == TokenKind::kLParen) {
+                consume();  // V / I
+                consume();  // (
+                if (!at(TokenKind::kIdentifier)) {
+                    error_here("expected node name in access function");
+                    return nullptr;
+                }
+                stmt->pos = consume().text;
+                if (accept(TokenKind::kComma)) {
+                    if (!at(TokenKind::kIdentifier)) {
+                        error_here("expected node name in access function");
+                        return nullptr;
+                    }
+                    stmt->neg = consume().text;
+                }
+                expect(TokenKind::kRParen, "access function");
+                stmt->kind = Statement::Kind::kContribution;
+                stmt->contributes_flow = (head == "I");
+                if (!expect(TokenKind::kContrib, "contribution statement")) {
+                    return nullptr;
+                }
+                stmt->rhs = parse_expression();
+                expect(TokenKind::kSemicolon, "contribution statement");
+                return stmt;
+            }
+            // Plain assignment to a real variable.
+            stmt->kind = Statement::Kind::kAssign;
+            stmt->target = consume().text;
+            if (!expect(TokenKind::kAssign, "assignment")) {
+                return nullptr;
+            }
+            stmt->rhs = parse_expression();
+            expect(TokenKind::kSemicolon, "assignment");
+            return stmt;
+        }
+        default:
+            error_here("expected statement");
+            consume();
+            return nullptr;
+    }
+}
+
+StatementPtr Parser::parse_block() {
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kBlock;
+    stmt->location = current().location;
+    expect(TokenKind::kBegin, "block");
+    while (!at(TokenKind::kEndKw) && !at(TokenKind::kEnd)) {
+        StatementPtr child = parse_statement();
+        if (child) {
+            stmt->body.push_back(std::move(child));
+        }
+        if (diagnostics_.error_count() > 20) {
+            break;
+        }
+    }
+    expect(TokenKind::kEndKw, "block");
+    return stmt;
+}
+
+StatementPtr Parser::parse_if() {
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kIf;
+    stmt->location = current().location;
+    expect(TokenKind::kIf, "if statement");
+    expect(TokenKind::kLParen, "if condition");
+    stmt->condition = parse_expression();
+    expect(TokenKind::kRParen, "if condition");
+    stmt->then_branch = parse_statement();
+    if (accept(TokenKind::kElse)) {
+        stmt->else_branch = parse_statement();
+    }
+    return stmt;
+}
+
+ExprPtr Parser::parse_expression() {
+    return parse_ternary();
+}
+
+ExprPtr Parser::parse_ternary() {
+    ExprPtr cond = parse_or();
+    if (!cond) {
+        return nullptr;
+    }
+    if (accept(TokenKind::kQuestion)) {
+        ExprPtr then_branch = parse_ternary();
+        expect(TokenKind::kColon, "conditional expression");
+        ExprPtr else_branch = parse_ternary();
+        if (!then_branch || !else_branch) {
+            return nullptr;
+        }
+        return Expr::conditional(std::move(cond), std::move(then_branch), std::move(else_branch));
+    }
+    return cond;
+}
+
+ExprPtr Parser::parse_or() {
+    ExprPtr lhs = parse_and();
+    while (lhs && at(TokenKind::kOrOr)) {
+        consume();
+        ExprPtr rhs = parse_and();
+        if (!rhs) {
+            return nullptr;
+        }
+        lhs = Expr::binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr Parser::parse_and() {
+    ExprPtr lhs = parse_equality();
+    while (lhs && at(TokenKind::kAndAnd)) {
+        consume();
+        ExprPtr rhs = parse_equality();
+        if (!rhs) {
+            return nullptr;
+        }
+        lhs = Expr::binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr Parser::parse_equality() {
+    ExprPtr lhs = parse_relational();
+    while (lhs && (at(TokenKind::kEqEq) || at(TokenKind::kNotEq))) {
+        const BinaryOp op = at(TokenKind::kEqEq) ? BinaryOp::kEq : BinaryOp::kNe;
+        consume();
+        ExprPtr rhs = parse_relational();
+        if (!rhs) {
+            return nullptr;
+        }
+        lhs = Expr::binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr Parser::parse_relational() {
+    ExprPtr lhs = parse_additive();
+    while (lhs && (at(TokenKind::kLt) || at(TokenKind::kLe) || at(TokenKind::kGt) ||
+                   at(TokenKind::kGe))) {
+        BinaryOp op = BinaryOp::kLt;
+        if (at(TokenKind::kLe)) {
+            op = BinaryOp::kLe;
+        } else if (at(TokenKind::kGt)) {
+            op = BinaryOp::kGt;
+        } else if (at(TokenKind::kGe)) {
+            op = BinaryOp::kGe;
+        }
+        consume();
+        ExprPtr rhs = parse_additive();
+        if (!rhs) {
+            return nullptr;
+        }
+        lhs = Expr::binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr Parser::parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (lhs && (at(TokenKind::kPlus) || at(TokenKind::kMinus))) {
+        const BinaryOp op = at(TokenKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+        consume();
+        ExprPtr rhs = parse_multiplicative();
+        if (!rhs) {
+            return nullptr;
+        }
+        lhs = Expr::binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr Parser::parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (lhs && (at(TokenKind::kStar) || at(TokenKind::kSlash))) {
+        const BinaryOp op = at(TokenKind::kStar) ? BinaryOp::kMul : BinaryOp::kDiv;
+        consume();
+        ExprPtr rhs = parse_unary();
+        if (!rhs) {
+            return nullptr;
+        }
+        lhs = Expr::binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+}
+
+ExprPtr Parser::parse_unary() {
+    if (accept(TokenKind::kMinus)) {
+        ExprPtr operand = parse_unary();
+        return operand ? Expr::neg(std::move(operand)) : nullptr;
+    }
+    if (accept(TokenKind::kPlus)) {
+        return parse_unary();
+    }
+    if (accept(TokenKind::kNot)) {
+        ExprPtr operand = parse_unary();
+        return operand ? Expr::unary(UnaryOp::kNot, std::move(operand)) : nullptr;
+    }
+    return parse_primary();
+}
+
+ExprPtr Parser::parse_access_function(bool is_flow) {
+    // Caller consumed the 'V'/'I' identifier; current token is '('.
+    expect(TokenKind::kLParen, "access function");
+    if (!at(TokenKind::kIdentifier)) {
+        error_here("expected node name in access function");
+        return nullptr;
+    }
+    const std::string pos = consume().text;
+    std::string neg;
+    if (accept(TokenKind::kComma)) {
+        if (!at(TokenKind::kIdentifier)) {
+            error_here("expected node name in access function");
+            return nullptr;
+        }
+        neg = consume().text;
+    }
+    expect(TokenKind::kRParen, "access function");
+    const std::string pair = encode_node_pair(pos, neg);
+    return Expr::symbol(is_flow ? expr::branch_current(pair) : expr::branch_voltage(pair));
+}
+
+ExprPtr Parser::parse_primary() {
+    switch (current().kind) {
+        case TokenKind::kNumber: {
+            const Token t = consume();
+            return Expr::constant(t.number);
+        }
+        case TokenKind::kLParen: {
+            consume();
+            ExprPtr inner = parse_expression();
+            expect(TokenKind::kRParen, "parenthesised expression");
+            return inner;
+        }
+        case TokenKind::kIdentifier: {
+            const std::string name = current().text;
+            if (peek().kind == TokenKind::kLParen) {
+                if (name == "V" || name == "I") {
+                    consume();
+                    return parse_access_function(name == "I");
+                }
+                // Function call.
+                consume();  // name
+                consume();  // (
+                std::vector<ExprPtr> args;
+                if (!at(TokenKind::kRParen)) {
+                    do {
+                        ExprPtr arg = parse_expression();
+                        if (!arg) {
+                            return nullptr;
+                        }
+                        args.push_back(std::move(arg));
+                    } while (accept(TokenKind::kComma));
+                }
+                expect(TokenKind::kRParen, "function call");
+
+                auto unary_fn = [&](UnaryOp op) -> ExprPtr {
+                    if (args.size() != 1) {
+                        error_here(name + "() expects one argument");
+                        return nullptr;
+                    }
+                    return Expr::unary(op, std::move(args[0]));
+                };
+                auto binary_fn = [&](BinaryOp op) -> ExprPtr {
+                    if (args.size() != 2) {
+                        error_here(name + "() expects two arguments");
+                        return nullptr;
+                    }
+                    return Expr::binary(op, std::move(args[0]), std::move(args[1]));
+                };
+
+                if (name == "ddt") {
+                    if (args.size() != 1) {
+                        error_here("ddt() expects one argument");
+                        return nullptr;
+                    }
+                    return Expr::ddt(std::move(args[0]));
+                }
+                if (name == "idt") {
+                    if (args.size() != 1) {
+                        error_here("idt() expects one argument");
+                        return nullptr;
+                    }
+                    return Expr::idt(std::move(args[0]));
+                }
+                if (name == "exp") {
+                    return unary_fn(UnaryOp::kExp);
+                }
+                if (name == "ln") {
+                    return unary_fn(UnaryOp::kLn);
+                }
+                if (name == "log") {
+                    return unary_fn(UnaryOp::kLog10);
+                }
+                if (name == "sqrt") {
+                    return unary_fn(UnaryOp::kSqrt);
+                }
+                if (name == "sin") {
+                    return unary_fn(UnaryOp::kSin);
+                }
+                if (name == "cos") {
+                    return unary_fn(UnaryOp::kCos);
+                }
+                if (name == "tan") {
+                    return unary_fn(UnaryOp::kTan);
+                }
+                if (name == "abs") {
+                    return unary_fn(UnaryOp::kAbs);
+                }
+                if (name == "pow") {
+                    return binary_fn(BinaryOp::kPow);
+                }
+                if (name == "min") {
+                    return binary_fn(BinaryOp::kMin);
+                }
+                if (name == "max") {
+                    return binary_fn(BinaryOp::kMax);
+                }
+                error_here("unknown function '" + name + "'");
+                return nullptr;
+            }
+            consume();
+            if (name == "$abstime") {
+                return Expr::symbol(expr::time_symbol());
+            }
+            // Bare identifier: parameter, real variable, or external input.
+            // The elaborator decides which; parse as a generic variable.
+            return Expr::symbol(expr::variable_symbol(name));
+        }
+        default:
+            error_here("expected expression");
+            consume();
+            return nullptr;
+    }
+}
+
+std::optional<Module> parse_module_source(std::string_view source,
+                                          support::DiagnosticEngine& diagnostics) {
+    Lexer lexer(source, diagnostics);
+    std::vector<Token> tokens = lexer.tokenize();
+    if (diagnostics.has_errors()) {
+        return std::nullopt;
+    }
+    Parser parser(std::move(tokens), diagnostics);
+    return parser.parse_module();
+}
+
+}  // namespace amsvp::vams

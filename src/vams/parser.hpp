@@ -1,0 +1,68 @@
+// Recursive-descent parser for the Verilog-AMS subset (Section III of the
+// paper: declarations, signal-flow statements and conservative contribution
+// statements, conditionals, math functions, ddt/idt analog operators).
+#pragma once
+
+#include <optional>
+
+#include "support/diagnostics.hpp"
+#include "vams/ast.hpp"
+#include "vams/token.hpp"
+
+namespace amsvp::vams {
+
+class Parser {
+public:
+    Parser(std::vector<Token> tokens, support::DiagnosticEngine& diagnostics);
+
+    /// Parse one module. Returns nullopt when errors prevented recovery; in
+    /// that case the diagnostic engine holds at least one error.
+    [[nodiscard]] std::optional<Module> parse_module();
+
+private:
+    [[nodiscard]] const Token& current() const { return tokens_[pos_]; }
+    [[nodiscard]] const Token& peek(std::size_t ahead = 1) const;
+    [[nodiscard]] bool at(TokenKind kind) const { return current().kind == kind; }
+    Token consume();
+    bool accept(TokenKind kind);
+    bool expect(TokenKind kind, std::string_view context);
+    void error_here(std::string message);
+
+    // Declarations.
+    void parse_port_list(Module& module);
+    void parse_declaration(Module& module);
+    void parse_net_declaration(Module& module);
+    void parse_parameter(Module& module);
+    void parse_branch_decl(Module& module);
+    void parse_real_decl(Module& module);
+
+    // Statements.
+    [[nodiscard]] StatementPtr parse_statement();
+    [[nodiscard]] StatementPtr parse_block();
+    [[nodiscard]] StatementPtr parse_if();
+
+    // Expressions (precedence climbing).
+    [[nodiscard]] expr::ExprPtr parse_expression();
+    [[nodiscard]] expr::ExprPtr parse_ternary();
+    [[nodiscard]] expr::ExprPtr parse_or();
+    [[nodiscard]] expr::ExprPtr parse_and();
+    [[nodiscard]] expr::ExprPtr parse_equality();
+    [[nodiscard]] expr::ExprPtr parse_relational();
+    [[nodiscard]] expr::ExprPtr parse_additive();
+    [[nodiscard]] expr::ExprPtr parse_multiplicative();
+    [[nodiscard]] expr::ExprPtr parse_unary();
+    [[nodiscard]] expr::ExprPtr parse_primary();
+
+    /// V(a[,b]) / I(a[,b]) after the access-function identifier.
+    [[nodiscard]] expr::ExprPtr parse_access_function(bool is_flow);
+
+    std::vector<Token> tokens_;
+    support::DiagnosticEngine& diagnostics_;
+    std::size_t pos_ = 0;
+};
+
+/// Convenience: lex + parse a buffer.
+[[nodiscard]] std::optional<Module> parse_module_source(std::string_view source,
+                                                        support::DiagnosticEngine& diagnostics);
+
+}  // namespace amsvp::vams

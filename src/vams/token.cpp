@@ -1,0 +1,89 @@
+#include "vams/token.hpp"
+
+namespace amsvp::vams {
+
+std::string_view to_string(TokenKind kind) {
+    switch (kind) {
+        case TokenKind::kEnd:
+            return "<end>";
+        case TokenKind::kIdentifier:
+            return "identifier";
+        case TokenKind::kNumber:
+            return "number";
+        case TokenKind::kModule:
+            return "module";
+        case TokenKind::kEndmodule:
+            return "endmodule";
+        case TokenKind::kParameter:
+            return "parameter";
+        case TokenKind::kReal:
+            return "real";
+        case TokenKind::kElectrical:
+            return "electrical";
+        case TokenKind::kGround:
+            return "ground";
+        case TokenKind::kBranch:
+            return "branch";
+        case TokenKind::kAnalog:
+            return "analog";
+        case TokenKind::kBegin:
+            return "begin";
+        case TokenKind::kEndKw:
+            return "end";
+        case TokenKind::kIf:
+            return "if";
+        case TokenKind::kElse:
+            return "else";
+        case TokenKind::kInout:
+            return "inout";
+        case TokenKind::kInput:
+            return "input";
+        case TokenKind::kOutput:
+            return "output";
+        case TokenKind::kLParen:
+            return "(";
+        case TokenKind::kRParen:
+            return ")";
+        case TokenKind::kComma:
+            return ",";
+        case TokenKind::kSemicolon:
+            return ";";
+        case TokenKind::kAssign:
+            return "=";
+        case TokenKind::kContrib:
+            return "<+";
+        case TokenKind::kPlus:
+            return "+";
+        case TokenKind::kMinus:
+            return "-";
+        case TokenKind::kStar:
+            return "*";
+        case TokenKind::kSlash:
+            return "/";
+        case TokenKind::kQuestion:
+            return "?";
+        case TokenKind::kColon:
+            return ":";
+        case TokenKind::kLt:
+            return "<";
+        case TokenKind::kLe:
+            return "<=";
+        case TokenKind::kGt:
+            return ">";
+        case TokenKind::kGe:
+            return ">=";
+        case TokenKind::kEqEq:
+            return "==";
+        case TokenKind::kNotEq:
+            return "!=";
+        case TokenKind::kAndAnd:
+            return "&&";
+        case TokenKind::kOrOr:
+            return "||";
+        case TokenKind::kNot:
+            return "!";
+    }
+    return "?";
+}
+
+}  // namespace amsvp::vams

@@ -1,0 +1,64 @@
+// Token definitions for the Verilog-AMS subset accepted by the frontend.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/source_location.hpp"
+
+namespace amsvp::vams {
+
+enum class TokenKind {
+    kEnd,         ///< end of input
+    kIdentifier,  ///< names, including $-prefixed system identifiers
+    kNumber,      ///< real literal with optional Verilog-AMS scale suffix
+    // Keywords.
+    kModule,
+    kEndmodule,
+    kParameter,
+    kReal,
+    kElectrical,
+    kGround,
+    kBranch,
+    kAnalog,
+    kBegin,
+    kEndKw,
+    kIf,
+    kElse,
+    kInout,
+    kInput,
+    kOutput,
+    // Punctuation / operators.
+    kLParen,
+    kRParen,
+    kComma,
+    kSemicolon,
+    kAssign,      ///< =
+    kContrib,     ///< <+
+    kPlus,
+    kMinus,
+    kStar,
+    kSlash,
+    kQuestion,
+    kColon,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kEqEq,
+    kNotEq,
+    kAndAnd,
+    kOrOr,
+    kNot,
+};
+
+[[nodiscard]] std::string_view to_string(TokenKind kind);
+
+struct Token {
+    TokenKind kind = TokenKind::kEnd;
+    std::string text;           ///< identifier spelling (empty otherwise)
+    double number = 0.0;        ///< numeric value with scale factor applied
+    support::SourceLocation location;
+};
+
+}  // namespace amsvp::vams

@@ -1,0 +1,41 @@
+#include "vp/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace amsvp::vp {
+
+Adc::Adc(std::function<double()> sample, double v_min, double v_max)
+    : sample_(std::move(sample)), v_min_(v_min), v_max_(v_max) {
+    AMSVP_CHECK(v_max_ > v_min_, "ADC range must be non-degenerate");
+    AMSVP_CHECK(sample_ != nullptr, "ADC needs a sample source");
+}
+
+std::uint32_t Adc::code_for(double volts) const {
+    const double normalized = (volts - v_min_) / (v_max_ - v_min_);
+    const double clamped = std::clamp(normalized, 0.0, 1.0);
+    return static_cast<std::uint32_t>(std::lround(clamped * 4095.0));
+}
+
+std::uint32_t Adc::read32(std::uint32_t offset) {
+    switch (offset) {
+        case kData:
+            return data_;
+        case kStatus:
+            return done_ ? 0x1 : 0x0;
+        default:
+            return 0;
+    }
+}
+
+void Adc::write32(std::uint32_t offset, std::uint32_t value) {
+    if (offset == kCtrl && (value & 0x1) != 0) {
+        data_ = code_for(sample_());
+        done_ = true;
+        ++conversions_;
+    }
+}
+
+}  // namespace amsvp::vp

@@ -1,0 +1,39 @@
+// ADC bridge: the boundary between the analog subsystem and the digital
+// platform (the red/blue arrow of the paper's Fig. 1). Converts the observed
+// analog voltage into a 12-bit register the firmware polls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "vp/bus.hpp"
+
+namespace amsvp::vp {
+
+class Adc final : public BusTarget {
+public:
+    static constexpr std::uint32_t kData = 0x0;    ///< read: last conversion (12 bit)
+    static constexpr std::uint32_t kCtrl = 0x4;    ///< write bit0: start conversion
+    static constexpr std::uint32_t kStatus = 0x8;  ///< read: bit0 conversion done
+
+    /// `sample` returns the analog voltage at the moment of conversion;
+    /// voltages outside [v_min, v_max] clamp to the rail codes.
+    Adc(std::function<double()> sample, double v_min, double v_max);
+
+    [[nodiscard]] std::uint32_t read32(std::uint32_t offset) override;
+    void write32(std::uint32_t offset, std::uint32_t value) override;
+
+    [[nodiscard]] std::uint64_t conversions() const { return conversions_; }
+    /// 12-bit code for a voltage (exposed for test oracles).
+    [[nodiscard]] std::uint32_t code_for(double volts) const;
+
+private:
+    std::function<double()> sample_;
+    double v_min_;
+    double v_max_;
+    std::uint32_t data_ = 0;
+    bool done_ = false;
+    std::uint64_t conversions_ = 0;
+};
+
+}  // namespace amsvp::vp

@@ -1,0 +1,352 @@
+#include "vp/assembler.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "support/strings.hpp"
+
+namespace amsvp::vp {
+
+namespace {
+
+using support::SourceLocation;
+
+const std::map<std::string, int>& register_names() {
+    static const std::map<std::string, int> names = {
+        {"zero", 0}, {"at", 1},  {"v0", 2},  {"v1", 3},  {"a0", 4},  {"a1", 5},
+        {"a2", 6},   {"a3", 7},  {"t0", 8},  {"t1", 9},  {"t2", 10}, {"t3", 11},
+        {"t4", 12},  {"t5", 13}, {"t6", 14}, {"t7", 15}, {"s0", 16}, {"s1", 17},
+        {"s2", 18},  {"s3", 19}, {"s4", 20}, {"s5", 21}, {"s6", 22}, {"s7", 23},
+        {"t8", 24},  {"t9", 25}, {"k0", 26}, {"k1", 27}, {"gp", 28}, {"sp", 29},
+        {"fp", 30},  {"ra", 31},
+    };
+    return names;
+}
+
+struct Statement {
+    std::string mnemonic;
+    std::vector<std::string> operands;
+    SourceLocation location;
+    std::uint32_t address = 0;
+};
+
+/// Words a statement occupies (li/la always expand to two instructions).
+std::uint32_t statement_words(const Statement& s) {
+    if (s.mnemonic == "li" || s.mnemonic == "la") {
+        return 2;
+    }
+    return 1;
+}
+
+class Encoder {
+public:
+    Encoder(const std::map<std::string, std::uint32_t>& labels,
+            support::DiagnosticEngine& diagnostics)
+        : labels_(labels), diagnostics_(diagnostics) {}
+
+    void encode(const Statement& s, std::vector<std::uint32_t>& out) {
+        const std::string& m = s.mnemonic;
+        loc_ = s.location;
+        address_ = s.address;
+
+        if (m == ".word") {
+            if (!expect_operands(s, 1)) {
+                out.push_back(0);
+                return;
+            }
+            out.push_back(static_cast<std::uint32_t>(value(s.operands[0])));
+            return;
+        }
+        if (m == "nop") {
+            out.push_back(0);
+            return;
+        }
+        if (m == "halt") {
+            out.push_back(0x0000000D);  // break
+            return;
+        }
+        if (m == "li" || m == "la") {
+            if (!expect_operands(s, 2)) {
+                out.push_back(0);
+                return;
+            }
+            const int rt = reg(s.operands[0]);
+            const auto v = static_cast<std::uint32_t>(value(s.operands[1]));
+            out.push_back(encode_i(0x0f, 0, rt, v >> 16));          // lui rt, hi
+            out.push_back(encode_i(0x0d, rt, rt, v & 0xFFFF));      // ori rt, rt, lo
+            return;
+        }
+        if (m == "move") {
+            if (!expect_operands(s, 2)) {
+                out.push_back(0);
+                return;
+            }
+            out.push_back(encode_r(reg(s.operands[1]), 0, reg(s.operands[0]), 0, 0x21));
+            return;
+        }
+        if (m == "b") {
+            if (!expect_operands(s, 1)) {
+                out.push_back(0);
+                return;
+            }
+            out.push_back(encode_i(0x04, 0, 0, branch_offset(s.operands[0])));
+            return;
+        }
+
+        static const std::map<std::string, std::uint32_t> three_reg = {
+            {"addu", 0x21}, {"subu", 0x23}, {"and", 0x24}, {"or", 0x25},
+            {"xor", 0x26},  {"nor", 0x27},  {"slt", 0x2a}, {"sltu", 0x2b}};
+        if (const auto it = three_reg.find(m); it != three_reg.end()) {
+            if (!expect_operands(s, 3)) {
+                out.push_back(0);
+                return;
+            }
+            out.push_back(encode_r(reg(s.operands[1]), reg(s.operands[2]),
+                                   reg(s.operands[0]), 0, it->second));
+            return;
+        }
+
+        static const std::map<std::string, std::uint32_t> shifts = {
+            {"sll", 0x00}, {"srl", 0x02}, {"sra", 0x03}};
+        if (const auto it = shifts.find(m); it != shifts.end()) {
+            if (!expect_operands(s, 3)) {
+                out.push_back(0);
+                return;
+            }
+            out.push_back(encode_r(0, reg(s.operands[1]), reg(s.operands[0]),
+                                   static_cast<std::uint32_t>(value(s.operands[2])) & 0x1F,
+                                   it->second));
+            return;
+        }
+
+        if (m == "jr") {
+            if (!expect_operands(s, 1)) {
+                out.push_back(0);
+                return;
+            }
+            out.push_back(encode_r(reg(s.operands[0]), 0, 0, 0, 0x08));
+            return;
+        }
+
+        static const std::map<std::string, std::uint32_t> imm_ops = {
+            {"addi", 0x08},  {"addiu", 0x09}, {"slti", 0x0a}, {"sltiu", 0x0b},
+            {"andi", 0x0c},  {"ori", 0x0d},   {"xori", 0x0e}};
+        if (const auto it = imm_ops.find(m); it != imm_ops.end()) {
+            if (!expect_operands(s, 3)) {
+                out.push_back(0);
+                return;
+            }
+            out.push_back(encode_i(it->second, reg(s.operands[1]), reg(s.operands[0]),
+                                   static_cast<std::uint32_t>(value(s.operands[2])) & 0xFFFF));
+            return;
+        }
+
+        if (m == "lui") {
+            if (!expect_operands(s, 2)) {
+                out.push_back(0);
+                return;
+            }
+            out.push_back(encode_i(0x0f, 0, reg(s.operands[0]),
+                                   static_cast<std::uint32_t>(value(s.operands[1])) & 0xFFFF));
+            return;
+        }
+
+        static const std::map<std::string, std::uint32_t> mem_ops = {
+            {"lw", 0x23}, {"lbu", 0x24}, {"sw", 0x2b}, {"sb", 0x28}};
+        if (const auto it = mem_ops.find(m); it != mem_ops.end()) {
+            if (!expect_operands(s, 2)) {
+                out.push_back(0);
+                return;
+            }
+            auto [offset, base] = memory_operand(s.operands[1]);
+            out.push_back(encode_i(it->second, base, reg(s.operands[0]),
+                                   static_cast<std::uint32_t>(offset) & 0xFFFF));
+            return;
+        }
+
+        if (m == "beq" || m == "bne") {
+            if (!expect_operands(s, 3)) {
+                out.push_back(0);
+                return;
+            }
+            out.push_back(encode_i(m == "beq" ? 0x04 : 0x05, reg(s.operands[0]),
+                                   reg(s.operands[1]), branch_offset(s.operands[2])));
+            return;
+        }
+
+        if (m == "j" || m == "jal") {
+            if (!expect_operands(s, 1)) {
+                out.push_back(0);
+                return;
+            }
+            const std::uint32_t target = target_address(s.operands[0]);
+            out.push_back(((m == "j" ? 0x02u : 0x03u) << 26) | ((target >> 2) & 0x03FFFFFFu));
+            return;
+        }
+
+        diagnostics_.error(loc_, "unknown mnemonic '" + m + "'");
+        out.push_back(0);
+    }
+
+private:
+    static std::uint32_t encode_r(int rs, int rt, int rd, std::uint32_t shamt,
+                                  std::uint32_t funct) {
+        return (static_cast<std::uint32_t>(rs) << 21) | (static_cast<std::uint32_t>(rt) << 16) |
+               (static_cast<std::uint32_t>(rd) << 11) | (shamt << 6) | funct;
+    }
+    static std::uint32_t encode_i(std::uint32_t op, int rs, int rt, std::uint32_t imm16) {
+        return (op << 26) | (static_cast<std::uint32_t>(rs) << 21) |
+               (static_cast<std::uint32_t>(rt) << 16) | (imm16 & 0xFFFF);
+    }
+
+    [[nodiscard]] bool expect_operands(const Statement& s, std::size_t n) {
+        if (s.operands.size() != n) {
+            diagnostics_.error(loc_, "'" + s.mnemonic + "' expects " + std::to_string(n) +
+                                         " operands, got " + std::to_string(s.operands.size()));
+            return false;
+        }
+        return true;
+    }
+
+    int reg(const std::string& text) {
+        if (text.empty() || text[0] != '$') {
+            diagnostics_.error(loc_, "expected register, got '" + text + "'");
+            return 0;
+        }
+        const std::string name = text.substr(1);
+        if (const auto it = register_names().find(name); it != register_names().end()) {
+            return it->second;
+        }
+        char* end = nullptr;
+        const long n = std::strtol(name.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0' && n >= 0 && n <= 31) {
+            return static_cast<int>(n);
+        }
+        diagnostics_.error(loc_, "unknown register '" + text + "'");
+        return 0;
+    }
+
+    long value(const std::string& text) {
+        if (const auto it = labels_.find(text); it != labels_.end()) {
+            return static_cast<long>(it->second);
+        }
+        char* end = nullptr;
+        const long v = std::strtol(text.c_str(), &end, 0);
+        if (end == nullptr || *end != '\0') {
+            diagnostics_.error(loc_, "bad immediate or unknown label '" + text + "'");
+            return 0;
+        }
+        return v;
+    }
+
+    std::uint32_t branch_offset(const std::string& label) {
+        const auto it = labels_.find(label);
+        if (it == labels_.end()) {
+            diagnostics_.error(loc_, "unknown branch target '" + label + "'");
+            return 0;
+        }
+        const std::int32_t delta =
+            (static_cast<std::int32_t>(it->second) - static_cast<std::int32_t>(address_ + 4)) / 4;
+        if (delta < -32768 || delta > 32767) {
+            diagnostics_.error(loc_, "branch target out of range");
+        }
+        return static_cast<std::uint32_t>(delta) & 0xFFFF;
+    }
+
+    std::uint32_t target_address(const std::string& text) {
+        if (const auto it = labels_.find(text); it != labels_.end()) {
+            return it->second;
+        }
+        return static_cast<std::uint32_t>(value(text));
+    }
+
+    /// "imm($reg)" -> {imm, reg}.
+    std::pair<long, int> memory_operand(const std::string& text) {
+        const std::size_t open = text.find('(');
+        const std::size_t close = text.find(')');
+        if (open == std::string::npos || close == std::string::npos || close < open) {
+            diagnostics_.error(loc_, "expected offset(register), got '" + text + "'");
+            return {0, 0};
+        }
+        const std::string offset_text = text.substr(0, open);
+        const std::string reg_text = text.substr(open + 1, close - open - 1);
+        const long offset = offset_text.empty() ? 0 : value(offset_text);
+        return {offset, reg(reg_text)};
+    }
+
+    const std::map<std::string, std::uint32_t>& labels_;
+    support::DiagnosticEngine& diagnostics_;
+    SourceLocation loc_;
+    std::uint32_t address_ = 0;
+};
+
+}  // namespace
+
+std::optional<AssembledProgram> assemble(std::string_view source, std::uint32_t base_address,
+                                         support::DiagnosticEngine& diagnostics) {
+    std::vector<Statement> statements;
+    std::map<std::string, std::uint32_t> labels;
+
+    // Pass 1: tokenize lines, record labels, compute addresses.
+    std::uint32_t address = base_address;
+    std::uint32_t line_no = 0;
+    for (std::string_view raw_line : support::split(source, '\n')) {
+        ++line_no;
+        std::string_view line = raw_line;
+        if (const std::size_t hash = line.find_first_of("#;"); hash != std::string_view::npos) {
+            line = line.substr(0, hash);
+        }
+        line = support::trim(line);
+
+        // Leading labels.
+        while (true) {
+            const std::size_t colon = line.find(':');
+            if (colon == std::string_view::npos) {
+                break;
+            }
+            const std::string_view candidate = support::trim(line.substr(0, colon));
+            if (candidate.empty() || candidate.find_first_of(" \t,($") != std::string_view::npos) {
+                break;
+            }
+            if (labels.contains(std::string(candidate))) {
+                diagnostics.error({line_no, 1}, "duplicate label '" + std::string(candidate) + "'");
+            }
+            labels[std::string(candidate)] = address;
+            line = support::trim(line.substr(colon + 1));
+        }
+        if (line.empty()) {
+            continue;
+        }
+
+        Statement s;
+        s.location = {line_no, 1};
+        const std::size_t space = line.find_first_of(" \t");
+        s.mnemonic = std::string(space == std::string_view::npos ? line : line.substr(0, space));
+        if (space != std::string_view::npos) {
+            for (std::string_view op : support::split(line.substr(space + 1), ',')) {
+                op = support::trim(op);
+                if (!op.empty()) {
+                    s.operands.emplace_back(op);
+                }
+            }
+        }
+        s.address = address;
+        address += 4 * statement_words(s);
+        statements.push_back(std::move(s));
+    }
+
+    // Pass 2: encode.
+    AssembledProgram program;
+    program.base_address = base_address;
+    Encoder encoder(labels, diagnostics);
+    for (const Statement& s : statements) {
+        encoder.encode(s, program.words);
+    }
+    if (diagnostics.has_errors()) {
+        return std::nullopt;
+    }
+    return program;
+}
+
+}  // namespace amsvp::vp

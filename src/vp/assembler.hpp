@@ -1,0 +1,37 @@
+// Two-pass assembler for the CPU's MIPS subset, so the platform's firmware
+// can live as readable assembly text inside the repository.
+//
+// Syntax:
+//   * labels:       `loop:` (own line or before an instruction)
+//   * comments:     `#` or `;` to end of line
+//   * registers:    `$zero $at $v0.. $a0.. $t0-$t9 $s0-$s7 $k0 $k1 $gp $sp $fp $ra`
+//                   or numeric `$0`..`$31`
+//   * immediates:   decimal or 0x hexadecimal, optionally negative
+//   * data:         `.word <value>` (one 32-bit word)
+//   * pseudo-ops:   li, la, move, nop, b, halt
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace amsvp::vp {
+
+struct AssembledProgram {
+    std::vector<std::uint32_t> words;
+    std::uint32_t base_address = 0;
+
+    [[nodiscard]] std::uint32_t size_bytes() const {
+        return static_cast<std::uint32_t>(4 * words.size());
+    }
+};
+
+/// Assemble `source` for loading at `base_address`. Errors go to
+/// `diagnostics`; returns nullopt when any were emitted.
+[[nodiscard]] std::optional<AssembledProgram> assemble(std::string_view source,
+                                                       std::uint32_t base_address,
+                                                       support::DiagnosticEngine& diagnostics);
+
+}  // namespace amsvp::vp

@@ -1,0 +1,117 @@
+#include "vp/bus.hpp"
+
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace amsvp::vp {
+
+void SystemBus::map_region(std::string name, std::uint32_t base, std::uint32_t size,
+                           BusTarget& target) {
+    AMSVP_CHECK(size > 0, "empty bus region");
+    for (const Region& r : regions_) {
+        const bool overlap = base < r.base + r.size && r.base < base + size;
+        AMSVP_CHECK(!overlap, "overlapping bus regions");
+    }
+    regions_.push_back(Region{std::move(name), base, size, &target});
+}
+
+SystemBus::Region* SystemBus::decode(std::uint32_t address) {
+    for (Region& r : regions_) {
+        if (address >= r.base && address < r.base + r.size) {
+            return &r;
+        }
+    }
+    return nullptr;
+}
+
+std::uint32_t SystemBus::read32(std::uint32_t address) {
+    ++stats_.reads;
+    Region* r = decode(address);
+    if (r == nullptr) {
+        std::fprintf(stderr, "bus: read from unmapped address 0x%08x\n", address);
+        AMSVP_CHECK(false, "unmapped bus read");
+    }
+    return r->target->read32(address - r->base);
+}
+
+void SystemBus::write32(std::uint32_t address, std::uint32_t value) {
+    ++stats_.writes;
+    Region* r = decode(address);
+    if (r == nullptr) {
+        std::fprintf(stderr, "bus: write to unmapped address 0x%08x\n", address);
+        AMSVP_CHECK(false, "unmapped bus write");
+    }
+    r->target->write32(address - r->base, value);
+}
+
+std::uint8_t SystemBus::read8(std::uint32_t address) {
+    const std::uint32_t word = read32(address & ~3u);
+    const std::uint32_t lane = address & 3u;
+    return static_cast<std::uint8_t>(word >> (8 * lane));
+}
+
+void SystemBus::write8(std::uint32_t address, std::uint8_t value) {
+    const std::uint32_t aligned = address & ~3u;
+    const std::uint32_t lane = address & 3u;
+    std::uint32_t word = read32(aligned);
+    word &= ~(0xFFu << (8 * lane));
+    word |= static_cast<std::uint32_t>(value) << (8 * lane);
+    write32(aligned, word);
+}
+
+std::uint32_t Ram::read32(std::uint32_t offset) {
+    AMSVP_CHECK(offset + 4 <= bytes_.size(), "RAM read out of range");
+    return static_cast<std::uint32_t>(bytes_[offset]) |
+           (static_cast<std::uint32_t>(bytes_[offset + 1]) << 8) |
+           (static_cast<std::uint32_t>(bytes_[offset + 2]) << 16) |
+           (static_cast<std::uint32_t>(bytes_[offset + 3]) << 24);
+}
+
+void Ram::write32(std::uint32_t offset, std::uint32_t value) {
+    AMSVP_CHECK(offset + 4 <= bytes_.size(), "RAM write out of range");
+    bytes_[offset] = static_cast<std::uint8_t>(value);
+    bytes_[offset + 1] = static_cast<std::uint8_t>(value >> 8);
+    bytes_[offset + 2] = static_cast<std::uint8_t>(value >> 16);
+    bytes_[offset + 3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+void Ram::load(std::uint32_t offset, const std::vector<std::uint32_t>& words) {
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        write32(offset + static_cast<std::uint32_t>(4 * i), words[i]);
+    }
+}
+
+void ApbBridge::attach(std::string name, std::uint32_t base, std::uint32_t size,
+                       BusTarget& peripheral) {
+    for (const Slot& s : slots_) {
+        const bool overlap = base < s.base + s.size && s.base < base + size;
+        AMSVP_CHECK(!overlap, "overlapping APB slots");
+    }
+    slots_.push_back(Slot{std::move(name), base, size, &peripheral});
+}
+
+ApbBridge::Slot* ApbBridge::decode(std::uint32_t offset) {
+    for (Slot& s : slots_) {
+        if (offset >= s.base && offset < s.base + s.size) {
+            return &s;
+        }
+    }
+    return nullptr;
+}
+
+std::uint32_t ApbBridge::read32(std::uint32_t offset) {
+    Slot* s = decode(offset);
+    AMSVP_CHECK(s != nullptr, "APB read decodes to no peripheral");
+    ++transfers_;  // setup phase + access phase
+    return s->peripheral->read32(offset - s->base);
+}
+
+void ApbBridge::write32(std::uint32_t offset, std::uint32_t value) {
+    Slot* s = decode(offset);
+    AMSVP_CHECK(s != nullptr, "APB write decodes to no peripheral");
+    ++transfers_;
+    s->peripheral->write32(offset - s->base, value);
+}
+
+}  // namespace amsvp::vp

@@ -1,0 +1,78 @@
+#include "vp/firmware.hpp"
+
+namespace amsvp::vp {
+
+std::string firmware_threshold_monitor() {
+    return R"(# Smart-system application: poll the ADC watching the analog filter
+# output, smooth with a 4-sample moving average, threshold at mid-scale,
+# report state changes on the UART ('1' = above threshold, '0' = below).
+        li   $t0, 0x10001000      # ADC base
+        li   $t1, 0x10000000      # UART base
+        li   $s0, 2048            # threshold (mid-scale of the 12-bit range)
+        li   $s1, 2               # previous state: invalid -> first compare reports
+        li   $s3, 0               # moving-average accumulator
+loop:   li   $t2, 1
+        sw   $t2, 4($t0)          # ADC CTRL: start conversion
+wait:   lw   $t3, 8($t0)          # ADC STATUS
+        beq  $t3, $zero, wait     # poll until done
+        lw   $t4, 0($t0)          # ADC DATA
+        # acc = acc - acc/4 + sample/4   (4-tap exponential moving average)
+        srl  $t5, $t4, 2
+        srl  $t6, $s3, 2
+        subu $s3, $s3, $t6
+        addu $s3, $s3, $t5
+        slt  $t7, $s3, $s0        # t7 = (avg < threshold)
+        beq  $t7, $s1, loop       # state unchanged: next sample
+        move $s1, $t7
+        li   $t8, 0x31            # '1' (above threshold)
+        beq  $t7, $zero, send
+        li   $t8, 0x30            # '0' (below threshold)
+send:
+txwait: lw   $t9, 4($t1)          # UART STATUS
+        andi $t9, $t9, 1
+        beq  $t9, $zero, txwait   # wait for tx ready
+        sw   $t8, 0($t1)          # UART TXDATA
+        j    loop
+)";
+}
+
+std::string firmware_selftest() {
+    return R"(# Self-test: ALU + memory + UART.
+        li   $t0, 0               # checksum
+        li   $t1, 1
+        li   $t2, 10
+sumlp:  addu $t0, $t0, $t1        # sum 1..10 = 55
+        addiu $t1, $t1, 1
+        slt  $t3, $t2, $t1
+        beq  $t3, $zero, sumlp
+        # store/load round trip
+        li   $t4, 0x8000          # scratch address in RAM
+        sw   $t0, 0($t4)
+        lw   $t5, 0($t4)
+        li   $t6, 55
+        bne  $t5, $t6, fail
+        # shifted pattern check: (55 << 4) ^ 0x375 = 0x370 ^ 0x375 = 0x5
+        sll  $t7, $t5, 4
+        xori $t7, $t7, 0x375
+        li   $t8, 0x5
+        bne  $t7, $t8, fail
+        li   $a0, 0x4F            # 'O'
+        jal  putc
+        li   $a0, 0x4B            # 'K'
+        jal  putc
+        halt
+fail:   li   $a0, 0x4E            # 'N'
+        jal  putc
+        li   $a0, 0x4F            # 'O'
+        jal  putc
+        halt
+putc:   li   $t9, 0x10000000      # UART base
+pwait:  lw   $at, 4($t9)
+        andi $at, $at, 1
+        beq  $at, $zero, pwait
+        sw   $a0, 0($t9)
+        jr   $ra
+)";
+}
+
+}  // namespace amsvp::vp

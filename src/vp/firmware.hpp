@@ -1,0 +1,26 @@
+// Firmware programs (MIPS assembly text) executed by the virtual platform.
+#pragma once
+
+#include <string>
+
+namespace amsvp::vp {
+
+/// Memory map shared by firmware and platform.
+inline constexpr std::uint32_t kRamBase = 0x00000000;
+inline constexpr std::uint32_t kRamSize = 64 * 1024;
+inline constexpr std::uint32_t kApbBase = 0x10000000;
+inline constexpr std::uint32_t kUartBase = kApbBase + 0x0000;
+inline constexpr std::uint32_t kAdcBase = kApbBase + 0x1000;
+
+/// The smart-system application of the Table III experiments: continuously
+/// start ADC conversions, low-pass the samples with a 4-tap moving average,
+/// threshold at mid-scale and report every state change as '1'/'0' on the
+/// UART. Runs forever (the platform stops it by simulated-time budget).
+[[nodiscard]] std::string firmware_threshold_monitor();
+
+/// Self-test program used by unit tests: exercises ALU ops, memory, and the
+/// UART by computing a small checksum and printing "OK" (or "NO" on
+/// mismatch), then halting.
+[[nodiscard]] std::string firmware_selftest();
+
+}  // namespace amsvp::vp

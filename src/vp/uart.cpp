@@ -1,0 +1,38 @@
+#include "vp/uart.hpp"
+
+namespace amsvp::vp {
+
+std::uint32_t Uart::read32(std::uint32_t offset) {
+    switch (offset) {
+        case kStatus: {
+            std::uint32_t status = 0x1;  // transmitter always ready
+            if (!rx_fifo_.empty()) {
+                status |= 0x2;
+            }
+            return status;
+        }
+        case kRxData: {
+            if (rx_fifo_.empty()) {
+                return 0;
+            }
+            const auto byte = static_cast<std::uint8_t>(rx_fifo_.front());
+            rx_fifo_.erase(rx_fifo_.begin());
+            return byte;
+        }
+        default:
+            return 0;
+    }
+}
+
+void Uart::write32(std::uint32_t offset, std::uint32_t value) {
+    if (offset == kTxData) {
+        tx_log_.push_back(static_cast<char>(value & 0xFF));
+        ++tx_count_;
+    }
+}
+
+void Uart::receive(std::string_view data) {
+    rx_fifo_.append(data);
+}
+
+}  // namespace amsvp::vp

@@ -1,0 +1,34 @@
+// UART peripheral of the virtual platform. The software side matches a
+// classic memory-mapped UART: poll STATUS for tx-ready, write bytes to
+// TXDATA. Transmitted bytes are captured into a log the testbench reads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vp/bus.hpp"
+
+namespace amsvp::vp {
+
+class Uart final : public BusTarget {
+public:
+    static constexpr std::uint32_t kTxData = 0x0;   ///< write: transmit byte
+    static constexpr std::uint32_t kStatus = 0x4;   ///< read: bit0 tx ready, bit1 rx avail
+    static constexpr std::uint32_t kRxData = 0x8;   ///< read: received byte
+
+    [[nodiscard]] std::uint32_t read32(std::uint32_t offset) override;
+    void write32(std::uint32_t offset, std::uint32_t value) override;
+
+    /// Host-side injection of received data.
+    void receive(std::string_view data);
+
+    [[nodiscard]] const std::string& transmitted() const { return tx_log_; }
+    [[nodiscard]] std::uint64_t tx_count() const { return tx_count_; }
+
+private:
+    std::string tx_log_;
+    std::string rx_fifo_;
+    std::uint64_t tx_count_ = 0;
+};
+
+}  // namespace amsvp::vp

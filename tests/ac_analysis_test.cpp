@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abstraction/abstraction.hpp"
+#include "netlist/builder.hpp"
+#include "runtime/ac_analysis.hpp"
+
+namespace amsvp::runtime {
+namespace {
+
+TEST(AcAnalysis, LogGridSpansEndpoints) {
+    const auto grid = log_frequency_grid(10.0, 1e5, 5);
+    ASSERT_EQ(grid.size(), 5u);
+    EXPECT_NEAR(grid.front(), 10.0, 1e-9);
+    EXPECT_NEAR(grid.back(), 1e5, 1e-3);
+    // Log spacing: constant ratio between neighbours.
+    const double r0 = grid[1] / grid[0];
+    const double r1 = grid[2] / grid[1];
+    EXPECT_NEAR(r0, r1, 1e-9);
+}
+
+TEST(AcAnalysis, RcLowPassMatchesAnalyticBode) {
+    const netlist::Circuit circuit = netlist::make_rc_ladder(1);
+    abstraction::AbstractionOptions options;
+    options.timestep = 1e-7;
+    options.scheme = abstraction::DiscretizationScheme::kTrapezoidal;
+    std::string error;
+    auto model = abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, options, &error);
+    ASSERT_TRUE(model.has_value()) << error;
+
+    const double tau = 5e3 * 25e-9;
+    const auto points = measure_frequency_response(
+        *model, "u0", {100.0, 1.0 / (2 * M_PI * tau), 10e3});
+    ASSERT_EQ(points.size(), 3u);
+
+    for (const AcPoint& p : points) {
+        const double w = 2 * M_PI * p.frequency_hz;
+        const double mag = 1.0 / std::sqrt(1.0 + w * w * tau * tau);
+        const double phase = -std::atan(w * tau);
+        EXPECT_NEAR(p.magnitude, mag, 0.01) << "f = " << p.frequency_hz;
+        EXPECT_NEAR(p.phase_radians, phase, 0.02) << "f = " << p.frequency_hz;
+    }
+    // The corner frequency sits at -3 dB.
+    EXPECT_NEAR(points[1].magnitude, 1.0 / std::sqrt(2.0), 0.01);
+}
+
+TEST(AcAnalysis, ActiveFilterGainAndCutoff) {
+    const netlist::Circuit circuit = netlist::make_opamp();
+    abstraction::AbstractionOptions options;
+    options.timestep = 1e-7;
+    options.scheme = abstraction::DiscretizationScheme::kTrapezoidal;
+    std::string error;
+    auto model = abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, options, &error);
+    ASSERT_TRUE(model.has_value()) << error;
+
+    // Inverting active low-pass: |H(0)| = R2/R1 = 4, fc = 1/(2 pi R2 C1).
+    const double fc = 1.0 / (2 * M_PI * 1.6e3 * 40e-9);
+    const auto points = measure_frequency_response(*model, "u0", {100.0, fc});
+    EXPECT_NEAR(points[0].magnitude, 4.0, 0.05);
+    EXPECT_NEAR(points[1].magnitude, 4.0 / std::sqrt(2.0), 0.06);
+    // Inverting: phase near pi at low frequency.
+    EXPECT_NEAR(std::fabs(points[0].phase_radians), M_PI, 0.05);
+}
+
+TEST(AcAnalysis, RlcResonancePeaksAtF0) {
+    netlist::CircuitBuilder cb("RLC");
+    cb.ground("gnd");
+    cb.voltage_source("VIN", "in", "gnd", "u0");
+    cb.resistor("R1", "in", "n1", 50.0);
+    cb.inductor("L1", "n1", "n2", 1e-3);
+    cb.capacitor("C1", "n2", "gnd", 100e-9);
+    const netlist::Circuit circuit = cb.build();
+
+    abstraction::AbstractionOptions options;
+    options.timestep = 5e-8;
+    options.scheme = abstraction::DiscretizationScheme::kTrapezoidal;
+    std::string error;
+    auto model = abstraction::abstract_circuit(circuit, {{"n2", "gnd"}}, options, &error);
+    ASSERT_TRUE(model.has_value()) << error;
+
+    const double f0 = 1.0 / (2 * M_PI * std::sqrt(1e-3 * 100e-9));
+    const auto points =
+        measure_frequency_response(*model, "u0", {f0 / 4, f0, f0 * 4});
+    // Series RLC voltage across C peaks near f0 with gain Q = sqrt(L/C)/R = 2.
+    EXPECT_GT(points[1].magnitude, points[0].magnitude);
+    EXPECT_GT(points[1].magnitude, points[2].magnitude);
+    EXPECT_NEAR(points[1].magnitude, 2.0, 0.1);
+}
+
+TEST(AcAnalysis, RejectsFrequencyAboveBand) {
+    const netlist::Circuit circuit = netlist::make_rc_ladder(1);
+    std::string error;
+    auto model = abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, {}, &error);
+    ASSERT_TRUE(model.has_value()) << error;
+    EXPECT_DEATH(
+        (void)measure_frequency_response(*model, "u0", {1.0 / model->timestep}),
+        "frequency outside");
+}
+
+}  // namespace
+}  // namespace amsvp::runtime

@@ -1,0 +1,106 @@
+// Fig. 3 behaviour as a testable contract: the extracted model contains
+// only what the chosen outputs need. On a circuit with two independent
+// chains behind one source, requesting one chain's output must keep the
+// other chain entirely out of the generated program.
+#include <gtest/gtest.h>
+
+#include "abstraction/abstraction.hpp"
+#include "expr/traversal.hpp"
+#include "netlist/builder.hpp"
+#include "runtime/simulate.hpp"
+
+namespace amsvp::abstraction {
+namespace {
+
+netlist::Circuit make_forked(int stages_per_chain) {
+    netlist::CircuitBuilder cb("forked");
+    cb.ground("gnd");
+    cb.voltage_source("VIN", "in", "gnd", "u0");
+    for (const char chain : {'a', 'b'}) {
+        std::string prev = "in";
+        for (int i = 1; i <= stages_per_chain; ++i) {
+            const std::string node =
+                (i == stages_per_chain) ? std::string("out") + chain
+                                        : std::string(1, chain) + std::to_string(i);
+            cb.resistor(std::string("R") + chain + std::to_string(i), prev, node, 5e3);
+            cb.capacitor(std::string("C") + chain + std::to_string(i), node, "gnd", 25e-9);
+            prev = node;
+        }
+    }
+    return cb.build();
+}
+
+/// True when any assignment mentions a chain-b quantity.
+bool model_mentions_chain_b(const SignalFlowModel& model) {
+    for (const Assignment& a : model.assignments) {
+        for (const expr::Symbol& s : expr::collect_symbols(a.value)) {
+            if (s.name.size() > 1 && (s.name[0] == 'R' || s.name[0] == 'C') &&
+                s.name[1] == 'b') {
+                return true;
+            }
+        }
+        if (a.target.name.size() > 1 &&
+            (a.target.name[0] == 'R' || a.target.name[0] == 'C') && a.target.name[1] == 'b') {
+            return true;
+        }
+    }
+    return false;
+}
+
+class ForkedChains : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForkedChains, SingleOutputDiscardsTheOtherChain) {
+    const netlist::Circuit circuit = make_forked(GetParam());
+    std::string error;
+    AbstractionReport report;
+    auto model = abstract_circuit(circuit, {{"outa", "gnd"}}, {}, &error, &report);
+    ASSERT_TRUE(model.has_value()) << error;
+    EXPECT_FALSE(model_mentions_chain_b(*model));
+    // Chain b has 2 * stages branches whose classes must remain unused.
+    EXPECT_LT(report.equations_consumed, report.database_classes);
+    // State space: only chain a's capacitors.
+    EXPECT_EQ(model->state_symbols().size(), static_cast<std::size_t>(GetParam()));
+}
+
+TEST_P(ForkedChains, BothOutputsKeepBothChains) {
+    const netlist::Circuit circuit = make_forked(GetParam());
+    std::string error;
+    auto model =
+        abstract_circuit(circuit, {{"outa", "gnd"}, {"outb", "gnd"}}, {}, &error);
+    ASSERT_TRUE(model.has_value()) << error;
+    EXPECT_TRUE(model_mentions_chain_b(*model));
+    EXPECT_EQ(model->state_symbols().size(), static_cast<std::size_t>(2 * GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, ForkedChains, ::testing::Values(1, 2, 3, 5));
+
+TEST(ConeExtraction, PrunedModelStillSimulatesCorrectly) {
+    const netlist::Circuit circuit = make_forked(2);
+    std::string error;
+    auto single = abstract_circuit(circuit, {{"outa", "gnd"}}, {}, &error);
+    ASSERT_TRUE(single.has_value()) << error;
+    auto both = abstract_circuit(circuit, {{"outa", "gnd"}, {"outb", "gnd"}}, {}, &error);
+    ASSERT_TRUE(both.has_value()) << error;
+
+    const auto stimuli =
+        std::map<std::string, numeric::SourceFunction>{{"u0", numeric::square_wave(4e-4)}};
+    auto single_run = runtime::simulate_transient(*single, stimuli, 1e-3);
+    auto both_run = runtime::simulate_transient(*both, stimuli, 1e-3);
+
+    // outa must be identical whether or not chain b is also extracted
+    // (extraction of independent cones cannot interact).
+    const auto& a1 = single_run.outputs[0];
+    const auto& a2 = both_run.outputs[0];
+    ASSERT_EQ(a1.size(), a2.size());
+    for (std::size_t k = 0; k < a1.size(); ++k) {
+        ASSERT_NEAR(a1.value(k), a2.value(k), 1e-12) << "sample " << k;
+    }
+    // And the two chains are symmetric: outa == outb in the both-model.
+    const auto& b2 = both_run.outputs[1];
+    for (std::size_t k = 0; k < a2.size(); ++k) {
+        ASSERT_NEAR(a2.value(k), b2.value(k), 1e-9) << "sample " << k;
+    }
+}
+
+}  // namespace
+}  // namespace amsvp::abstraction

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cosim/coupler.hpp"
+#include "netlist/builder.hpp"
+
+namespace amsvp::cosim {
+namespace {
+
+spice::SpiceOptions options_1us() {
+    spice::SpiceOptions options;
+    options.timestep = 1e-6;
+    options.internal_substeps = 4;
+    return options;
+}
+
+TEST(Cosim, SynchronizesEveryAnalogTimestep) {
+    const netlist::Circuit c = netlist::make_rc_ladder(1);
+    de::Simulator sim;
+    CosimCoupler coupler(sim, c, options_1us(), {{"u0", numeric::constant(1.0)}}, "out",
+                         "gnd");
+    sim.run_until(de::from_seconds(100e-6));
+
+    EXPECT_EQ(coupler.stats().sync_points, 100u);
+    EXPECT_EQ(coupler.stats().handshakes, 100u);
+    EXPECT_EQ(coupler.trace().size(), 100u);
+    // Each sync marshals at least one input and one observation in each
+    // direction (8 bytes + sequence header).
+    EXPECT_GE(coupler.stats().bytes_marshalled, 100u * 2u * (8u + 8u) * 2u);
+}
+
+TEST(Cosim, TraceFollowsRcCharge) {
+    const netlist::Circuit c = netlist::make_rc_ladder(1);
+    de::Simulator sim;
+    CosimCoupler coupler(sim, c, options_1us(), {{"u0", numeric::constant(1.0)}}, "out",
+                         "gnd");
+    sim.run_until(de::from_seconds(500e-6));
+
+    const numeric::Waveform& trace = coupler.trace();
+    const double tau = 125e-6;
+    const double expected = 1.0 - std::exp(-trace.time(trace.size() - 1) / tau);
+    EXPECT_NEAR(trace.samples().back(), expected, 2e-3);
+    // Monotone rise for a step stimulus.
+    for (std::size_t k = 1; k < trace.size(); ++k) {
+        EXPECT_GE(trace.value(k) + 1e-12, trace.value(k - 1));
+    }
+}
+
+TEST(Cosim, OutputSignalHoldsLatestObservation) {
+    const netlist::Circuit c = netlist::make_rc_ladder(1);
+    de::Simulator sim;
+    CosimCoupler coupler(sim, c, options_1us(), {{"u0", numeric::constant(1.0)}}, "out",
+                         "gnd");
+    sim.run_until(de::from_seconds(50e-6));
+    EXPECT_DOUBLE_EQ(coupler.output().read(), coupler.trace().samples().back());
+}
+
+TEST(Cosim, ZeroOrderHoldOnInputsWithinStep) {
+    // The coupler samples stimuli only at sync points: a pulse shorter than
+    // the analog timestep that falls between syncs is invisible. This is the
+    // documented fidelity limit of lock-step co-simulation.
+    const netlist::Circuit c = netlist::make_rc_ladder(1);
+    de::Simulator sim;
+    // 1-sample pulse at t = 1.5 us, between the 1 us and 2 us sync points.
+    auto pulse = [](double t) { return (t > 1.4e-6 && t < 1.6e-6) ? 1.0 : 0.0; };
+    CosimCoupler coupler(sim, c, options_1us(), {{"u0", pulse}}, "out", "gnd");
+    sim.run_until(de::from_seconds(10e-6));
+    for (const double v : coupler.trace().samples()) {
+        EXPECT_DOUBLE_EQ(v, 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace amsvp::cosim

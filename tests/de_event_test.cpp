@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "backends/tracing.hpp"
+#include "de/event.hpp"
+#include "de/signal.hpp"
+
+namespace amsvp::de {
+namespace {
+
+TEST(Event, NotifyWakesSensitiveProcesses) {
+    Simulator sim;
+    Event ev(sim, "ev");
+    int activations = 0;
+    const ProcessId p = sim.add_process("watcher", [&] { ++activations; });
+    ev.add_sensitive(p);
+
+    sim.schedule_at(5, [&] { ev.notify(); });
+    sim.run_until(10);
+    EXPECT_EQ(activations, 1);
+    EXPECT_EQ(ev.notification_count(), 1u);
+}
+
+TEST(Event, TimedNotificationFiresAtDelay) {
+    Simulator sim;
+    Event ev(sim, "ev");
+    Time fired_at = 0;
+    const ProcessId p = sim.add_process("watcher", [&] { fired_at = sim.now(); });
+    ev.add_sensitive(p);
+
+    ev.notify_after(25);
+    sim.run_until(100);
+    EXPECT_EQ(fired_at, 25u);
+}
+
+TEST(Event, CancelSuppressesPendingNotification) {
+    Simulator sim;
+    Event ev(sim, "ev");
+    int activations = 0;
+    const ProcessId p = sim.add_process("watcher", [&] { ++activations; });
+    ev.add_sensitive(p);
+
+    ev.notify_after(50);
+    sim.schedule_at(10, [&] { ev.cancel(); });
+    sim.run_until(100);
+    EXPECT_EQ(activations, 0);
+
+    // Notifications issued after the cancel work normally.
+    ev.notify_after(20);
+    sim.run_until(200);
+    EXPECT_EQ(activations, 1);
+}
+
+TEST(Event, MultipleSubscribersAllWake) {
+    Simulator sim;
+    Event ev(sim, "ev");
+    int total = 0;
+    for (int i = 0; i < 3; ++i) {
+        const ProcessId p = sim.add_process("w" + std::to_string(i), [&] { ++total; });
+        ev.add_sensitive(p);
+    }
+    sim.schedule_at(1, [&] { ev.notify(); });
+    sim.run_until(2);
+    EXPECT_EQ(total, 3);
+}
+
+TEST(Tracing, SignalChangesLandInVcd) {
+    Simulator sim;
+    Signal<double> v(sim, "v", 0.0);
+    Signal<bool> b(sim, "b", false);
+    backends::SignalTracer tracer(sim, 1e-15);  // 1 fs ticks = kernel ticks
+    tracer.trace(v, "vout");
+    tracer.trace(b, "flag");
+
+    sim.schedule_at(10, [&] { v.write(2.5); });
+    sim.schedule_at(20, [&] { b.write(true); });
+    sim.schedule_at(30, [&] { v.write(-1.0); });
+    sim.run_until(50);
+
+    const std::string text = tracer.vcd().render();
+    EXPECT_NE(text.find("$var real 64 ! vout $end"), std::string::npos);
+    EXPECT_NE(text.find("$var wire 1 \" flag $end"), std::string::npos);
+    EXPECT_NE(text.find("#10\nr2.5 !"), std::string::npos);
+    EXPECT_NE(text.find("#20\n1\""), std::string::npos);
+    EXPECT_NE(text.find("#30\nr-1 !"), std::string::npos);
+}
+
+TEST(Tracing, InitialValuesAreRecorded) {
+    Simulator sim;
+    Signal<double> v(sim, "v", 42.0);
+    backends::SignalTracer tracer(sim, 1e-15);
+    tracer.trace(v, "vout");
+    const std::string text = tracer.vcd().render();
+    EXPECT_NE(text.find("#0\nr42 !"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amsvp::de

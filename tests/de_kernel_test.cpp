@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "de/clock.hpp"
+#include "de/signal.hpp"
+
+namespace amsvp::de {
+namespace {
+
+TEST(Time, ConversionsRoundTrip) {
+    EXPECT_EQ(from_seconds(1.0), kSecond);
+    EXPECT_EQ(from_seconds(50e-9), 50 * kNanosecond);
+    EXPECT_DOUBLE_EQ(to_seconds(25 * kMicrosecond), 25e-6);
+}
+
+TEST(Time, Formatting) {
+    EXPECT_EQ(format_time(50 * kNanosecond), "50 ns");
+    EXPECT_EQ(format_time(kSecond), "1 s");
+    EXPECT_EQ(format_time(1500 * kNanosecond), "1500 ns");
+}
+
+TEST(Simulator, TimedEventsFireInOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(30, [&] { order.push_back(3); });
+    sim.schedule_at(10, [&] { order.push_back(1); });
+    sim.schedule_at(20, [&] { order.push_back(2); });
+    sim.run_until(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, SameTimeEventsFifo) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        sim.schedule_at(10, [&order, i] { order.push_back(i); });
+    }
+    sim.run_until(10);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunStopsAtBoundary) {
+    Simulator sim;
+    bool late_fired = false;
+    sim.schedule_at(200, [&] { late_fired = true; });
+    sim.run_until(100);
+    EXPECT_FALSE(late_fired);
+    EXPECT_TRUE(sim.has_pending_events());
+    sim.run_until(200);
+    EXPECT_TRUE(late_fired);
+}
+
+TEST(Signal, WriteCommitsInUpdatePhase) {
+    Simulator sim;
+    Signal<int> s(sim, "s", 0);
+    int observed_during_evaluate = -1;
+
+    const ProcessId writer = sim.add_process("writer", [&] {
+        s.write(42);
+        observed_during_evaluate = s.read();  // still old value
+    });
+    sim.schedule_at(1, [&sim, writer] { sim.trigger(writer); });
+    sim.run_until(2);
+
+    EXPECT_EQ(observed_during_evaluate, 0);
+    EXPECT_EQ(s.read(), 42);
+}
+
+TEST(Signal, SensitiveProcessWakesOnChangeOnly) {
+    Simulator sim;
+    Signal<int> s(sim, "s", 0);
+    int activations = 0;
+    const ProcessId watcher = sim.add_process("watcher", [&] { ++activations; });
+    s.add_sensitive(watcher);
+
+    sim.schedule_at(1, [&] { s.write(5); });   // change -> wake
+    sim.schedule_at(2, [&] { s.write(5); });   // no change -> no wake
+    sim.schedule_at(3, [&] { s.write(7); });   // change -> wake
+    sim.run_until(10);
+
+    EXPECT_EQ(activations, 2);
+    EXPECT_EQ(s.change_count(), 2u);
+}
+
+TEST(Signal, LastWriteInDeltaWins) {
+    Simulator sim;
+    Signal<int> s(sim, "s", 0);
+    sim.schedule_at(1, [&] {
+        s.write(1);
+        s.write(2);
+    });
+    sim.run_until(1);
+    EXPECT_EQ(s.read(), 2);
+}
+
+TEST(Simulator, DeltaCascadePropagatesThroughChain) {
+    // a -> watcher writes b -> watcher2 reads b: two delta cycles.
+    Simulator sim;
+    Signal<int> a(sim, "a", 0);
+    Signal<int> b(sim, "b", 0);
+    int final_b = -1;
+
+    const ProcessId p1 = sim.add_process("p1", [&] { b.write(a.read() + 1); });
+    const ProcessId p2 = sim.add_process("p2", [&] { final_b = b.read(); });
+    a.add_sensitive(p1);
+    b.add_sensitive(p2);
+
+    sim.schedule_at(5, [&] { a.write(10); });
+    sim.run_until(10);
+    EXPECT_EQ(final_b, 11);
+    EXPECT_GE(sim.stats().delta_cycles, 2u);
+}
+
+TEST(Clock, PosedgesAtMultiplesOfPeriod) {
+    Simulator sim;
+    Clock clock(sim, "clk", 10);
+    std::vector<Time> edges;
+    const ProcessId p = sim.add_process("edge", [&] { edges.push_back(sim.now()); });
+    clock.pos_sensitive(p);
+    sim.run_until(35);
+    EXPECT_EQ(edges, (std::vector<Time>{10, 20, 30}));
+    EXPECT_EQ(clock.posedge_count(), 3u);
+}
+
+TEST(Clock, NegedgesBetweenPosedges) {
+    Simulator sim;
+    Clock clock(sim, "clk", 10);
+    std::vector<Time> edges;
+    const ProcessId p = sim.add_process("edge", [&] { edges.push_back(sim.now()); });
+    clock.neg_sensitive(p);
+    sim.run_until(36);
+    EXPECT_EQ(edges, (std::vector<Time>{15, 25, 35}));
+}
+
+TEST(Simulator, StatsCountActivity) {
+    Simulator sim;
+    Signal<int> s(sim, "s", 0);
+    const ProcessId p = sim.add_process("p", [&] { (void)s.read(); });
+    s.add_sensitive(p);
+    sim.schedule_at(1, [&] { s.write(1); });
+    sim.schedule_at(2, [&] { s.write(2); });
+    sim.run_until(5);
+    EXPECT_EQ(sim.stats().timed_events, 2u);
+    EXPECT_EQ(sim.stats().process_activations, 2u);
+    EXPECT_GE(sim.stats().channel_updates, 2u);
+}
+
+TEST(Simulator, ProcessNamesAreKept) {
+    Simulator sim;
+    const ProcessId p = sim.add_process("my_proc", [] {});
+    EXPECT_EQ(sim.process_name(p), "my_proc");
+}
+
+}  // namespace
+}  // namespace amsvp::de

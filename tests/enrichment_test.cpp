@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "abstraction/enrichment.hpp"
+#include "expr/printer.hpp"
+#include "expr/traversal.hpp"
+#include "netlist/builder.hpp"
+
+namespace amsvp::abstraction {
+namespace {
+
+using expr::LinearKey;
+
+TEST(EquationDatabase, ClassesAndCandidates) {
+    EquationDatabase db;
+    const ClassId c0 = db.new_class();
+    const ClassId c1 = db.new_class();
+
+    db.insert(expr::make_equation(expr::EquationKind::kDipole, expr::branch_current("R"),
+                                  expr::Expr::constant(1.0), "a"),
+              c0);
+    db.insert(expr::make_equation(expr::EquationKind::kSolvedVariant,
+                                  expr::branch_voltage("R"), expr::Expr::constant(2.0), "b"),
+              c0);
+    db.insert(expr::make_equation(expr::EquationKind::kKirchhoffCurrent,
+                                  expr::branch_current("R"), expr::Expr::constant(3.0), "c"),
+              c1);
+
+    EXPECT_EQ(db.equation_count(), 3u);
+    EXPECT_EQ(db.class_count(), 2u);
+
+    auto candidates = db.candidates(LinearKey{expr::branch_current("R"), false});
+    EXPECT_EQ(candidates.size(), 2u);
+
+    db.disable_class(c0);
+    candidates = db.candidates(LinearKey{expr::branch_current("R"), false});
+    ASSERT_EQ(candidates.size(), 1u);
+    EXPECT_EQ(db.class_of(candidates[0]), c1);
+    EXPECT_EQ(db.enabled_class_count(), 1u);
+
+    db.reset_enabled();
+    EXPECT_EQ(db.candidates(LinearKey{expr::branch_current("R"), false}).size(), 2u);
+}
+
+TEST(EquationDatabase, DerivativeKeysAreSeparate) {
+    EquationDatabase db;
+    const ClassId c0 = db.new_class();
+    db.insert(expr::make_derivative_equation(expr::EquationKind::kSolvedVariant,
+                                             expr::branch_voltage("C"),
+                                             expr::Expr::constant(1.0), "x"),
+              c0);
+    EXPECT_TRUE(db.candidates(LinearKey{expr::branch_voltage("C"), false}).empty());
+    EXPECT_EQ(db.candidates(LinearKey{expr::branch_voltage("C"), true}).size(), 1u);
+}
+
+TEST(EquationDatabase, ClassMembersChainInInsertionOrder) {
+    EquationDatabase db;
+    const ClassId c0 = db.new_class();
+    const EquationId first = db.insert(
+        expr::make_equation(expr::EquationKind::kDipole, expr::branch_current("R"),
+                            expr::Expr::constant(1.0), "orig"),
+        c0);
+    const EquationId second = db.insert(
+        expr::make_equation(expr::EquationKind::kSolvedVariant, expr::branch_voltage("R"),
+                            expr::Expr::constant(2.0), "var"),
+        c0);
+    EXPECT_EQ(db.class_members(c0), (std::vector<EquationId>{first, second}));
+}
+
+TEST(Enrichment, Rc1CountsMatchTheory) {
+    const netlist::Circuit c = netlist::make_rc_ladder(1);
+    EnrichmentStats stats;
+    const EquationDatabase db = enrich(c, {}, &stats);
+
+    // 3 branches, 3 nodes -> 3 dipoles, 2 KCL (non-ground), 1 KVL loop.
+    EXPECT_EQ(stats.dipole_equations, 3u);
+    EXPECT_EQ(stats.kcl_equations, 2u);
+    EXPECT_EQ(stats.kvl_equations, 1u);
+    EXPECT_EQ(db.class_count(), 6u);
+
+    // Variants: resistor has 2 terms (1 extra), capacitor 2 terms (1 extra,
+    // the ddt one), source 1 term (0 extra); each KCL over 2 currents adds 1
+    // variant; the KVL over 3 voltages adds 2.
+    EXPECT_EQ(stats.solved_variants, 1u + 1u + 0u + 1u + 1u + 2u);
+}
+
+class EnrichmentLadder : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnrichmentLadder, EveryBranchQuantityHasADefinition) {
+    const netlist::Circuit c = netlist::make_rc_ladder(GetParam());
+    const EquationDatabase db = enrich(c);
+    for (const netlist::Branch& b : c.branches()) {
+        const bool v_defined =
+            !db.candidates(LinearKey{b.voltage_symbol(), false}).empty() ||
+            !db.candidates(LinearKey{b.voltage_symbol(), true}).empty();
+        const bool i_defined =
+            !db.candidates(LinearKey{b.current_symbol(), false}).empty() ||
+            !db.candidates(LinearKey{b.current_symbol(), true}).empty();
+        EXPECT_TRUE(v_defined) << "no definition for V(" << b.name << ")";
+        EXPECT_TRUE(i_defined) << "no definition for I(" << b.name << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, EnrichmentLadder, ::testing::Values(1, 2, 5, 10, 20));
+
+TEST(Enrichment, OptionsDisableAnalyses) {
+    const netlist::Circuit c = netlist::make_rc_ladder(2);
+    EnrichmentOptions no_kvl;
+    no_kvl.mesh_analysis = false;
+    EnrichmentStats stats;
+    (void)enrich(c, no_kvl, &stats);
+    EXPECT_EQ(stats.kvl_equations, 0u);
+    EXPECT_GT(stats.kcl_equations, 0u);
+
+    EnrichmentOptions no_kcl;
+    no_kcl.nodal_analysis = false;
+    (void)enrich(c, no_kcl, &stats);
+    EXPECT_EQ(stats.kcl_equations, 0u);
+    EXPECT_GT(stats.kvl_equations, 0u);
+}
+
+TEST(Enrichment, SolvedVariantsAreConsistent) {
+    // For the resistor dipole I = V/R, the variant must be V = R * I.
+    const netlist::Circuit c = netlist::make_rc_ladder(1);
+    const EquationDatabase db = enrich(c);
+    const auto candidates = db.candidates(LinearKey{expr::branch_voltage("R1"), false});
+    bool found = false;
+    for (const EquationId id : candidates) {
+        const expr::Equation& eq = db.equation(id);
+        if (eq.origin.find("dipole(R1)") != std::string::npos) {
+            found = true;
+            // Evaluate rhs with I(R1) = 2 mA -> expect 10 V.
+            expr::Substitution map;
+            map[expr::branch_current("R1")] = expr::Expr::constant(2e-3);
+            EXPECT_NEAR(evaluate_constant(substitute(eq.rhs, map)), 10.0, 1e-9);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Enrichment, KclVariantBalancesNode) {
+    // At the ladder's internal node, I(R1) = I(C1) + I(R2) for RC2.
+    const netlist::Circuit c = netlist::make_rc_ladder(2);
+    const EquationDatabase db = enrich(c);
+    const auto candidates = db.candidates(LinearKey{expr::branch_current("R1"), false});
+    bool found_kcl = false;
+    for (const EquationId id : candidates) {
+        const expr::Equation& eq = db.equation(id);
+        if (eq.kind != expr::EquationKind::kKirchhoffCurrent) {
+            continue;
+        }
+        if (eq.origin.find("KCL@n1") == std::string::npos) {
+            continue;
+        }
+        found_kcl = true;
+        expr::Substitution map;
+        map[expr::branch_current("C1")] = expr::Expr::constant(1.0);
+        map[expr::branch_current("R2")] = expr::Expr::constant(2.0);
+        EXPECT_NEAR(evaluate_constant(substitute(eq.rhs, map)), 3.0, 1e-12);
+    }
+    EXPECT_TRUE(found_kcl);
+}
+
+TEST(Enrichment, NonlinearDipoleKeepsOnlyOriginal) {
+    // A nonlinear constitutive equation cannot be solved per term; the class
+    // must contain exactly the original equation.
+    netlist::CircuitBuilder cb("nl");
+    cb.ground("gnd");
+    cb.voltage_source("V1", "a", "gnd", "u0");
+    // I = 1e-3 * V^3 (cubic conductance), written as V*V*V.
+    const auto v = [&] { return expr::Expr::symbol(expr::branch_voltage("D1")); };
+    expr::Equation eq = expr::make_equation(
+        expr::EquationKind::kDipole, expr::branch_current("D1"),
+        expr::Expr::mul(expr::Expr::constant(1e-3),
+                        expr::Expr::mul(v(), expr::Expr::mul(v(), v()))),
+        "dipole(D1)");
+    cb.generic("D1", "a", "gnd", std::move(eq));
+    const netlist::Circuit c = cb.build();
+
+    const EquationDatabase db = enrich(c);
+    // Find the class of the D1 dipole: it must have exactly one member.
+    for (ClassId cls = 0; cls < static_cast<ClassId>(db.class_count()); ++cls) {
+        const auto members = db.class_members(cls);
+        if (members.size() == 1 &&
+            db.equation(members[0]).origin == "dipole(D1)") {
+            SUCCEED();
+            return;
+        }
+    }
+    // Also acceptable: the class exists with only the original.
+    FAIL() << "nonlinear dipole class not found or has unexpected variants";
+}
+
+}  // namespace
+}  // namespace amsvp::abstraction

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "expr/expr.hpp"
+#include "expr/printer.hpp"
+#include "expr/traversal.hpp"
+
+namespace amsvp::expr {
+namespace {
+
+ExprPtr sym(const char* name) {
+    return Expr::symbol(variable_symbol(name));
+}
+
+TEST(ExprFactory, ConstantFolding) {
+    auto e = Expr::add(Expr::constant(2), Expr::constant(3));
+    ASSERT_EQ(e->kind(), ExprKind::kConstant);
+    EXPECT_DOUBLE_EQ(e->constant_value(), 5.0);
+}
+
+TEST(ExprFactory, NeutralElements) {
+    auto x = sym("x");
+    EXPECT_EQ(Expr::add(x, Expr::constant(0)), x);
+    EXPECT_EQ(Expr::add(Expr::constant(0), x), x);
+    EXPECT_EQ(Expr::mul(x, Expr::constant(1)), x);
+    EXPECT_EQ(Expr::div(x, Expr::constant(1)), x);
+    EXPECT_EQ(Expr::sub(x, Expr::constant(0)), x);
+}
+
+TEST(ExprFactory, AbsorbingZeroInMultiplication) {
+    auto x = sym("x");
+    EXPECT_TRUE(Expr::mul(x, Expr::constant(0))->is_constant(0.0));
+    EXPECT_TRUE(Expr::mul(Expr::constant(0), x)->is_constant(0.0));
+}
+
+TEST(ExprFactory, DoubleNegationCancels) {
+    auto x = sym("x");
+    EXPECT_EQ(Expr::neg(Expr::neg(x)), x);
+}
+
+TEST(ExprFactory, MinusOneBecomesNegation) {
+    auto x = sym("x");
+    auto e = Expr::mul(Expr::constant(-1), x);
+    ASSERT_EQ(e->kind(), ExprKind::kUnary);
+    EXPECT_EQ(e->unary_op(), UnaryOp::kNeg);
+}
+
+TEST(ExprFactory, DdtOfConstantIsZero) {
+    EXPECT_TRUE(Expr::ddt(Expr::constant(7))->is_constant(0.0));
+}
+
+TEST(ExprFactory, ConditionalWithConstantConditionSelectsBranch) {
+    auto t = sym("t");
+    auto f = sym("f");
+    EXPECT_EQ(Expr::conditional(Expr::constant(1), t, f), t);
+    EXPECT_EQ(Expr::conditional(Expr::constant(0), t, f), f);
+}
+
+TEST(ExprFlags, HasDynamicPropagates) {
+    auto x = sym("x");
+    EXPECT_FALSE(x->has_dynamic());
+    auto d = Expr::ddt(x);
+    EXPECT_TRUE(d->has_dynamic());
+    auto e = Expr::add(sym("y"), Expr::mul(Expr::constant(2), d));
+    EXPECT_TRUE(e->has_dynamic());
+}
+
+TEST(ExprNodeCount, CountsAllNodes) {
+    // x + 2 * y: add, x, mul, 2, y -> 5 nodes
+    auto e = Expr::add(sym("x"), Expr::mul(Expr::constant(2), sym("y")));
+    EXPECT_EQ(e->node_count(), 5u);
+}
+
+TEST(StructuralEqual, DistinguishesShapeAndValues) {
+    auto a = Expr::add(sym("x"), Expr::constant(1));
+    auto b = Expr::add(sym("x"), Expr::constant(1));
+    auto c = Expr::add(sym("x"), Expr::constant(2));
+    auto d = Expr::sub(sym("x"), Expr::constant(1));
+    EXPECT_TRUE(structurally_equal(a, b));
+    EXPECT_FALSE(structurally_equal(a, c));
+    EXPECT_FALSE(structurally_equal(a, d));
+}
+
+TEST(StructuralEqual, DelayedComparesDelay) {
+    auto a = Expr::delayed(variable_symbol("x"), 1);
+    auto b = Expr::delayed(variable_symbol("x"), 2);
+    EXPECT_FALSE(structurally_equal(a, b));
+    EXPECT_TRUE(structurally_equal(a, Expr::delayed(variable_symbol("x"), 1)));
+}
+
+TEST(EvaluateConstant, FoldsArithmeticAndFunctions) {
+    auto e = Expr::binary(BinaryOp::kPow, Expr::constant(2), Expr::constant(10));
+    EXPECT_DOUBLE_EQ(evaluate_constant(e), 1024.0);
+    auto f = Expr::unary(UnaryOp::kExp, Expr::constant(0.0));
+    EXPECT_DOUBLE_EQ(evaluate_constant(f), 1.0);
+}
+
+TEST(ApplyBinary, RelationalOperators) {
+    EXPECT_DOUBLE_EQ(apply_binary(BinaryOp::kLt, 1, 2), 1.0);
+    EXPECT_DOUBLE_EQ(apply_binary(BinaryOp::kGe, 1, 2), 0.0);
+    EXPECT_DOUBLE_EQ(apply_binary(BinaryOp::kAnd, 1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(apply_binary(BinaryOp::kOr, 1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(apply_binary(BinaryOp::kMin, -1, 4), -1.0);
+}
+
+TEST(Symbols, DisplayAndIdentifier) {
+    EXPECT_EQ(branch_voltage("C1").display(), "V(C1)");
+    EXPECT_EQ(branch_current("R2").display(), "I(R2)");
+    EXPECT_EQ(branch_voltage("C1").identifier(), "V_C1");
+    EXPECT_EQ(time_symbol().identifier(), "_abstime");
+    EXPECT_EQ(input_symbol("u0").display(), "u0");
+}
+
+TEST(Symbols, IdentityIncludesKind) {
+    EXPECT_NE(branch_voltage("C1"), branch_current("C1"));
+    EXPECT_EQ(branch_voltage("C1"), branch_voltage("C1"));
+}
+
+TEST(Printer, PrecedenceAwareParentheses) {
+    // (x + y) * z needs parentheses; x + y * z does not.
+    auto x = sym("x");
+    auto y = sym("y");
+    auto z = sym("z");
+    EXPECT_EQ(to_string(Expr::mul(Expr::add(x, y), z)), "(x + y) * z");
+    EXPECT_EQ(to_string(Expr::add(x, Expr::mul(y, z))), "x + y * z");
+}
+
+TEST(Printer, SubtractionRightAssociativity) {
+    auto x = sym("x");
+    auto y = sym("y");
+    auto z = sym("z");
+    // x - (y - z) must keep the parentheses.
+    EXPECT_EQ(to_string(Expr::sub(x, Expr::sub(y, z))), "x - (y - z)");
+    // (x - y) - z prints flat.
+    EXPECT_EQ(to_string(Expr::sub(Expr::sub(x, y), z)), "x - y - z");
+}
+
+TEST(Printer, CppStyleFunctions) {
+    auto e = Expr::unary(UnaryOp::kExp, sym("x"));
+    EXPECT_EQ(to_string(e, PrintStyle::kCpp), "std::exp(x)");
+    EXPECT_EQ(to_string(e, PrintStyle::kMath), "exp(x)");
+}
+
+TEST(Printer, DelayedRendering) {
+    auto d1 = Expr::delayed(branch_voltage("C1"), 1);
+    auto d2 = Expr::delayed(branch_voltage("C1"), 2);
+    EXPECT_EQ(to_string(d1), "V(C1)@(t-dt)");
+    EXPECT_EQ(to_string(d1, PrintStyle::kCpp), "V_C1_prev");
+    EXPECT_EQ(to_string(d2, PrintStyle::kCpp), "V_C1_prev2");
+}
+
+TEST(Printer, Conditional) {
+    auto e = Expr::conditional(Expr::binary(BinaryOp::kLt, sym("x"), Expr::constant(0)),
+                               Expr::constant(1), Expr::constant(2));
+    EXPECT_EQ(to_string(e), "x < 0 ? 1 : 2");
+}
+
+TEST(Traversal, CollectSymbols) {
+    auto e = Expr::add(sym("a"), Expr::mul(sym("b"), Expr::delayed(variable_symbol("c"), 1)));
+    const auto current = collect_symbols(e);
+    EXPECT_EQ(current.size(), 2u);
+    EXPECT_TRUE(current.contains(variable_symbol("a")));
+    EXPECT_TRUE(current.contains(variable_symbol("b")));
+    const auto delayed = collect_delayed_symbols(e);
+    EXPECT_EQ(delayed.size(), 1u);
+    EXPECT_TRUE(delayed.contains(variable_symbol("c")));
+}
+
+TEST(Traversal, ReferencesSymbol) {
+    auto e = Expr::add(sym("a"), sym("b"));
+    EXPECT_TRUE(references_symbol(e, variable_symbol("a")));
+    EXPECT_FALSE(references_symbol(e, variable_symbol("z")));
+}
+
+TEST(Traversal, SubstituteReplacesCurrentTimeOnly) {
+    Substitution map;
+    map[variable_symbol("x")] = Expr::constant(3);
+    auto e = Expr::add(sym("x"), Expr::delayed(variable_symbol("x"), 1));
+    auto r = substitute(e, map);
+    // current-time x becomes 3; delayed x stays.
+    ASSERT_EQ(r->kind(), ExprKind::kBinary);
+    EXPECT_TRUE(r->left()->is_constant(3.0));
+    EXPECT_EQ(r->right()->kind(), ExprKind::kDelayed);
+}
+
+TEST(Traversal, SubstituteFoldsThroughBuilders) {
+    Substitution map;
+    map[variable_symbol("x")] = Expr::constant(0);
+    auto e = Expr::mul(sym("y"), sym("x"));
+    EXPECT_TRUE(substitute(e, map)->is_constant(0.0));
+}
+
+TEST(Traversal, Depth) {
+    auto e = Expr::add(sym("x"), Expr::mul(sym("y"), sym("z")));
+    EXPECT_EQ(depth(e), 3u);
+    EXPECT_EQ(depth(sym("x")), 1u);
+}
+
+TEST(Traversal, VisitPreOrderWithPruning) {
+    auto e = Expr::add(Expr::mul(sym("a"), sym("b")), sym("c"));
+    int visited = 0;
+    visit(e, [&](const ExprPtr& node) {
+        ++visited;
+        // Prune below the multiplication.
+        return node->kind() != ExprKind::kBinary || node->binary_op() != BinaryOp::kMul;
+    });
+    // add, mul (pruned), c
+    EXPECT_EQ(visited, 3);
+}
+
+}  // namespace
+}  // namespace amsvp::expr

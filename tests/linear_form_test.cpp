@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "expr/linear_form.hpp"
+#include "expr/printer.hpp"
+#include "expr/traversal.hpp"
+
+namespace amsvp::expr {
+namespace {
+
+ExprPtr v(const char* b) {
+    return Expr::symbol(branch_voltage(b));
+}
+ExprPtr i(const char* b) {
+    return Expr::symbol(branch_current(b));
+}
+ExprPtr in(const char* n) {
+    return Expr::symbol(input_symbol(n));
+}
+
+const UnknownPredicate kUnknowns = branch_quantities_unknown();
+
+TEST(LinearForm, ExtractsResistorEquation) {
+    // I(R) - V(R)/5000 == 0
+    auto e = Expr::sub(i("R"), Expr::div(v("R"), Expr::constant(5000)));
+    auto form = LinearForm::extract(e, kUnknowns);
+    ASSERT_TRUE(form.has_value());
+    EXPECT_DOUBLE_EQ(form->coefficient({branch_current("R"), false}), 1.0);
+    EXPECT_DOUBLE_EQ(form->coefficient({branch_voltage("R"), false}), -1.0 / 5000.0);
+    EXPECT_TRUE(form->offset()->is_constant(0.0));
+}
+
+TEST(LinearForm, ExtractsCapacitorWithDerivativeKey) {
+    // I(C) - 25n * ddt(V(C)) == 0
+    auto e = Expr::sub(i("C"), Expr::mul(Expr::constant(25e-9), Expr::ddt(v("C"))));
+    auto form = LinearForm::extract(e, kUnknowns);
+    ASSERT_TRUE(form.has_value());
+    EXPECT_DOUBLE_EQ(form->coefficient({branch_current("C"), false}), 1.0);
+    EXPECT_DOUBLE_EQ(form->coefficient({branch_voltage("C"), true}), -25e-9);
+}
+
+bool offset_mentions(const LinearForm& form, std::string_view name) {
+    return to_string(form.offset()).find(name) != std::string::npos;
+}
+
+TEST(LinearForm, InputsGoToOffset) {
+    auto e = Expr::sub(v("VIN"), in("u0"));
+    auto form = LinearForm::extract(e, kUnknowns);
+    ASSERT_TRUE(form.has_value());
+    EXPECT_DOUBLE_EQ(form->coefficient({branch_voltage("VIN"), false}), 1.0);
+    EXPECT_TRUE(offset_mentions(*form, "u0"));  // offset = -u0
+}
+
+TEST(LinearForm, CoefficientsAccumulateAndCancel) {
+    // V(a) + 2*V(a) - 3*V(a) == 0 -> empty coefficients
+    auto e = Expr::sub(Expr::add(v("a"), Expr::mul(Expr::constant(2), v("a"))),
+                       Expr::mul(Expr::constant(3), v("a")));
+    auto form = LinearForm::extract(e, kUnknowns);
+    ASSERT_TRUE(form.has_value());
+    EXPECT_FALSE(form->has_unknowns());
+}
+
+TEST(LinearForm, RejectsProductOfUnknowns) {
+    auto e = Expr::mul(v("a"), i("a"));  // power: nonlinear
+    EXPECT_FALSE(LinearForm::extract(e, kUnknowns).has_value());
+}
+
+TEST(LinearForm, RejectsUnknownInDenominator) {
+    auto e = Expr::div(Expr::constant(1), v("a"));
+    EXPECT_FALSE(LinearForm::extract(e, kUnknowns).has_value());
+}
+
+TEST(LinearForm, RejectsNonlinearFunctionOfUnknown) {
+    auto e = Expr::unary(UnaryOp::kExp, v("a"));
+    EXPECT_FALSE(LinearForm::extract(e, kUnknowns).has_value());
+}
+
+TEST(LinearForm, AllowsNonlinearFunctionOfInputs) {
+    auto e = Expr::add(v("a"), Expr::unary(UnaryOp::kSin, in("u0")));
+    auto form = LinearForm::extract(e, kUnknowns);
+    ASSERT_TRUE(form.has_value());
+    EXPECT_DOUBLE_EQ(form->coefficient({branch_voltage("a"), false}), 1.0);
+}
+
+TEST(LinearForm, RejectsTimeVaryingCoefficient) {
+    auto e = Expr::mul(in("u0"), v("a"));  // u0(t) * V(a)
+    EXPECT_FALSE(LinearForm::extract(e, kUnknowns).has_value());
+}
+
+TEST(LinearForm, RejectsSecondDerivative) {
+    auto e = Expr::ddt(Expr::ddt(v("a")));
+    EXPECT_FALSE(LinearForm::extract(e, kUnknowns).has_value());
+}
+
+TEST(LinearForm, DelayedUnknownsAreKnownHistory) {
+    auto e = Expr::add(v("a"), Expr::delayed(branch_voltage("a"), 1));
+    auto form = LinearForm::extract(e, kUnknowns);
+    ASSERT_TRUE(form.has_value());
+    EXPECT_EQ(form->coefficients().size(), 1u);
+}
+
+TEST(LinearForm, SolveForIsolatesTerm) {
+    // 2*V(a) + 3*I(a) - 6 == 0, solve for V(a): V(a) = -(3 I(a) - 6)/2
+    LinearForm form;
+    form.add_term({branch_voltage("a"), false}, 2.0);
+    form.add_term({branch_current("a"), false}, 3.0);
+    form.add_offset(Expr::constant(-6.0));
+    auto solved = form.solve_for({branch_voltage("a"), false});
+    ASSERT_TRUE(solved.has_value());
+    // Check numerically: with I(a) = 4 the result must be (6 - 12)/2 = -3.
+    Substitution map;
+    map[branch_current("a")] = Expr::constant(4.0);
+    const double value = evaluate_constant(substitute(*solved, map));
+    EXPECT_NEAR(value, -3.0, 1e-12);
+}
+
+TEST(LinearForm, SolveForMissingKeyFails) {
+    LinearForm form;
+    form.add_term({branch_voltage("a"), false}, 1.0);
+    EXPECT_FALSE(form.solve_for({branch_current("a"), false}).has_value());
+}
+
+TEST(LinearForm, PlusMinusScale) {
+    LinearForm a;
+    a.add_term({branch_voltage("x"), false}, 1.0);
+    a.add_offset(Expr::constant(2.0));
+    LinearForm b;
+    b.add_term({branch_voltage("x"), false}, 3.0);
+
+    const LinearForm sum = a.plus(b);
+    EXPECT_DOUBLE_EQ(sum.coefficient({branch_voltage("x"), false}), 4.0);
+
+    const LinearForm diff = a.minus(b);
+    EXPECT_DOUBLE_EQ(diff.coefficient({branch_voltage("x"), false}), -2.0);
+
+    const LinearForm scaled = a.scaled(-2.0);
+    EXPECT_DOUBLE_EQ(scaled.coefficient({branch_voltage("x"), false}), -2.0);
+    EXPECT_DOUBLE_EQ(evaluate_constant(scaled.offset()), -4.0);
+}
+
+TEST(LinearForm, ToExprRoundTrip) {
+    // 2 V(a) - 3 I(b) + 7 rebuilt and evaluated at V(a)=1, I(b)=2 -> 3.
+    LinearForm form;
+    form.add_term({branch_voltage("a"), false}, 2.0);
+    form.add_term({branch_current("b"), false}, -3.0);
+    form.add_offset(Expr::constant(7.0));
+    Substitution map;
+    map[branch_voltage("a")] = Expr::constant(1.0);
+    map[branch_current("b")] = Expr::constant(2.0);
+    EXPECT_NEAR(evaluate_constant(substitute(form.to_expr(), map)), 3.0, 1e-12);
+}
+
+TEST(LinearKey, DisplayAndExprRebuild) {
+    LinearKey key{branch_voltage("C1"), true};
+    EXPECT_EQ(key.display(), "ddt(V(C1))");
+    EXPECT_EQ(key.to_expr()->kind(), ExprKind::kDdt);
+}
+
+}  // namespace
+}  // namespace amsvp::expr

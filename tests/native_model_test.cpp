@@ -1,0 +1,104 @@
+// Native execution: generated C++ compiled to a shared object and loaded at
+// runtime must behave exactly like the bytecode interpreter.
+#include <gtest/gtest.h>
+
+#include "abstraction/abstraction.hpp"
+#include "codegen/native_model.hpp"
+#include "netlist/builder.hpp"
+#include "runtime/simulate.hpp"
+
+namespace amsvp::codegen {
+namespace {
+
+abstraction::SignalFlowModel ladder_model(int stages) {
+    const netlist::Circuit circuit = netlist::make_rc_ladder(stages);
+    std::string error;
+    auto model = abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, {}, &error);
+    EXPECT_TRUE(model.has_value()) << error;
+    return std::move(*model);
+}
+
+class NativeVsBytecode : public ::testing::TestWithParam<int> {};
+
+TEST_P(NativeVsBytecode, TracesAreBitIdentical) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    const auto model = ladder_model(GetParam());
+    std::string error;
+    auto native = NativeModel::compile(model, &error);
+    ASSERT_NE(native, nullptr) << error;
+
+    runtime::CompiledModel bytecode(model);
+    ASSERT_EQ(native->input_count(), bytecode.input_count());
+    ASSERT_EQ(native->output_count(), bytecode.output_count());
+    ASSERT_DOUBLE_EQ(native->timestep(), bytecode.timestep());
+
+    const auto stimuli = std::map<std::string, numeric::SourceFunction>{
+        {"u0", numeric::square_wave(1e-3)}};
+    auto native_run =
+        runtime::simulate_transient(*native, model.inputs, stimuli, 5e-4);
+    auto bytecode_run =
+        runtime::simulate_transient(bytecode, model.inputs, stimuli, 5e-4);
+
+    const auto& n = native_run.outputs.front();
+    const auto& b = bytecode_run.outputs.front();
+    ASSERT_EQ(n.size(), b.size());
+    for (std::size_t k = 0; k < n.size(); ++k) {
+        // -ffp-contract=off in the native build keeps every operation
+        // individually rounded, matching the interpreter exactly.
+        ASSERT_DOUBLE_EQ(n.value(k), b.value(k)) << "sample " << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ladders, NativeVsBytecode, ::testing::Values(1, 2, 5, 20));
+
+TEST(NativeModel, ResetRestoresInitialState) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    const auto model = ladder_model(1);
+    auto native = NativeModel::compile(model);
+    ASSERT_NE(native, nullptr);
+    native->set_input(0, 1.0);
+    for (int k = 1; k <= 100; ++k) {
+        native->step(k * model.timestep);
+    }
+    EXPECT_GT(native->output(0), 0.0);
+    native->reset();
+    native->set_input(0, 0.0);
+    native->step(0.0);
+    EXPECT_DOUBLE_EQ(native->output(0), 0.0);
+}
+
+TEST(NativeModel, FactoryFallsBackGracefully) {
+    const auto model = ladder_model(1);
+    const runtime::ExecutorFactory factory = native_executor_factory();
+    auto executor = factory(model);
+    ASSERT_NE(executor, nullptr);
+    executor->set_input(0, 1.0);
+    executor->step(model.timestep);
+    EXPECT_GT(executor->output(0), 0.0);
+}
+
+TEST(NativeModel, TwoInstancesAreIndependent) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    const auto model = ladder_model(1);
+    auto a = NativeModel::compile(model);
+    auto b = NativeModel::compile(model);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    a->set_input(0, 1.0);
+    b->set_input(0, 0.0);
+    for (int k = 1; k <= 50; ++k) {
+        a->step(k * model.timestep);
+        b->step(k * model.timestep);
+    }
+    EXPECT_GT(a->output(0), 0.0);
+    EXPECT_DOUBLE_EQ(b->output(0), 0.0);
+}
+
+}  // namespace
+}  // namespace amsvp::codegen

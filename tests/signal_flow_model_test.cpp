@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "abstraction/signal_flow_model.hpp"
+#include "expr/printer.hpp"
+
+namespace amsvp::abstraction {
+namespace {
+
+using expr::Expr;
+using expr::Symbol;
+
+Symbol var(const char* name) {
+    return expr::variable_symbol(name);
+}
+
+SignalFlowModel simple_model() {
+    SignalFlowModel m;
+    m.name = "m";
+    m.timestep = 1e-6;
+    m.inputs.push_back(expr::input_symbol("u"));
+    // x := 0.5 * x@(t-dt) + u;  y := 2 * x
+    m.assignments.push_back(
+        Assignment{var("x"), Expr::add(Expr::mul(Expr::constant(0.5),
+                                                 Expr::delayed(var("x"), 1)),
+                                       Expr::symbol(expr::input_symbol("u")))});
+    m.assignments.push_back(
+        Assignment{var("y"), Expr::mul(Expr::constant(2), Expr::symbol(var("x")))});
+    m.outputs.push_back(var("y"));
+    return m;
+}
+
+TEST(SignalFlowModel, ValidModelPasses) {
+    EXPECT_TRUE(simple_model().validate().empty());
+}
+
+TEST(SignalFlowModel, StateSymbolsAndDelays) {
+    const SignalFlowModel m = simple_model();
+    const auto states = m.state_symbols();
+    ASSERT_EQ(states.size(), 1u);
+    EXPECT_EQ(states[0], var("x"));
+    EXPECT_EQ(m.max_delay(var("x")), 1);
+    EXPECT_EQ(m.max_delay(var("y")), 0);
+}
+
+TEST(SignalFlowModel, DetectsUseBeforeDefinition) {
+    SignalFlowModel m = simple_model();
+    std::swap(m.assignments[0], m.assignments[1]);  // y reads x before defined
+    const auto problems = m.validate();
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems.front().find("before it is defined"), std::string::npos);
+}
+
+TEST(SignalFlowModel, DetectsUnassignedOutput) {
+    SignalFlowModel m = simple_model();
+    m.outputs.push_back(var("nope"));
+    const auto problems = m.validate();
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems.back().find("never assigned"), std::string::npos);
+}
+
+TEST(SignalFlowModel, DetectsHistoryOfUncomputedSymbol) {
+    SignalFlowModel m = simple_model();
+    m.assignments.push_back(
+        Assignment{var("z"), Expr::delayed(var("ghost"), 1)});
+    const auto problems = m.validate();
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems.front().find("never computed"), std::string::npos);
+}
+
+TEST(SignalFlowModel, DelayedInputIsAllowed) {
+    SignalFlowModel m = simple_model();
+    m.assignments.push_back(
+        Assignment{var("z"), Expr::delayed(expr::input_symbol("u"), 1)});
+    EXPECT_TRUE(m.validate().empty());
+}
+
+TEST(SignalFlowModel, NodeCountSumsAssignments) {
+    const SignalFlowModel m = simple_model();
+    // x-assignment: add, mul, 0.5, delayed, u = 5; y-assignment: mul, 2, x = 3.
+    EXPECT_EQ(m.node_count(), 8u);
+}
+
+TEST(SignalFlowModel, DescribeMentionsEveryPiece) {
+    const std::string text = simple_model().describe();
+    EXPECT_NE(text.find("inputs: u"), std::string::npos);
+    EXPECT_NE(text.find("state: x"), std::string::npos);
+    EXPECT_NE(text.find("y :="), std::string::npos);
+    EXPECT_NE(text.find("outputs: y"), std::string::npos);
+}
+
+TEST(SignalFlowModel, MaxDelayAcrossMultipleAssignments) {
+    SignalFlowModel m = simple_model();
+    m.assignments.push_back(Assignment{var("z"), Expr::delayed(var("x"), 3)});
+    EXPECT_EQ(m.max_delay(var("x")), 3);
+}
+
+}  // namespace
+}  // namespace amsvp::abstraction

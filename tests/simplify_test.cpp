@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "expr/printer.hpp"
+#include "expr/simplify.hpp"
+#include "expr/traversal.hpp"
+
+namespace amsvp::expr {
+namespace {
+
+ExprPtr x() {
+    return Expr::symbol(variable_symbol("x"));
+}
+ExprPtr y() {
+    return Expr::symbol(variable_symbol("y"));
+}
+
+TEST(Simplify, FoldsNestedConstantFactors) {
+    // 2 * (3 * x) => 6 * x
+    auto e = Expr::mul(Expr::constant(2), Expr::mul(Expr::constant(3), x()));
+    EXPECT_EQ(to_string(simplify(e)), "6 * x");
+}
+
+TEST(Simplify, FoldsDivisionChains) {
+    // (x / 2) / 4 => 0.125 * x
+    auto e = Expr::div(Expr::div(x(), Expr::constant(2)), Expr::constant(4));
+    EXPECT_EQ(to_string(simplify(e)), "0.125 * x");
+}
+
+TEST(Simplify, CancelsDoubleNegationAcrossSubtraction) {
+    // a - (-b) => a + b
+    auto e = Expr::sub(x(), Expr::neg(y()));
+    EXPECT_EQ(to_string(simplify(e)), "x + y");
+}
+
+TEST(Simplify, NegativePlusBecomesSubtraction) {
+    // (-a) + b => b - a
+    auto e = Expr::add(Expr::neg(x()), y());
+    EXPECT_EQ(to_string(simplify(e)), "y - x");
+}
+
+TEST(Simplify, SignsCancelInProducts) {
+    // (-2) * (-x) => 2 * x  (builders already turn mul(-1,x) into neg)
+    auto e = Expr::mul(Expr::constant(-2), Expr::neg(x()));
+    EXPECT_EQ(to_string(simplify(e)), "2 * x");
+}
+
+TEST(Simplify, SignsHoistOutOfDivision) {
+    auto e = Expr::div(Expr::neg(x()), Expr::neg(y()));
+    EXPECT_EQ(to_string(simplify(e)), "x / y");
+    auto f = Expr::div(Expr::neg(x()), y());
+    EXPECT_EQ(to_string(simplify(f)), "-(x / y)");
+}
+
+TEST(Simplify, ConstantTimesDividedByConstant) {
+    // (5000 * x) / 2500 => 2 * x
+    auto e = Expr::div(Expr::mul(Expr::constant(5000), x()), Expr::constant(2500));
+    EXPECT_EQ(to_string(simplify(e)), "2 * x");
+}
+
+TEST(Simplify, LeavesIrreducibleExpressionsAlone) {
+    auto e = Expr::add(x(), Expr::mul(y(), y()));
+    EXPECT_EQ(simplify(e), e);  // pointer-identical: nothing changed
+}
+
+TEST(Simplify, IsIdempotent) {
+    auto e = Expr::sub(Expr::mul(Expr::constant(2), Expr::mul(Expr::constant(3), x())),
+                       Expr::neg(Expr::div(y(), Expr::constant(4))));
+    auto once = simplify(e);
+    auto twice = simplify(once);
+    EXPECT_TRUE(structurally_equal(once, twice));
+}
+
+/// Property: simplification never changes the value (up to tiny FP
+/// reassociation of constant factors).
+class SimplifyValuePreservation : public ::testing::TestWithParam<int> {
+protected:
+    ExprPtr random_expr(std::mt19937& rng, int depth) {
+        std::uniform_int_distribution<int> pick(0, depth <= 0 ? 1 : 6);
+        std::uniform_real_distribution<double> value(-3.0, 3.0);
+        switch (pick(rng)) {
+            case 0:
+                return Expr::constant(value(rng));
+            case 1:
+                return coin_(rng) ? x() : y();
+            case 2:
+                return Expr::add(random_expr(rng, depth - 1), random_expr(rng, depth - 1));
+            case 3:
+                return Expr::sub(random_expr(rng, depth - 1), random_expr(rng, depth - 1));
+            case 4:
+                return Expr::mul(random_expr(rng, depth - 1), random_expr(rng, depth - 1));
+            case 5:
+                return Expr::neg(random_expr(rng, depth - 1));
+            default:
+                return Expr::div(random_expr(rng, depth - 1),
+                                 Expr::constant(value(rng) + 4.0));
+        }
+    }
+    std::bernoulli_distribution coin_;
+};
+
+TEST_P(SimplifyValuePreservation, RandomTreesEvaluateEqually) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31u);
+    std::uniform_real_distribution<double> value(-2.0, 2.0);
+    for (int trial = 0; trial < 40; ++trial) {
+        const ExprPtr original = random_expr(rng, 5);
+        const ExprPtr simplified = simplify(original);
+        EXPECT_LE(simplified->node_count(), original->node_count());
+
+        Substitution map;
+        map[variable_symbol("x")] = Expr::constant(value(rng));
+        map[variable_symbol("y")] = Expr::constant(value(rng));
+        const double a = evaluate_constant(substitute(original, map));
+        const double b = evaluate_constant(substitute(simplified, map));
+        if (std::isfinite(a) && std::isfinite(b)) {
+            EXPECT_NEAR(a, b, 1e-9 * (1.0 + std::fabs(a)));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyValuePreservation, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace amsvp::expr

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "expr/printer.hpp"
+#include "support/diagnostics.hpp"
+#include "vams/parser.hpp"
+
+namespace amsvp::vams {
+namespace {
+
+Module parse_ok(std::string_view source) {
+    support::DiagnosticEngine diags;
+    auto module = parse_module_source(source, diags);
+    EXPECT_TRUE(module.has_value()) << diags.render_all();
+    return module ? std::move(*module) : Module{};
+}
+
+void parse_fails(std::string_view source) {
+    support::DiagnosticEngine diags;
+    auto module = parse_module_source(source, diags);
+    EXPECT_FALSE(module.has_value());
+    EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Parser, ModuleHeaderAndPorts) {
+    const Module m = parse_ok("module amp(in, out, gnd);\nendmodule\n");
+    EXPECT_EQ(m.name, "amp");
+    EXPECT_EQ(m.ports, (std::vector<std::string>{"in", "out", "gnd"}));
+}
+
+TEST(Parser, Declarations) {
+    const Module m = parse_ok(R"(module m(a, b);
+  electrical a, b, mid;
+  ground gnd_node;
+  inout electrical c;
+  parameter real R = 5k;
+  parameter real G = 1 / R;
+  branch (a, b) rb;
+  real state, other;
+endmodule)");
+    EXPECT_EQ(m.nets, (std::vector<std::string>{"a", "b", "mid", "c"}));
+    EXPECT_EQ(m.grounds, (std::vector<std::string>{"gnd_node"}));
+    ASSERT_EQ(m.parameters.size(), 2u);
+    EXPECT_EQ(m.parameters[0].name, "R");
+    EXPECT_DOUBLE_EQ(m.parameters[0].value->constant_value(), 5000.0);
+    ASSERT_EQ(m.branch_decls.size(), 1u);
+    EXPECT_EQ(m.branch_decls[0].name, "rb");
+    EXPECT_EQ(m.real_variables, (std::vector<std::string>{"state", "other"}));
+}
+
+TEST(Parser, ContributionStatements) {
+    const Module m = parse_ok(R"(module m(a, gnd);
+  electrical a, gnd;
+  analog begin
+    I(a, gnd) <+ V(a, gnd) / 100;
+    V(a) <+ 2;
+  end
+endmodule)");
+    ASSERT_EQ(m.analog.size(), 1u);
+    const Statement& block = *m.analog[0];
+    ASSERT_EQ(block.kind, Statement::Kind::kBlock);
+    ASSERT_EQ(block.body.size(), 2u);
+
+    const Statement& flow = *block.body[0];
+    EXPECT_EQ(flow.kind, Statement::Kind::kContribution);
+    EXPECT_TRUE(flow.contributes_flow);
+    EXPECT_EQ(flow.pos, "a");
+    EXPECT_EQ(flow.neg, "gnd");
+    EXPECT_EQ(expr::to_string(flow.rhs), "V(a:gnd) / 100");
+
+    const Statement& pot = *block.body[1];
+    EXPECT_FALSE(pot.contributes_flow);
+    EXPECT_EQ(pot.pos, "a");
+    EXPECT_TRUE(pot.neg.empty());
+}
+
+TEST(Parser, SingleStatementAnalogBlock) {
+    const Module m = parse_ok(R"(module m(a);
+  electrical a;
+  analog V(a) <+ 1;
+endmodule)");
+    ASSERT_EQ(m.analog.size(), 1u);
+    EXPECT_EQ(m.analog[0]->kind, Statement::Kind::kContribution);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+    const Module m = parse_ok(R"(module m(a);
+  electrical a;
+  real x;
+  analog begin
+    x = 1 + 2 * 3 - 4 / 2;
+  end
+endmodule)");
+    const Statement& assign = *m.analog[0]->body[0];
+    // Constant folding in the builders collapses this to 5.
+    EXPECT_DOUBLE_EQ(assign.rhs->constant_value(), 5.0);
+}
+
+TEST(Parser, TernaryAndComparisons) {
+    const Module m = parse_ok(R"(module m(a);
+  electrical a;
+  real x;
+  analog begin
+    x = u > 0 ? u : -u;
+  end
+endmodule)");
+    const Statement& assign = *m.analog[0]->body[0];
+    EXPECT_EQ(assign.rhs->kind(), expr::ExprKind::kConditional);
+}
+
+TEST(Parser, AnalogOperatorsAndFunctions) {
+    const Module m = parse_ok(R"(module m(a);
+  electrical a;
+  real x;
+  analog begin
+    x = ddt(u) + idt(u) + exp(u) + pow(u, 2) + min(u, 1) + abs(u) + sin(u);
+  end
+endmodule)");
+    const Statement& assign = *m.analog[0]->body[0];
+    const std::string text = expr::to_string(assign.rhs);
+    EXPECT_NE(text.find("ddt(u)"), std::string::npos);
+    EXPECT_NE(text.find("idt(u)"), std::string::npos);
+    EXPECT_NE(text.find("pow(u, 2)"), std::string::npos);
+}
+
+TEST(Parser, IfElseStatement) {
+    const Module m = parse_ok(R"(module m(a);
+  electrical a;
+  real x;
+  analog begin
+    if (u > 1)
+      x = 1;
+    else
+      x = 0;
+  end
+endmodule)");
+    const Statement& stmt = *m.analog[0]->body[0];
+    ASSERT_EQ(stmt.kind, Statement::Kind::kIf);
+    ASSERT_NE(stmt.then_branch, nullptr);
+    ASSERT_NE(stmt.else_branch, nullptr);
+    EXPECT_EQ(stmt.then_branch->kind, Statement::Kind::kAssign);
+}
+
+TEST(Parser, AbstimeIsTimeSymbol) {
+    const Module m = parse_ok(R"(module m(a);
+  electrical a;
+  real x;
+  analog begin
+    x = $abstime;
+  end
+endmodule)");
+    const Statement& assign = *m.analog[0]->body[0];
+    EXPECT_EQ(assign.rhs->symbol().kind, expr::SymbolKind::kTime);
+}
+
+TEST(Parser, StatementCountIsRecursive) {
+    const Module m = parse_ok(R"(module m(a);
+  electrical a;
+  real x;
+  analog begin
+    x = 1;
+    if (x > 0)
+      x = 2;
+    V(a) <+ x;
+  end
+endmodule)");
+    // block + assign + if + nested assign + contribution = 5
+    EXPECT_EQ(m.statement_count(), 5u);
+}
+
+TEST(Parser, ErrorMissingSemicolon) {
+    parse_fails("module m(a)\nendmodule");
+}
+
+TEST(Parser, ErrorUnknownFunction) {
+    parse_fails(R"(module m(a);
+  electrical a;
+  real x;
+  analog x = bogus(1);
+endmodule)");
+}
+
+TEST(Parser, ErrorMissingEndmodule) {
+    parse_fails("module m(a);\n");
+}
+
+TEST(Parser, ErrorContributionWithoutOperator) {
+    parse_fails(R"(module m(a);
+  electrical a;
+  analog V(a) 3;
+endmodule)");
+}
+
+TEST(NodePairEncoding, RoundTrip) {
+    const std::string pair = encode_node_pair("out", "gnd");
+    EXPECT_TRUE(is_node_pair(pair));
+    const NodePair decoded = decode_node_pair(pair);
+    EXPECT_EQ(decoded.pos, "out");
+    EXPECT_EQ(decoded.neg, "gnd");
+    EXPECT_FALSE(is_node_pair("plain_name"));
+}
+
+}  // namespace
+}  // namespace amsvp::vams

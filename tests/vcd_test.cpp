@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "numeric/vcd.hpp"
+
+namespace amsvp::numeric {
+namespace {
+
+TEST(Vcd, HeaderDeclaresChannelsAndTimescale) {
+    VcdWriter vcd(1e-9);
+    vcd.add_real("vout");
+    vcd.add_bit("clk");
+    const std::string text = vcd.render();
+    EXPECT_NE(text.find("$timescale 1 ns $end"), std::string::npos);
+    EXPECT_NE(text.find("$var real 64 ! vout $end"), std::string::npos);
+    EXPECT_NE(text.find("$var wire 1 \" clk $end"), std::string::npos);
+    EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, ChangesAreTimeOrderedAndGrouped) {
+    VcdWriter vcd(1e-9);
+    const auto v = vcd.add_real("v");
+    const auto b = vcd.add_bit("b");
+    vcd.change(v, 5e-9, 1.5);
+    vcd.change(b, 5e-9, 1.0);
+    vcd.change(v, 10e-9, -2.0);
+    const std::string text = vcd.render();
+
+    const auto pos5 = text.find("#5");
+    const auto pos10 = text.find("#10");
+    ASSERT_NE(pos5, std::string::npos);
+    ASSERT_NE(pos10, std::string::npos);
+    EXPECT_LT(pos5, pos10);
+    // Both #5 changes appear between the two timestamps.
+    EXPECT_NE(text.find("r1.5 !", pos5), std::string::npos);
+    EXPECT_NE(text.find("1\"", pos5), std::string::npos);
+    EXPECT_NE(text.find("r-2 !", pos10), std::string::npos);
+}
+
+TEST(Vcd, WaveformExportsAllSamples) {
+    Waveform w(1e-6, 1e-6);
+    w.append(0.25);
+    w.append(0.5);
+    w.append(0.75);
+    VcdWriter vcd(1e-6);
+    vcd.add_waveform("out", w);
+    const std::string text = vcd.render();
+    EXPECT_NE(text.find("#1\nr0.25 !"), std::string::npos);
+    EXPECT_NE(text.find("#2\nr0.5 !"), std::string::npos);
+    EXPECT_NE(text.find("#3\nr0.75 !"), std::string::npos);
+}
+
+TEST(Vcd, IdentifiersStayUniqueForManyChannels) {
+    VcdWriter vcd;
+    std::set<std::string> seen;
+    for (int i = 0; i < 200; ++i) {
+        vcd.add_real("ch" + std::to_string(i));
+    }
+    const std::string text = vcd.render();
+    // 200 channels need 2-character ids past index 93; check a couple.
+    EXPECT_NE(text.find("$var real 64 ! ch0 $end"), std::string::npos);
+    EXPECT_NE(text.find("ch199 $end"), std::string::npos);
+}
+
+TEST(Vcd, WritesFile) {
+    VcdWriter vcd;
+    const auto ch = vcd.add_real("v");
+    vcd.change(ch, 0.0, 1.0);
+    const std::string path = ::testing::TempDir() + "/amsvp_test.vcd";
+    ASSERT_TRUE(vcd.write_file(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string first;
+    std::getline(in, first);
+    EXPECT_EQ(first, "$date amsvp trace $end");
+}
+
+}  // namespace
+}  // namespace amsvp::numeric

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "vp/assembler.hpp"
+
+namespace amsvp::vp {
+namespace {
+
+AssembledProgram assemble_ok(std::string_view source, std::uint32_t base = 0) {
+    support::DiagnosticEngine diags;
+    auto program = assemble(source, base, diags);
+    EXPECT_TRUE(program.has_value()) << diags.render_all();
+    return program ? std::move(*program) : AssembledProgram{};
+}
+
+void assemble_fails(std::string_view source) {
+    support::DiagnosticEngine diags;
+    EXPECT_FALSE(assemble(source, 0, diags).has_value());
+    EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Assembler, EncodesRType) {
+    const auto p = assemble_ok("addu $t2, $t0, $t1\n");
+    ASSERT_EQ(p.words.size(), 1u);
+    // rs=$t0(8), rt=$t1(9), rd=$t2(10), funct=0x21.
+    EXPECT_EQ(p.words[0], (8u << 21) | (9u << 16) | (10u << 11) | 0x21u);
+}
+
+TEST(Assembler, EncodesShift) {
+    const auto p = assemble_ok("sll $t0, $t1, 4\n");
+    EXPECT_EQ(p.words[0], (9u << 16) | (8u << 11) | (4u << 6) | 0x00u);
+}
+
+TEST(Assembler, EncodesIType) {
+    const auto p = assemble_ok("addiu $t0, $t1, -2\n");
+    EXPECT_EQ(p.words[0], (0x09u << 26) | (9u << 21) | (8u << 16) | 0xFFFEu);
+}
+
+TEST(Assembler, EncodesMemoryOperands) {
+    const auto p = assemble_ok("lw $t0, 8($sp)\nsw $t0, -4($sp)\n");
+    EXPECT_EQ(p.words[0], (0x23u << 26) | (29u << 21) | (8u << 16) | 0x0008u);
+    EXPECT_EQ(p.words[1], (0x2Bu << 26) | (29u << 21) | (8u << 16) | 0xFFFCu);
+}
+
+TEST(Assembler, MemoryOperandWithoutOffset) {
+    const auto p = assemble_ok("lw $t0, ($t1)\n");
+    EXPECT_EQ(p.words[0], (0x23u << 26) | (9u << 21) | (8u << 16));
+}
+
+TEST(Assembler, BranchOffsetsAreRelative) {
+    const auto p = assemble_ok(R"(
+start:  nop
+        beq $t0, $t1, start
+        bne $t0, $t1, after
+        nop
+after:  halt
+)");
+    // beq at address 4: offset = (0 - 8)/4 = -2.
+    EXPECT_EQ(p.words[1] & 0xFFFFu, 0xFFFEu);
+    // bne at address 8: target 16: offset = (16 - 12)/4 = 1.
+    EXPECT_EQ(p.words[2] & 0xFFFFu, 0x0001u);
+}
+
+TEST(Assembler, JumpTargetsAreAbsolute) {
+    const auto p = assemble_ok(R"(
+        j    end
+        nop
+end:    halt
+)");
+    EXPECT_EQ(p.words[0], (0x02u << 26) | (8u >> 2));
+}
+
+TEST(Assembler, LiExpandsToLuiOri) {
+    const auto p = assemble_ok("li $t0, 0x12345678\n");
+    ASSERT_EQ(p.words.size(), 2u);
+    EXPECT_EQ(p.words[0], (0x0Fu << 26) | (8u << 16) | 0x1234u);
+    EXPECT_EQ(p.words[1], (0x0Du << 26) | (8u << 21) | (8u << 16) | 0x5678u);
+}
+
+TEST(Assembler, LaResolvesLabels) {
+    const auto p = assemble_ok(R"(
+        la $t0, data
+        halt
+data:   .word 0xDEADBEEF
+)");
+    ASSERT_EQ(p.words.size(), 4u);
+    // data sits at address 12 (la = 2 words + halt).
+    EXPECT_EQ(p.words[1] & 0xFFFFu, 12u);
+    EXPECT_EQ(p.words[3], 0xDEADBEEFu);
+}
+
+TEST(Assembler, PseudoInstructions) {
+    const auto p = assemble_ok("nop\nmove $t0, $t1\nb skip\nskip: halt\n");
+    EXPECT_EQ(p.words[0], 0u);                                       // nop = sll $0,$0,0
+    EXPECT_EQ(p.words[1], (9u << 21) | (8u << 11) | 0x21u);          // addu $t0,$t1,$zero
+    EXPECT_EQ(p.words[2] >> 26, 0x04u);                              // beq
+    EXPECT_EQ(p.words[3], 0x0000000Du);                              // break
+}
+
+TEST(Assembler, NumericRegistersAndComments) {
+    const auto p = assemble_ok("addu $10, $8, $9  # comment\n; full line comment\n");
+    EXPECT_EQ(p.words[0], (8u << 21) | (9u << 16) | (10u << 11) | 0x21u);
+}
+
+TEST(Assembler, MultipleLabelsOnOneLine) {
+    const auto p = assemble_ok("a: b: halt\n");
+    EXPECT_EQ(p.words.size(), 1u);
+}
+
+TEST(Assembler, BaseAddressShiftsLabels) {
+    const auto p = assemble_ok("start: j start\n", 0x1000);
+    EXPECT_EQ(p.base_address, 0x1000u);
+    EXPECT_EQ(p.words[0], (0x02u << 26) | (0x1000u >> 2));
+}
+
+TEST(Assembler, ErrorOnUnknownMnemonic) {
+    assemble_fails("frobnicate $t0, $t1\n");
+}
+
+TEST(Assembler, ErrorOnUnknownRegister) {
+    assemble_fails("addu $t0, $qq, $t1\n");
+}
+
+TEST(Assembler, ErrorOnUnknownLabel) {
+    assemble_fails("j nowhere\n");
+}
+
+TEST(Assembler, ErrorOnDuplicateLabel) {
+    assemble_fails("dup: nop\ndup: nop\n");
+}
+
+TEST(Assembler, ErrorOnWrongOperandCount) {
+    assemble_fails("addu $t0, $t1\n");
+}
+
+}  // namespace
+}  // namespace amsvp::vp
