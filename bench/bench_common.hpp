@@ -73,4 +73,80 @@ inline void print_scaling_note(double duration, double paper_duration) {
                 duration * 1e3, paper_duration * 1e3);
 }
 
+/// Machine-readable output: `--json <path>` writes the collected results so
+/// CI can track the perf trajectory across PRs. Returns empty when absent.
+inline std::string json_path_from_args(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            return argv[i + 1];
+        }
+    }
+    return {};
+}
+
+/// Tiny flat-schema JSON emitter: one object per result, string labels plus
+/// numeric values, no external dependency.
+class JsonReport {
+public:
+    explicit JsonReport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+    JsonReport& add(std::map<std::string, std::string> labels,
+                    std::map<std::string, double> values) {
+        results_.push_back({std::move(labels), std::move(values)});
+        return *this;
+    }
+
+    /// Write to `path`; no-op when `path` is empty. Returns false on I/O
+    /// failure (also printed to stderr).
+    bool write(const std::string& path) const {
+        if (path.empty()) {
+            return true;
+        }
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        }
+        const auto escape = [](const std::string& s) {
+            std::string out;
+            out.reserve(s.size());
+            for (const char ch : s) {
+                if (ch == '"' || ch == '\\') {
+                    out.push_back('\\');
+                }
+                out.push_back(ch);
+            }
+            return out;
+        };
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                     escape(bench_name_).c_str());
+        for (std::size_t i = 0; i < results_.size(); ++i) {
+            std::fprintf(f, "    {");
+            bool first = true;
+            for (const auto& [key, value] : results_[i].labels) {
+                std::fprintf(f, "%s\"%s\": \"%s\"", first ? "" : ", ", escape(key).c_str(),
+                             escape(value).c_str());
+                first = false;
+            }
+            for (const auto& [key, value] : results_[i].values) {
+                std::fprintf(f, "%s\"%s\": %.17g", first ? "" : ", ", key.c_str(), value);
+                first = false;
+            }
+            std::fprintf(f, "}%s\n", i + 1 < results_.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("# wrote %s\n", path.c_str());
+        return true;
+    }
+
+private:
+    struct Result {
+        std::map<std::string, std::string> labels;
+        std::map<std::string, double> values;
+    };
+    std::string bench_name_;
+    std::vector<Result> results_;
+};
+
 }  // namespace amsvp::bench

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Perf-trajectory threshold check over bench JSON output.
+
+Reads the BENCH_micro.json written by `bench_micro_kernels --json <path>`
+and enforces the fused-register-engine speedup floor: on the RC20 and OA
+circuits the fused strategy must be at least `--min-speedup` (default 2.0)
+times faster than the stack-bytecode baseline. Exits non-zero on violation,
+so it can gate CI (wired as the optional `bench_perf_check` ctest, enabled
+with -DAMSVP_BENCH_TESTS=ON).
+
+Usage:
+    compare.py BENCH_micro.json [--min-speedup 2.0] [--circuits RC20,OA]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_model_steps(path):
+    with open(path) as f:
+        data = json.load(f)
+    table = {}
+    for entry in data.get("results", []):
+        if entry.get("name") != "model_step":
+            continue
+        table[(entry["circuit"], entry["strategy"])] = float(entry["ns_per_step"])
+    return table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="BENCH_micro.json produced by bench_micro_kernels")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required fused-vs-bytecode speedup (default: 2.0)")
+    parser.add_argument("--circuits", default="RC20,OA",
+                        help="comma-separated circuits to check (default: RC20,OA)")
+    args = parser.parse_args()
+
+    table = load_model_steps(args.json_path)
+    if not table:
+        print(f"error: no model_step results in {args.json_path}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for circuit in args.circuits.split(","):
+        circuit = circuit.strip()
+        try:
+            fused = table[(circuit, "fused")]
+            bytecode = table[(circuit, "bytecode")]
+        except KeyError as missing:
+            print(f"error: missing result {missing} for circuit {circuit}", file=sys.stderr)
+            failures += 1
+            continue
+        speedup = bytecode / fused
+        status = "ok" if speedup >= args.min_speedup else "FAIL"
+        print(f"{circuit}: fused {fused:.1f} ns/step, bytecode {bytecode:.1f} ns/step, "
+              f"speedup {speedup:.2f}x (required >= {args.min_speedup:.2f}x) [{status}]")
+        if speedup < args.min_speedup:
+            failures += 1
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

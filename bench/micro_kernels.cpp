@@ -1,93 +1,180 @@
-// Micro-benchmarks (google-benchmark) for the two hot kernels of the
-// library: evaluation of generated expressions (bytecode vs tree-walk — the
-// EvalStrategy ablation) and the dense LU factorise/solve pair that the
-// ELN/SPICE engines are built on (factor-once vs refactor-per-step).
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks for the two hot kernels of the library:
+//
+//  * evaluation of generated signal-flow models — the EvalStrategy ablation:
+//    fused register machine vs stack bytecode vs tree-walk, on the four
+//    paper circuits, with a built-in 1e-12 differential check so a perf win
+//    can never silently change results;
+//  * the dense LU factorise/solve pair under the ELN (factor once) and
+//    SPICE (refactor every step) usage patterns.
+//
+// Self-timed (steady_clock, calibrated batch counts) — no external
+// benchmark dependency. `--json <path>` emits machine-readable results
+// (ns-per-step per circuit per strategy) for the perf-trajectory check in
+// bench/compare.py.
+#include <chrono>
+#include <cmath>
+#include <functional>
 #include <random>
 
-#include "abstraction/abstraction.hpp"
-#include "netlist/builder.hpp"
+#include "bench_common.hpp"
 #include "numeric/lu.hpp"
 #include "runtime/compiled_model.hpp"
 
 namespace {
 
 using namespace amsvp;
+using Clock = std::chrono::steady_clock;
 
-abstraction::SignalFlowModel ladder_model(int stages) {
-    const netlist::Circuit circuit = netlist::make_rc_ladder(stages);
-    std::string error;
-    auto model = abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, {}, &error);
-    if (!model) {
-        std::fprintf(stderr, "%s\n", error.c_str());
-        std::exit(1);
+struct StrategyArm {
+    const char* name;
+    runtime::EvalStrategy strategy;
+};
+
+constexpr StrategyArm kArms[] = {
+    {"fused", runtime::EvalStrategy::kFused},
+    {"bytecode", runtime::EvalStrategy::kBytecode},
+    {"treewalk", runtime::EvalStrategy::kTreeWalk},
+};
+
+/// ns per call of `fn`, with batch size calibrated towards ~0.2 s of
+/// wall time (min 10^4 calls) after a small warm-up.
+double time_ns(const std::function<void()>& fn) {
+    constexpr long kProbe = 10000;
+    for (long i = 0; i < kProbe; ++i) {
+        fn();
     }
-    return std::move(*model);
-}
-
-void BM_ModelStep(benchmark::State& state, runtime::EvalStrategy strategy) {
-    const auto model = ladder_model(static_cast<int>(state.range(0)));
-    runtime::CompiledModel compiled(model, strategy);
-    compiled.set_input(0, 1.0);
-    double t = 0.0;
-    for (auto _ : state) {
-        t += model.timestep;
-        compiled.step(t);
-        benchmark::DoNotOptimize(compiled.output(0));
+    auto probe_start = Clock::now();
+    for (long i = 0; i < kProbe; ++i) {
+        fn();
     }
-    state.SetItemsProcessed(state.iterations());
+    const double probe_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - probe_start).count();
+    const double per_call = probe_ns / kProbe;
+    const long reps = std::max<long>(kProbe, static_cast<long>(0.2e9 / std::max(per_call, 0.1)));
+    auto start = Clock::now();
+    for (long i = 0; i < reps; ++i) {
+        fn();
+    }
+    const double total =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+    return total / static_cast<double>(reps);
 }
 
-void BM_ModelStepBytecode(benchmark::State& state) {
-    BM_ModelStep(state, runtime::EvalStrategy::kBytecode);
+/// Differential guard: all strategies must agree to 1e-12 (relative) over a
+/// square-wave run before any of them is timed.
+void check_strategies_agree(const bench::BenchCircuit& c) {
+    std::vector<runtime::CompiledModel> models;
+    models.reserve(std::size(kArms));
+    for (const StrategyArm& arm : kArms) {
+        models.emplace_back(c.model, arm.strategy);
+    }
+    const auto stimuli = bench::paper_stimuli();
+    std::vector<const numeric::SourceFunction*> sources;
+    for (const auto& in : c.model.inputs) {
+        sources.push_back(&stimuli.at(in.name));
+    }
+    for (long k = 1; k <= 2000; ++k) {
+        const double t = static_cast<double>(k) * c.model.timestep;
+        for (runtime::CompiledModel& m : models) {
+            for (std::size_t i = 0; i < sources.size(); ++i) {
+                m.set_input(i, (*sources[i])(t));
+            }
+            m.step(t);
+        }
+        const double reference = models[1].output(0);  // bytecode
+        for (std::size_t a = 0; a < models.size(); ++a) {
+            const double v = models[a].output(0);
+            if (std::fabs(v - reference) > 1e-12 * std::max(1.0, std::fabs(reference))) {
+                std::fprintf(stderr,
+                             "%s: strategy %s diverged from bytecode at step %ld "
+                             "(%.17g vs %.17g)\n",
+                             c.name.c_str(), kArms[a].name, k, v, reference);
+                std::exit(1);
+            }
+        }
+    }
 }
-void BM_ModelStepTreeWalk(benchmark::State& state) {
-    BM_ModelStep(state, runtime::EvalStrategy::kTreeWalk);
-}
-
-BENCHMARK(BM_ModelStepBytecode)->Arg(1)->Arg(5)->Arg(20);
-BENCHMARK(BM_ModelStepTreeWalk)->Arg(1)->Arg(5)->Arg(20);
 
 numeric::Matrix random_spd(std::size_t n, unsigned seed) {
     std::mt19937 rng(seed);
     std::uniform_real_distribution<double> dist(-1.0, 1.0);
     numeric::Matrix a(n, n);
     for (std::size_t r = 0; r < n; ++r) {
-        for (std::size_t c = 0; c < n; ++c) {
-            a(r, c) = dist(rng);
+        for (std::size_t col = 0; col < n; ++col) {
+            a(r, col) = dist(rng);
         }
         a(r, r) += static_cast<double>(n);
     }
     return a;
 }
 
-void BM_LuRefactorEveryStep(benchmark::State& state) {
-    const auto n = static_cast<std::size_t>(state.range(0));
-    const numeric::Matrix a = random_spd(n, 42);
-    numeric::Vector b(n, 1.0);
-    for (auto _ : state) {
-        auto lu = numeric::LuFactorization::factorise(a);
-        numeric::Vector x = lu->solve(b);
-        benchmark::DoNotOptimize(x.data());
-    }
-}
-
-void BM_LuFactorOnceSolveMany(benchmark::State& state) {
-    const auto n = static_cast<std::size_t>(state.range(0));
-    const numeric::Matrix a = random_spd(n, 42);
-    const auto lu = numeric::LuFactorization::factorise(a);
-    numeric::Vector b(n, 1.0);
-    for (auto _ : state) {
-        numeric::Vector x = lu->solve(b);
-        benchmark::DoNotOptimize(x.data());
-    }
-}
-
-// 62 is the RC20 tableau size (21 node potentials + 41 branch currents).
-BENCHMARK(BM_LuRefactorEveryStep)->Arg(8)->Arg(16)->Arg(32)->Arg(62);
-BENCHMARK(BM_LuFactorOnceSolveMany)->Arg(8)->Arg(16)->Arg(32)->Arg(62);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    const std::string json_path = bench::json_path_from_args(argc, argv);
+    bench::JsonReport report("micro_kernels");
+
+    std::printf("MICRO KERNELS — expression evaluation strategies and dense LU\n\n");
+    std::printf("%-8s %-10s %14s %12s\n", "Circuit", "Strategy", "ns/step", "vs bytecode");
+
+    for (const bench::BenchCircuit& c : bench::paper_circuits()) {
+        check_strategies_agree(c);
+        double arm_ns[std::size(kArms)] = {};
+        double bytecode_ns = 0.0;
+        for (std::size_t a = 0; a < std::size(kArms); ++a) {
+            runtime::CompiledModel compiled(c.model, kArms[a].strategy);
+            compiled.set_input(0, 1.0);
+            double t = 0.0;
+            const double dt = c.model.timestep;
+            arm_ns[a] = time_ns([&] {
+                t += dt;
+                compiled.step(t);
+            });
+            if (kArms[a].strategy == runtime::EvalStrategy::kBytecode) {
+                bytecode_ns = arm_ns[a];
+            }
+            report.add(
+                {{"name", "model_step"}, {"circuit", c.name}, {"strategy", kArms[a].name}},
+                {{"ns_per_step", arm_ns[a]}});
+        }
+        for (std::size_t a = 0; a < std::size(kArms); ++a) {
+            std::printf("%-8s %-10s %14.1f %11.2fx\n", c.name.c_str(), kArms[a].name,
+                        arm_ns[a], bytecode_ns / arm_ns[a]);
+        }
+        std::printf("\n");
+    }
+
+    // Dense LU: the ELN pattern (factor once, back-substitute per step) vs
+    // the SPICE pattern (refactor every step). 62 is the RC20 tableau size
+    // (21 node potentials + 41 branch currents).
+    std::printf("%-22s %6s %14s\n", "LU kernel", "n", "ns/solve");
+    for (const std::size_t n : {std::size_t{8}, std::size_t{16}, std::size_t{32},
+                                std::size_t{62}}) {
+        const numeric::Matrix a = random_spd(n, 42);
+        const auto lu = numeric::LuFactorization::factorise(a);
+        numeric::Vector b(n, 1.0);
+        numeric::Vector x(n, 0.0);
+
+        const double solve_ns = time_ns([&] {
+            x = b;
+            lu->solve_in_place(x);
+        });
+        std::printf("%-22s %6zu %14.1f\n", "factor_once_solve", n, solve_ns);
+        report.add({{"name", "lu_solve"}, {"variant", "factor_once"}},
+                   {{"n", static_cast<double>(n)}, {"ns_per_solve", solve_ns}});
+
+        const double refactor_ns = time_ns([&] {
+            auto f = numeric::LuFactorization::factorise(a);
+            x = b;
+            f->solve_in_place(x);
+        });
+        std::printf("%-22s %6zu %14.1f\n", "refactor_every_step", n, refactor_ns);
+        report.add({{"name", "lu_solve"}, {"variant", "refactor_each_step"}},
+                   {{"n", static_cast<double>(n)}, {"ns_per_solve", refactor_ns}});
+    }
+
+    if (!report.write(json_path)) {
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,14 @@
+# Helper for the optional `bench_perf_check` ctest: run the micro bench with
+# JSON output, then enforce the speedup thresholds via bench/compare.py.
+# Invoked as:
+#   cmake -DBENCH_EXE=... -DPYTHON_EXE=... -DCOMPARE_PY=... -DJSON_OUT=...
+#         -P run_perf_check.cmake
+execute_process(COMMAND ${BENCH_EXE} --json ${JSON_OUT} RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_micro_kernels failed (rc=${bench_rc})")
+endif()
+
+execute_process(COMMAND ${PYTHON_EXE} ${COMPARE_PY} ${JSON_OUT} RESULT_VARIABLE compare_rc)
+if(NOT compare_rc EQUAL 0)
+  message(FATAL_ERROR "perf threshold check failed (rc=${compare_rc})")
+endif()

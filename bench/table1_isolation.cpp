@@ -13,6 +13,8 @@
 int main(int argc, char** argv) {
     using namespace amsvp;
     const double duration = bench::duration_from_args(argc, argv, 1e-3);
+    const std::string json_path = bench::json_path_from_args(argc, argv);
+    bench::JsonReport report("table1_isolation");
 
     std::printf("TABLE I — SIMULATION PERFORMANCE AND ACCURACY, MODELS IN ISOLATION\n");
     bench::print_scaling_note(duration, 100e-3);
@@ -54,8 +56,20 @@ int main(int argc, char** argv) {
             std::printf("%-10s %-14s %-10s %14.4f %12.2E %9.0fx\n", c.name.c_str(),
                         std::string(to_string(row.kind)).c_str(), row.generation,
                         run.wall_seconds, error, speedup);
+            const double steps = duration / c.model.timestep;
+            report.add({{"name", "backend_run"},
+                        {"circuit", c.name},
+                        {"backend", std::string(to_string(row.kind))},
+                        {"generation", row.generation}},
+                       {{"wall_seconds", run.wall_seconds},
+                        {"ns_per_step", run.wall_seconds * 1e9 / steps},
+                        {"nrmse", error},
+                        {"speedup_vs_vams", speedup}});
         }
         std::printf("\n");
+    }
+    if (!report.write(json_path)) {
+        return 1;
     }
     return 0;
 }

@@ -35,11 +35,11 @@ private:
 
 class DeModel {
 public:
-    /// Default: in-process bytecode execution.
+    /// Default: in-process fused register-machine execution.
     DeModel(de::Simulator& sim, de::Clock& clock, std::string name,
             const abstraction::SignalFlowModel& model,
             std::vector<de::Signal<double>*> inputs,
-            runtime::EvalStrategy strategy = runtime::EvalStrategy::kBytecode);
+            runtime::EvalStrategy strategy = runtime::EvalStrategy::kFused);
     /// Custom executor (e.g. the native-compiled generated model).
     DeModel(de::Simulator& sim, de::Clock& clock, std::string name,
             const abstraction::SignalFlowModel& model,

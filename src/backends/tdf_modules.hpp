@@ -30,9 +30,9 @@ private:
 /// one output port per model output, one model step per firing.
 class TdfModel final : public tdf::TdfModule {
 public:
-    /// Default: in-process bytecode execution.
+    /// Default: in-process fused register-machine execution.
     TdfModel(std::string name, const abstraction::SignalFlowModel& model,
-             runtime::EvalStrategy strategy = runtime::EvalStrategy::kBytecode);
+             runtime::EvalStrategy strategy = runtime::EvalStrategy::kFused);
     /// Custom executor (e.g. the native-compiled generated model).
     TdfModel(std::string name, const abstraction::SignalFlowModel& model,
              std::unique_ptr<runtime::ModelExecutor> executor);

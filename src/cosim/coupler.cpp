@@ -28,8 +28,9 @@ CosimCoupler::CosimCoupler(de::Simulator& sim, const netlist::Circuit& circuit,
         AMSVP_CHECK(it != stimuli.end(), "missing stimulus for co-simulated input");
         sources_.push_back(it->second);
     }
+    inputs_scratch_.assign(sources_.size(), 0.0);
     output_ = std::make_unique<de::Signal<double>>(sim, "cosim_out", 0.0);
-    sim_.schedule_after(period_, [this] { synchronize(); });
+    sim_.schedule_periodic(sim_.now() + period_, period_, [this] { synchronize(); });
 }
 
 void CosimCoupler::marshal(const std::vector<double>& values, Message& msg) {
@@ -50,31 +51,28 @@ void CosimCoupler::synchronize() {
     ++stats_.sync_points;
 
     // Digital -> analog: sample the stimuli and marshal them across the
-    // simulator boundary.
-    std::vector<double> inputs(sources_.size());
+    // simulator boundary. The scratch vectors are members so the per-sync
+    // marshalling copies bytes (the modelled cost) without allocating.
     for (std::size_t i = 0; i < sources_.size(); ++i) {
-        inputs[i] = sources_[i](t);
+        inputs_scratch_[i] = sources_[i](t);
     }
-    marshal(inputs, to_analog_);
+    marshal(inputs_scratch_, to_analog_);
 
     // "Context switch" to the analog solver: it unpacks the message,
     // advances its own time by one step, and packs the observations.
-    std::vector<double> analog_inputs;
-    unmarshal(to_analog_, analog_inputs);
-    const bool ok = engine_->step(analog_inputs, t);
+    unmarshal(to_analog_, analog_inputs_scratch_);
+    const bool ok = engine_->step(analog_inputs_scratch_, t);
     AMSVP_CHECK(ok, "analog solver failed to converge during co-simulation");
-    std::vector<double> observations{engine_->voltage_between(pos_, neg_)};
-    marshal(observations, from_analog_);
+    observations_scratch_.assign(1, engine_->voltage_between(pos_, neg_));
+    marshal(observations_scratch_, from_analog_);
 
     // Analog -> digital: handshake check, then commit to kernel channels.
-    std::vector<double> results;
-    unmarshal(from_analog_, results);
+    unmarshal(from_analog_, results_scratch_);
     AMSVP_CHECK(from_analog_.sequence == sequence_, "co-simulation handshake out of order");
     ++stats_.handshakes;
 
-    output_->write(results.front());
-    trace_.append(results.front());
-    sim_.schedule_after(period_, [this] { synchronize(); });
+    output_->write(results_scratch_.front());
+    trace_.append(results_scratch_.front());
 }
 
 }  // namespace amsvp::cosim

@@ -74,6 +74,12 @@ private:
     std::uint64_t sequence_ = 0;
     Message to_analog_;
     Message from_analog_;
+    /// Reused per-sync scratch: marshalling still copies every byte (that is
+    /// the cost being modelled) but does not allocate in steady state.
+    std::vector<double> inputs_scratch_;
+    std::vector<double> analog_inputs_scratch_;
+    std::vector<double> observations_scratch_;
+    std::vector<double> results_scratch_;
     CosimStats stats_;
 };
 

@@ -9,7 +9,9 @@ Clock::Clock(Simulator& sim, std::string name, Time period)
     AMSVP_CHECK(period_ >= 2, "clock period must be at least 2 fs");
     // First rising edge lands at exactly one period, so clocked samples sit
     // at t = T, 2T, ... — the sampling convention shared by all backends.
-    sim_.schedule_after(period_, [this] { toggle(); });
+    // Periodic fast path: one registered callback, re-armed by the kernel
+    // every half period without allocating.
+    sim_.schedule_periodic(sim_.now() + period_, period_ / 2, [this] { toggle(); });
 }
 
 void Clock::toggle() {
@@ -25,7 +27,6 @@ void Clock::toggle() {
             sim_.trigger(pid);
         }
     }
-    sim_.schedule_after(period_ / 2, [this] { toggle(); });
 }
 
 }  // namespace amsvp::de

@@ -27,11 +27,28 @@ void Simulator::trigger(ProcessId pid) {
 
 void Simulator::schedule_at(Time at, Callback cb) {
     AMSVP_CHECK(at >= now_, "cannot schedule an event in the past");
-    timed_.push(TimedEvent{at, next_seq_++, std::move(cb)});
+    timed_.push(TimedEvent{at, next_seq_++, std::move(cb), -1});
 }
 
 void Simulator::schedule_after(Time delay, Callback cb) {
     schedule_at(now_ + delay, std::move(cb));
+}
+
+PeriodicId Simulator::schedule_periodic(Time first, Time period, Callback cb) {
+    AMSVP_CHECK(first >= now_, "cannot schedule an event in the past");
+    AMSVP_CHECK(period > 0, "periodic schedule needs a positive period");
+    const auto id = static_cast<PeriodicId>(periodic_tasks_.size());
+    periodic_tasks_.push_back(PeriodicTask{period, std::move(cb), true});
+    timed_.push(TimedEvent{first, next_seq_++, {}, id});
+    return id;
+}
+
+void Simulator::cancel_periodic(PeriodicId id) {
+    AMSVP_CHECK(id >= 0 && id < static_cast<PeriodicId>(periodic_tasks_.size()),
+                "periodic id out of range");
+    // Only flag here: the callback may be the one currently executing. Its
+    // closure is released when the pending heap entry drains in run_until.
+    periodic_tasks_[static_cast<std::size_t>(id)].active = false;
 }
 
 void Simulator::request_update(Callback update) {
@@ -40,19 +57,20 @@ void Simulator::request_update(Callback update) {
 
 void Simulator::settle() {
     while (!runnable_.empty() || !updates_.empty()) {
-        // Evaluate phase.
-        std::vector<ProcessId> to_run;
-        to_run.swap(runnable_);
-        for (const ProcessId pid : to_run) {
+        // Evaluate phase. The scratch buffers are members so both sides of
+        // the swap keep their capacity — no allocation per delta cycle.
+        runnable_scratch_.clear();
+        runnable_scratch_.swap(runnable_);
+        for (const ProcessId pid : runnable_scratch_) {
             Process& p = processes_[static_cast<std::size_t>(pid)];
             p.runnable = false;
             p.fn();
             ++stats_.process_activations;
         }
         // Update phase.
-        std::vector<Callback> to_update;
-        to_update.swap(updates_);
-        for (const Callback& update : to_update) {
+        updates_scratch_.clear();
+        updates_scratch_.swap(updates_);
+        for (const Callback& update : updates_scratch_) {
             update();
             ++stats_.channel_updates;
         }
@@ -69,6 +87,31 @@ Time Simulator::run_until(Time end) {
         now_ = at;
         // Drain all events at this timestamp in FIFO order.
         while (!timed_.empty() && timed_.top().at == at) {
+            const PeriodicId periodic = timed_.top().periodic;
+            if (periodic >= 0) {
+                // Periodic fast path: the callback lives in the task table;
+                // the popped heap entry carries no payload and re-arming
+                // pushes another payload-free entry — zero allocation in
+                // steady state.
+                timed_.pop();
+                ++stats_.timed_events;
+                if (!periodic_tasks_[static_cast<std::size_t>(periodic)].active) {
+                    // Cancelled: this was its last pending entry — release
+                    // the stored closure (ids are not reclaimed, but dead
+                    // entries keep no captures alive).
+                    periodic_tasks_[static_cast<std::size_t>(periodic)].fn = nullptr;
+                    continue;
+                }
+                periodic_tasks_[static_cast<std::size_t>(periodic)].fn();
+                // Re-index: the callback may have registered new tasks.
+                PeriodicTask& task = periodic_tasks_[static_cast<std::size_t>(periodic)];
+                if (task.active) {
+                    timed_.push(TimedEvent{at + task.period, next_seq_++, {}, periodic});
+                } else {
+                    task.fn = nullptr;  // cancelled itself; release the closure
+                }
+                continue;
+            }
             Callback cb = timed_.top().cb;
             timed_.pop();
             ++stats_.timed_events;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <queue>
 #include <string>
@@ -21,6 +22,7 @@
 namespace amsvp::de {
 
 using ProcessId = int;
+using PeriodicId = int;
 
 struct KernelStats {
     std::uint64_t process_activations = 0;
@@ -50,6 +52,16 @@ public:
     /// Run `cb` after `delay` from now.
     void schedule_after(Time delay, Callback cb);
 
+    /// Periodic fast path: run `cb` at `first`, then every `period`, until
+    /// cancelled. The callback is stored once; re-arming pushes a payload-free
+    /// heap entry, so steady-state periodic activity performs no heap
+    /// allocation (unlike a callback that re-schedules itself each time).
+    /// Ordering matches the self-rescheduling pattern exactly: the next
+    /// occurrence is sequenced directly after the callback returns.
+    PeriodicId schedule_periodic(Time first, Time period, Callback cb);
+    /// Stop a periodic schedule. Safe to call from within its own callback.
+    void cancel_periodic(PeriodicId id);
+
     /// Channel update request for the current delta's update phase.
     void request_update(Callback update);
 
@@ -74,7 +86,13 @@ private:
     struct TimedEvent {
         Time at;
         std::uint64_t seq;  ///< FIFO order among same-time events
-        Callback cb;
+        Callback cb;        ///< one-shot payload; empty for periodic entries
+        PeriodicId periodic = -1;  ///< index into periodic_tasks_, or -1
+    };
+    struct PeriodicTask {
+        Time period;
+        Callback fn;
+        bool active = false;
     };
     struct TimedEventOrder {
         bool operator()(const TimedEvent& a, const TimedEvent& b) const {
@@ -91,7 +109,16 @@ private:
     std::vector<Process> processes_;
     std::vector<ProcessId> runnable_;
     std::vector<Callback> updates_;
+    /// settle() scratch, kept as members so the evaluate/update double
+    /// buffers retain their capacity across delta cycles (no per-delta
+    /// allocation in steady state).
+    std::vector<ProcessId> runnable_scratch_;
+    std::vector<Callback> updates_scratch_;
     std::priority_queue<TimedEvent, std::vector<TimedEvent>, TimedEventOrder> timed_;
+    /// Deque, not vector: a periodic callback may register new periodic
+    /// tasks while it runs, and push_back must not move the PeriodicTask
+    /// whose fn() is currently on the stack.
+    std::deque<PeriodicTask> periodic_tasks_;
     std::uint64_t next_seq_ = 0;
     Time now_ = 0;
     KernelStats stats_;

@@ -74,21 +74,22 @@ ElnDeModule::ElnDeModule(de::Simulator& sim, const netlist::Circuit& circuit, do
         AMSVP_CHECK(it != stimuli.end(), "missing stimulus for ELN input");
         sources_.push_back(it->second);
     }
+    input_scratch_.assign(sources_.size(), 0.0);
     output_ = std::make_unique<de::Signal<double>>(sim, "eln_out", 0.0);
-    sim_.schedule_after(period_, [this] { activate(); });
+    sim_.schedule_periodic(sim_.now() + period_, period_, [this] { activate(); });
 }
 
 void ElnDeModule::activate() {
     const double t = de::to_seconds(sim_.now());
-    std::vector<double> inputs(sources_.size());
+    // Reused member buffer: activations run once per analog timestep and
+    // must not allocate.
     for (std::size_t i = 0; i < sources_.size(); ++i) {
-        inputs[i] = sources_[i](t);
+        input_scratch_[i] = sources_[i](t);
     }
-    engine_.step(inputs, t);
+    engine_.step(input_scratch_, t);
     const double v = engine_.voltage_between(pos_, neg_);
     output_->write(v);
     trace_.append(v);
-    sim_.schedule_after(period_, [this] { activate(); });
 }
 
 }  // namespace amsvp::eln

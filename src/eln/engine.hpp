@@ -71,6 +71,7 @@ private:
     de::Simulator& sim_;
     ElnEngine engine_;
     std::vector<numeric::SourceFunction> sources_;
+    std::vector<double> input_scratch_;  ///< per-activation input samples
     std::string pos_;
     std::string neg_;
     std::unique_ptr<de::Signal<double>> output_;

@@ -144,8 +144,11 @@ void Tableau::build_rhs(const numeric::Vector& x_prev, const std::vector<double>
     AMSVP_CHECK(input_values.size() == inputs_.size(), "input value count mismatch");
     b.assign(size_, 0.0);
 
-    // Offset programs read [inputs..., time] from a small scratch buffer.
-    std::vector<double> slots(offset_slot_count_, 0.0);
+    // Offset programs read [inputs..., time] from a small scratch buffer
+    // (reused member: build_rhs runs once per analog timestep and must not
+    // allocate in steady state).
+    std::vector<double>& slots = offset_slots_scratch_;
+    slots.assign(offset_slot_count_, 0.0);
     for (std::size_t i = 0; i < input_values.size(); ++i) {
         slots[i] = input_values[i];
     }

@@ -78,6 +78,9 @@ private:
     std::vector<Row> rows_;
     std::vector<std::string> inputs_;
     std::size_t offset_slot_count_ = 0;
+    /// Scratch for offset-program inputs, reused across build_rhs calls
+    /// (makes concurrent build_rhs on one Tableau unsafe; copy per thread).
+    mutable std::vector<double> offset_slots_scratch_;
 };
 
 }  // namespace amsvp::eln

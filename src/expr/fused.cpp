@@ -1,0 +1,849 @@
+#include "expr/fused.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "expr/traversal.hpp"
+#include "support/check.hpp"
+
+namespace amsvp::expr {
+
+namespace {
+
+/// Minimum combined term count before an affine expression is worth a
+/// kLinComb over individual fused instructions.
+constexpr std::size_t kLinCombMinTerms = 3;
+
+FusedOp fused_for(UnaryOp op) {
+    switch (op) {
+        case UnaryOp::kNeg:
+            return FusedOp::kNeg;
+        case UnaryOp::kNot:
+            return FusedOp::kNot;
+        case UnaryOp::kExp:
+            return FusedOp::kExp;
+        case UnaryOp::kLn:
+            return FusedOp::kLn;
+        case UnaryOp::kLog10:
+            return FusedOp::kLog10;
+        case UnaryOp::kSqrt:
+            return FusedOp::kSqrt;
+        case UnaryOp::kSin:
+            return FusedOp::kSin;
+        case UnaryOp::kCos:
+            return FusedOp::kCos;
+        case UnaryOp::kTan:
+            return FusedOp::kTan;
+        case UnaryOp::kAbs:
+            return FusedOp::kAbs;
+    }
+    AMSVP_CHECK(false, "unhandled unary op");
+    return FusedOp::kNeg;
+}
+
+FusedOp fused_for(BinaryOp op) {
+    switch (op) {
+        case BinaryOp::kAdd:
+            return FusedOp::kAdd;
+        case BinaryOp::kSub:
+            return FusedOp::kSub;
+        case BinaryOp::kMul:
+            return FusedOp::kMul;
+        case BinaryOp::kDiv:
+            return FusedOp::kDiv;
+        case BinaryOp::kPow:
+            return FusedOp::kPow;
+        case BinaryOp::kMin:
+            return FusedOp::kMin;
+        case BinaryOp::kMax:
+            return FusedOp::kMax;
+        case BinaryOp::kLt:
+            return FusedOp::kLt;
+        case BinaryOp::kLe:
+            return FusedOp::kLe;
+        case BinaryOp::kGt:
+            return FusedOp::kGt;
+        case BinaryOp::kGe:
+            return FusedOp::kGe;
+        case BinaryOp::kEq:
+            return FusedOp::kEq;
+        case BinaryOp::kNe:
+            return FusedOp::kNe;
+        case BinaryOp::kAnd:
+            return FusedOp::kAnd;
+        case BinaryOp::kOr:
+            return FusedOp::kOr;
+    }
+    AMSVP_CHECK(false, "unhandled binary op");
+    return FusedOp::kAdd;
+}
+
+}  // namespace
+
+/// Single-use compiler: builds one FusedProgram from an assignment list.
+class FusedCompiler {
+public:
+    FusedCompiler(const SlotResolver& resolver, int slot_file_size)
+        : resolver_(resolver), next_reg_(slot_file_size), first_scratch_(slot_file_size) {}
+
+    FusedProgram run(const std::vector<FusedProgram::AssignmentSpec>& assignments) {
+        for (const auto& a : assignments) {
+            AMSVP_CHECK(a.value != nullptr, "fused compile of null expression");
+            compile_assignment(a.target_slot, a.value);
+        }
+        out_.scratch_count_ = next_reg_ - first_scratch_;
+        return std::move(out_);
+    }
+
+private:
+    // Either a compile-time constant or a slot holding the value at runtime.
+    struct ValRef {
+        bool is_const = false;
+        double cval = 0.0;
+        std::int32_t slot = -1;
+    };
+    static ValRef constant(double v) { return ValRef{true, v, -1}; }
+    static ValRef in_slot(std::int32_t s) { return ValRef{false, 0.0, s}; }
+
+    struct CacheEntry {
+        ExprPtr expr;
+        std::int32_t slot = -1;
+        std::vector<std::int32_t> deps;  ///< leaf slots the value reads, sorted
+        bool valid = false;
+    };
+
+    // --- Emission helpers -------------------------------------------------
+
+    std::int32_t new_reg() { return next_reg_++; }
+
+    std::int32_t emit(FusedOp op, std::int32_t dst, std::int32_t a = 0, std::int32_t b = 0,
+                      std::int32_t c = 0, double imm = 0.0) {
+        out_.code_.push_back(FusedInstr{op, dst, a, b, c, imm});
+        return dst;
+    }
+
+    /// Slot of a pooled constant (deduplicated bit-exactly).
+    std::int32_t const_slot(double v) {
+        const auto key = std::bit_cast<std::uint64_t>(v);
+        const auto it = const_slots_.find(key);
+        if (it != const_slots_.end()) {
+            return it->second;
+        }
+        const std::int32_t slot = new_reg();
+        const_slots_.emplace(key, slot);
+        out_.const_pool_.emplace_back(slot, v);
+        return slot;
+    }
+
+    /// Any ValRef as a readable slot (constants go through the pool).
+    std::int32_t materialize(const ValRef& v) {
+        return v.is_const ? const_slot(v.cval) : v.slot;
+    }
+
+    // --- Structural hashing / CSE -----------------------------------------
+
+    std::size_t hash_of(const ExprPtr& e) {
+        const auto it = hash_memo_.find(e.get());
+        if (it != hash_memo_.end()) {
+            return it->second;
+        }
+        auto mix = [](std::size_t h, std::size_t v) {
+            return h * 1000003ULL ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+        };
+        std::size_t h = static_cast<std::size_t>(e->kind()) + 0x51ED2701ULL;
+        switch (e->kind()) {
+            case ExprKind::kConstant:
+                h = mix(h, std::bit_cast<std::uint64_t>(e->constant_value()));
+                break;
+            case ExprKind::kSymbol:
+                h = mix(h, SymbolHash{}(e->symbol()));
+                break;
+            case ExprKind::kDelayed:
+                h = mix(mix(h, SymbolHash{}(e->symbol())),
+                        static_cast<std::size_t>(e->delay()));
+                break;
+            case ExprKind::kUnary:
+                h = mix(mix(h, static_cast<std::size_t>(e->unary_op())), hash_of(e->operand()));
+                break;
+            case ExprKind::kBinary:
+                h = mix(mix(mix(h, static_cast<std::size_t>(e->binary_op())),
+                            hash_of(e->left())),
+                        hash_of(e->right()));
+                break;
+            case ExprKind::kConditional:
+                h = mix(mix(mix(h, hash_of(e->condition())), hash_of(e->then_branch())),
+                        hash_of(e->else_branch()));
+                break;
+            case ExprKind::kDdt:
+            case ExprKind::kIdt:
+                AMSVP_CHECK(false, "ddt/idt must be discretized before compilation");
+                break;
+        }
+        hash_memo_.emplace(e.get(), h);
+        return h;
+    }
+
+    /// Sorted slots of every leaf (symbol / delayed / $abstime) under `e`.
+    std::vector<std::int32_t> leaf_slots(const ExprPtr& e) {
+        std::vector<std::int32_t> slots;
+        visit(e, [&](const ExprPtr& node) {
+            if (node->kind() == ExprKind::kSymbol) {
+                slots.push_back(resolver_(node->symbol(), 0));
+            } else if (node->kind() == ExprKind::kDelayed) {
+                slots.push_back(resolver_(node->symbol(), node->delay()));
+            }
+            return true;
+        });
+        std::sort(slots.begin(), slots.end());
+        slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+        return slots;
+    }
+
+    const CacheEntry* cache_lookup(const ExprPtr& e) {
+        const auto pit = ptr_cache_.find(e.get());
+        if (pit != ptr_cache_.end() && entries_[pit->second].valid) {
+            return &entries_[pit->second];
+        }
+        const auto bucket = struct_cache_.find(hash_of(e));
+        if (bucket != struct_cache_.end()) {
+            for (const std::size_t idx : bucket->second) {
+                if (entries_[idx].valid && structurally_equal(entries_[idx].expr, e)) {
+                    return &entries_[idx];
+                }
+            }
+        }
+        return nullptr;
+    }
+
+    void cache_insert(const ExprPtr& e, std::int32_t slot) {
+        const std::size_t idx = entries_.size();
+        entries_.push_back(CacheEntry{e, slot, leaf_slots(e), true});
+        ptr_cache_[e.get()] = idx;  // override a stale (invalidated) mapping
+        struct_cache_[hash_of(e)].push_back(idx);
+    }
+
+    /// `slot` has been rewritten: every cached value computed from its old
+    /// content (or stored in it) is stale, except `keep_idx` — the entry for
+    /// the value just stored there. (With a well-formed model — targets
+    /// assigned before any current-time use — the dependency half never
+    /// fires; it guards the engine against ill-ordered programs.)
+    void invalidate_readers_of(std::int32_t slot, std::size_t keep_idx) {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            CacheEntry& entry = entries_[i];
+            if (!entry.valid) {
+                continue;
+            }
+            // A value that *read* the rewritten slot is stale no matter where
+            // it lives — including the just-retargeted root entry (a
+            // self-referential assignment like `y := y + u` reads the old y).
+            if (std::binary_search(entry.deps.begin(), entry.deps.end(), slot)) {
+                entry.valid = false;
+                continue;
+            }
+            // A value *stored in* the rewritten slot is gone — except the
+            // root entry, which is the value just stored there.
+            if (entry.slot == slot && i != keep_idx) {
+                entry.valid = false;
+            }
+        }
+    }
+
+    // --- Affine decomposition (linear-combination superinstruction) -------
+
+    /// Decompose `scale * e` into `bias + sum(coeff_i * slot_i)`, treating
+    /// non-affine subtrees as opaque single terms. With `emit` false no code
+    /// is generated (opaque terms get slot -1) — used to probe whether a
+    /// kLinComb pays off before committing instructions.
+    void linearize(const ExprPtr& e, double scale, bool emit, double& bias,
+                   std::vector<LinTerm>& terms) {
+        switch (e->kind()) {
+            case ExprKind::kConstant:
+                bias += scale * e->constant_value();
+                return;
+            case ExprKind::kSymbol:
+                terms.push_back(LinTerm{resolver_(e->symbol(), 0), scale});
+                return;
+            case ExprKind::kDelayed:
+                terms.push_back(LinTerm{resolver_(e->symbol(), e->delay()), scale});
+                return;
+            case ExprKind::kUnary:
+                if (e->unary_op() == UnaryOp::kNeg) {
+                    linearize(e->operand(), -scale, emit, bias, terms);
+                    return;
+                }
+                break;
+            case ExprKind::kBinary:
+                switch (e->binary_op()) {
+                    case BinaryOp::kAdd:
+                        linearize(e->left(), scale, emit, bias, terms);
+                        linearize(e->right(), scale, emit, bias, terms);
+                        return;
+                    case BinaryOp::kSub:
+                        linearize(e->left(), scale, emit, bias, terms);
+                        linearize(e->right(), -scale, emit, bias, terms);
+                        return;
+                    case BinaryOp::kMul:
+                        if (e->left()->kind() == ExprKind::kConstant) {
+                            linearize(e->right(), scale * e->left()->constant_value(), emit,
+                                      bias, terms);
+                            return;
+                        }
+                        if (e->right()->kind() == ExprKind::kConstant) {
+                            linearize(e->left(), scale * e->right()->constant_value(), emit,
+                                      bias, terms);
+                            return;
+                        }
+                        break;
+                    case BinaryOp::kDiv:
+                        if (e->right()->kind() == ExprKind::kConstant &&
+                            e->right()->constant_value() != 0.0) {
+                            linearize(e->left(), scale / e->right()->constant_value(), emit,
+                                      bias, terms);
+                            return;
+                        }
+                        break;
+                    default:
+                        break;
+                }
+                break;
+            default:
+                break;
+        }
+        // Opaque subtree: one term with the accumulated scale.
+        if (!emit) {
+            terms.push_back(LinTerm{-1, scale});
+            return;
+        }
+        const ValRef v = compile_value(e);
+        if (v.is_const) {
+            bias += scale * v.cval;
+        } else {
+            terms.push_back(LinTerm{v.slot, scale});
+        }
+    }
+
+    /// Combine duplicate slots (coefficients add); keeps first-seen order.
+    static void combine_terms(std::vector<LinTerm>& terms) {
+        std::vector<LinTerm> combined;
+        combined.reserve(terms.size());
+        for (const LinTerm& t : terms) {
+            auto it = std::find_if(combined.begin(), combined.end(),
+                                   [&](const LinTerm& c) { return c.slot == t.slot; });
+            if (it == combined.end()) {
+                combined.push_back(t);
+            } else {
+                it->coeff += t.coeff;
+            }
+        }
+        terms = std::move(combined);
+    }
+
+    /// Emit `e` as a kLinComb when it decomposes into enough affine terms.
+    /// Returns the result, or nullopt when the shape does not pay off.
+    std::optional<ValRef> try_lincomb(const ExprPtr& e) {
+        if (e->kind() != ExprKind::kBinary) {
+            return std::nullopt;
+        }
+        const BinaryOp op = e->binary_op();
+        if (op != BinaryOp::kAdd && op != BinaryOp::kSub && op != BinaryOp::kMul &&
+            op != BinaryOp::kDiv) {
+            return std::nullopt;
+        }
+        // Probe without emitting.
+        double bias = 0.0;
+        std::vector<LinTerm> probe;
+        linearize(e, 1.0, /*emit=*/false, bias, probe);
+        if (probe.size() < kLinCombMinTerms) {
+            return std::nullopt;
+        }
+        bias = 0.0;
+        std::vector<LinTerm> terms;
+        linearize(e, 1.0, /*emit=*/true, bias, terms);
+        combine_terms(terms);
+        if (terms.empty()) {
+            return constant(bias);
+        }
+        if (terms.size() < kLinCombMinTerms) {
+            // Collapsed below the threshold after combining duplicates:
+            // a couple of fused instructions beat the term loop.
+            std::int32_t acc = -1;
+            for (const LinTerm& t : terms) {
+                if (acc < 0) {
+                    acc = t.coeff == 1.0
+                              ? t.slot
+                              : emit(FusedOp::kMulImm, new_reg(), t.slot, 0, 0, t.coeff);
+                } else if (t.coeff == 1.0) {
+                    acc = emit(FusedOp::kAdd, new_reg(), acc, t.slot);
+                } else {
+                    acc = emit(FusedOp::kMulAddImm, new_reg(), t.slot, acc, 0, t.coeff);
+                }
+            }
+            if (bias != 0.0) {
+                acc = emit(FusedOp::kAddImm, new_reg(), acc, 0, 0, bias);
+            }
+            return in_slot(acc);
+        }
+        const auto offset = static_cast<std::int32_t>(out_.lin_terms_.size());
+        out_.lin_terms_.insert(out_.lin_terms_.end(), terms.begin(), terms.end());
+        const std::int32_t dst = new_reg();
+        emit(FusedOp::kLinComb, dst, offset, static_cast<std::int32_t>(terms.size()), 0, bias);
+        return in_slot(dst);
+    }
+
+    // --- Generic compilation ----------------------------------------------
+
+    ValRef compile_value(const ExprPtr& e) {
+        switch (e->kind()) {
+            case ExprKind::kConstant:
+                return constant(e->constant_value());
+            case ExprKind::kSymbol:
+                return in_slot(resolver_(e->symbol(), 0));
+            case ExprKind::kDelayed:
+                return in_slot(resolver_(e->symbol(), e->delay()));
+            default:
+                break;
+        }
+        if (const CacheEntry* hit = cache_lookup(e)) {
+            return in_slot(hit->slot);
+        }
+        const ValRef result = compile_uncached(e);
+        if (!result.is_const) {
+            cache_insert(e, result.slot);
+        }
+        return result;
+    }
+
+    ValRef compile_uncached(const ExprPtr& e) {
+        if (auto lin = try_lincomb(e)) {
+            return *lin;
+        }
+        switch (e->kind()) {
+            case ExprKind::kUnary: {
+                const ValRef v = compile_value(e->operand());
+                if (v.is_const) {
+                    return constant(apply_unary(e->unary_op(), v.cval));
+                }
+                return in_slot(emit(fused_for(e->unary_op()), new_reg(), v.slot));
+            }
+            case ExprKind::kBinary:
+                return compile_binary(e);
+            case ExprKind::kConditional: {
+                const ValRef cond = compile_value(e->condition());
+                if (cond.is_const) {
+                    return cond.cval != 0.0 ? compile_value(e->then_branch())
+                                            : compile_value(e->else_branch());
+                }
+                // Like the stack bytecode, both arms evaluate eagerly; the
+                // select only picks a value (expressions are side-effect
+                // free).
+                const std::int32_t t = materialize(compile_value(e->then_branch()));
+                const std::int32_t o = materialize(compile_value(e->else_branch()));
+                return in_slot(emit(FusedOp::kSelect, new_reg(), cond.slot, t, o));
+            }
+            case ExprKind::kDdt:
+            case ExprKind::kIdt:
+                AMSVP_CHECK(false, "ddt/idt must be discretized before compilation");
+                break;
+            default:
+                break;
+        }
+        AMSVP_CHECK(false, "unhandled expression kind");
+        return constant(0.0);
+    }
+
+    /// Fused multiply-add: Add/Sub where one side is a product that is not
+    /// already available via CSE.
+    std::optional<ValRef> try_muladd(const ExprPtr& e) {
+        const BinaryOp op = e->binary_op();
+        if (op != BinaryOp::kAdd && op != BinaryOp::kSub) {
+            return std::nullopt;
+        }
+        const bool left_mul = e->left()->kind() == ExprKind::kBinary &&
+                              e->left()->binary_op() == BinaryOp::kMul &&
+                              cache_lookup(e->left()) == nullptr;
+        const bool right_mul = e->right()->kind() == ExprKind::kBinary &&
+                               e->right()->binary_op() == BinaryOp::kMul &&
+                               cache_lookup(e->right()) == nullptr;
+        const ExprPtr* mul = nullptr;
+        const ExprPtr* other = nullptr;
+        bool mul_is_left = false;
+        if (left_mul) {
+            mul = &e->left();
+            other = &e->right();
+            mul_is_left = true;
+        } else if (right_mul) {
+            mul = &e->right();
+            other = &e->left();
+        } else {
+            return std::nullopt;
+        }
+        const ValRef p = compile_value((*mul)->left());
+        const ValRef q = compile_value((*mul)->right());
+        if (p.is_const && q.is_const) {
+            return std::nullopt;  // product folds; the generic path handles it
+        }
+        const ValRef o = compile_value(*other);
+        const std::int32_t dst = new_reg();
+        if (op == BinaryOp::kAdd) {
+            if (p.is_const || q.is_const) {
+                const double k = p.is_const ? p.cval : q.cval;
+                const std::int32_t x = p.is_const ? q.slot : p.slot;
+                emit(FusedOp::kMulAddImm, dst, x, materialize(o), 0, k);
+            } else {
+                emit(FusedOp::kMulAdd, dst, p.slot, q.slot, materialize(o));
+            }
+            return in_slot(dst);
+        }
+        // Subtraction: direction matters.
+        const std::int32_t a = materialize(p);
+        const std::int32_t b = materialize(q);
+        if (mul_is_left) {
+            emit(FusedOp::kMulSub, dst, a, b, materialize(o));  // p*q - other
+        } else {
+            emit(FusedOp::kMulRSub, dst, a, b, materialize(o));  // other - p*q
+        }
+        return in_slot(dst);
+    }
+
+    ValRef compile_binary(const ExprPtr& e) {
+        if (auto fused = try_muladd(e)) {
+            return *fused;
+        }
+        const BinaryOp op = e->binary_op();
+        const ValRef l = compile_value(e->left());
+        const ValRef r = compile_value(e->right());
+        if (l.is_const && r.is_const) {
+            return constant(apply_binary(op, l.cval, r.cval));
+        }
+        const bool imm_able = op == BinaryOp::kAdd || op == BinaryOp::kSub ||
+                              op == BinaryOp::kMul || op == BinaryOp::kDiv;
+        if (imm_able && (l.is_const || r.is_const)) {
+            const double k = l.is_const ? l.cval : r.cval;
+            const std::int32_t x = l.is_const ? r.slot : l.slot;
+            FusedOp fop = FusedOp::kAddImm;
+            switch (op) {
+                case BinaryOp::kAdd:
+                    fop = FusedOp::kAddImm;
+                    break;
+                case BinaryOp::kSub:
+                    fop = l.is_const ? FusedOp::kRSubImm : FusedOp::kSubImm;
+                    break;
+                case BinaryOp::kMul:
+                    fop = FusedOp::kMulImm;
+                    break;
+                case BinaryOp::kDiv:
+                    fop = l.is_const ? FusedOp::kRDivImm : FusedOp::kDivImm;
+                    break;
+                default:
+                    break;
+            }
+            return in_slot(emit(fop, new_reg(), x, 0, 0, k));
+        }
+        return in_slot(emit(fused_for(op), new_reg(), materialize(l), materialize(r)));
+    }
+
+    // --- Assignment driver ------------------------------------------------
+
+    void compile_assignment(std::int32_t target_slot, const ExprPtr& value) {
+        const ValRef v = compile_value(value);
+        std::size_t keep_idx = static_cast<std::size_t>(-1);
+        if (v.is_const) {
+            emit(FusedOp::kConst, target_slot, 0, 0, 0, v.cval);
+        } else if (v.slot == target_slot) {
+            // y := y (already in place) — nothing to do.
+        } else if (!out_.code_.empty() && out_.code_.back().dst == v.slot &&
+                   v.slot == next_reg_ - 1 && v.slot >= first_scratch_) {
+            // The value was computed by the instruction just emitted for this
+            // assignment: write it straight into the target instead of
+            // copying, and release the never-otherwise-used scratch register.
+            // Cached references to the scratch slot follow along.
+            out_.code_.back().dst = target_slot;
+            next_reg_--;
+            for (std::size_t i = 0; i < entries_.size(); ++i) {
+                if (entries_[i].valid && entries_[i].slot == v.slot) {
+                    entries_[i].slot = target_slot;
+                    keep_idx = i;
+                }
+            }
+        } else {
+            emit(FusedOp::kCopy, target_slot, v.slot);
+        }
+        invalidate_readers_of(target_slot, keep_idx);
+    }
+
+    const SlotResolver& resolver_;
+    std::int32_t next_reg_ = 0;
+    std::int32_t first_scratch_ = 0;
+    FusedProgram out_;
+
+    std::unordered_map<std::uint64_t, std::int32_t> const_slots_;
+    std::unordered_map<const Expr*, std::size_t> hash_memo_;
+    std::vector<CacheEntry> entries_;
+    std::unordered_map<const Expr*, std::size_t> ptr_cache_;
+    std::unordered_map<std::size_t, std::vector<std::size_t>> struct_cache_;
+};
+
+FusedProgram FusedProgram::compile(const std::vector<AssignmentSpec>& assignments,
+                                   const SlotResolver& resolver, int slot_file_size) {
+    FusedCompiler compiler(resolver, slot_file_size);
+    return compiler.run(assignments);
+}
+
+void FusedProgram::initialize_constants(double* slots) const {
+    for (const auto& [slot, value] : const_pool_) {
+        slots[slot] = value;
+    }
+}
+
+void FusedProgram::execute(double* s) const {
+    const LinTerm* terms = lin_terms_.data();
+    for (const FusedInstr& I : code_) {
+        switch (I.op) {
+            case FusedOp::kConst:
+                s[I.dst] = I.imm;
+                break;
+            case FusedOp::kCopy:
+                s[I.dst] = s[I.a];
+                break;
+            case FusedOp::kNeg:
+                s[I.dst] = -s[I.a];
+                break;
+            case FusedOp::kNot:
+                s[I.dst] = s[I.a] == 0.0 ? 1.0 : 0.0;
+                break;
+            case FusedOp::kExp:
+                s[I.dst] = std::exp(s[I.a]);
+                break;
+            case FusedOp::kLn:
+                s[I.dst] = std::log(s[I.a]);
+                break;
+            case FusedOp::kLog10:
+                s[I.dst] = std::log10(s[I.a]);
+                break;
+            case FusedOp::kSqrt:
+                s[I.dst] = std::sqrt(s[I.a]);
+                break;
+            case FusedOp::kSin:
+                s[I.dst] = std::sin(s[I.a]);
+                break;
+            case FusedOp::kCos:
+                s[I.dst] = std::cos(s[I.a]);
+                break;
+            case FusedOp::kTan:
+                s[I.dst] = std::tan(s[I.a]);
+                break;
+            case FusedOp::kAbs:
+                s[I.dst] = std::fabs(s[I.a]);
+                break;
+            case FusedOp::kAdd:
+                s[I.dst] = s[I.a] + s[I.b];
+                break;
+            case FusedOp::kSub:
+                s[I.dst] = s[I.a] - s[I.b];
+                break;
+            case FusedOp::kMul:
+                s[I.dst] = s[I.a] * s[I.b];
+                break;
+            case FusedOp::kDiv:
+                s[I.dst] = s[I.a] / s[I.b];
+                break;
+            case FusedOp::kPow:
+                s[I.dst] = std::pow(s[I.a], s[I.b]);
+                break;
+            case FusedOp::kMin:
+                s[I.dst] = std::min(s[I.a], s[I.b]);
+                break;
+            case FusedOp::kMax:
+                s[I.dst] = std::max(s[I.a], s[I.b]);
+                break;
+            case FusedOp::kLt:
+                s[I.dst] = s[I.a] < s[I.b] ? 1.0 : 0.0;
+                break;
+            case FusedOp::kLe:
+                s[I.dst] = s[I.a] <= s[I.b] ? 1.0 : 0.0;
+                break;
+            case FusedOp::kGt:
+                s[I.dst] = s[I.a] > s[I.b] ? 1.0 : 0.0;
+                break;
+            case FusedOp::kGe:
+                s[I.dst] = s[I.a] >= s[I.b] ? 1.0 : 0.0;
+                break;
+            case FusedOp::kEq:
+                s[I.dst] = s[I.a] == s[I.b] ? 1.0 : 0.0;
+                break;
+            case FusedOp::kNe:
+                s[I.dst] = s[I.a] != s[I.b] ? 1.0 : 0.0;
+                break;
+            case FusedOp::kAnd:
+                s[I.dst] = (s[I.a] != 0.0 && s[I.b] != 0.0) ? 1.0 : 0.0;
+                break;
+            case FusedOp::kOr:
+                s[I.dst] = (s[I.a] != 0.0 || s[I.b] != 0.0) ? 1.0 : 0.0;
+                break;
+            case FusedOp::kAddImm:
+                s[I.dst] = s[I.a] + I.imm;
+                break;
+            case FusedOp::kSubImm:
+                s[I.dst] = s[I.a] - I.imm;
+                break;
+            case FusedOp::kRSubImm:
+                s[I.dst] = I.imm - s[I.a];
+                break;
+            case FusedOp::kMulImm:
+                s[I.dst] = s[I.a] * I.imm;
+                break;
+            case FusedOp::kDivImm:
+                s[I.dst] = s[I.a] / I.imm;
+                break;
+            case FusedOp::kRDivImm:
+                s[I.dst] = I.imm / s[I.a];
+                break;
+            case FusedOp::kMulAdd:
+                s[I.dst] = s[I.a] * s[I.b] + s[I.c];
+                break;
+            case FusedOp::kMulSub:
+                s[I.dst] = s[I.a] * s[I.b] - s[I.c];
+                break;
+            case FusedOp::kMulRSub:
+                s[I.dst] = s[I.c] - s[I.a] * s[I.b];
+                break;
+            case FusedOp::kMulAddImm:
+                s[I.dst] = s[I.a] * I.imm + s[I.b];
+                break;
+            case FusedOp::kSelect:
+                s[I.dst] = s[I.a] != 0.0 ? s[I.b] : s[I.c];
+                break;
+            case FusedOp::kLinComb: {
+                double acc = I.imm;
+                const LinTerm* t = terms + I.a;
+                for (std::int32_t k = 0; k < I.b; ++k) {
+                    acc += t[k].coeff * s[t[k].slot];
+                }
+                s[I.dst] = acc;
+                break;
+            }
+        }
+    }
+}
+
+std::size_t FusedProgram::count_op(FusedOp op) const {
+    return static_cast<std::size_t>(
+        std::count_if(code_.begin(), code_.end(),
+                      [op](const FusedInstr& i) { return i.op == op; }));
+}
+
+std::string_view to_string(FusedOp op) {
+    switch (op) {
+        case FusedOp::kConst:
+            return "const";
+        case FusedOp::kCopy:
+            return "copy";
+        case FusedOp::kNeg:
+            return "neg";
+        case FusedOp::kNot:
+            return "not";
+        case FusedOp::kExp:
+            return "exp";
+        case FusedOp::kLn:
+            return "ln";
+        case FusedOp::kLog10:
+            return "log10";
+        case FusedOp::kSqrt:
+            return "sqrt";
+        case FusedOp::kSin:
+            return "sin";
+        case FusedOp::kCos:
+            return "cos";
+        case FusedOp::kTan:
+            return "tan";
+        case FusedOp::kAbs:
+            return "abs";
+        case FusedOp::kAdd:
+            return "add";
+        case FusedOp::kSub:
+            return "sub";
+        case FusedOp::kMul:
+            return "mul";
+        case FusedOp::kDiv:
+            return "div";
+        case FusedOp::kPow:
+            return "pow";
+        case FusedOp::kMin:
+            return "min";
+        case FusedOp::kMax:
+            return "max";
+        case FusedOp::kLt:
+            return "lt";
+        case FusedOp::kLe:
+            return "le";
+        case FusedOp::kGt:
+            return "gt";
+        case FusedOp::kGe:
+            return "ge";
+        case FusedOp::kEq:
+            return "eq";
+        case FusedOp::kNe:
+            return "ne";
+        case FusedOp::kAnd:
+            return "and";
+        case FusedOp::kOr:
+            return "or";
+        case FusedOp::kAddImm:
+            return "add.i";
+        case FusedOp::kSubImm:
+            return "sub.i";
+        case FusedOp::kRSubImm:
+            return "rsub.i";
+        case FusedOp::kMulImm:
+            return "mul.i";
+        case FusedOp::kDivImm:
+            return "div.i";
+        case FusedOp::kRDivImm:
+            return "rdiv.i";
+        case FusedOp::kMulAdd:
+            return "muladd";
+        case FusedOp::kMulSub:
+            return "mulsub";
+        case FusedOp::kMulRSub:
+            return "mulrsub";
+        case FusedOp::kMulAddImm:
+            return "muladd.i";
+        case FusedOp::kSelect:
+            return "select";
+        case FusedOp::kLinComb:
+            return "lincomb";
+    }
+    return "?";
+}
+
+std::string FusedProgram::describe() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+        const FusedInstr& I = code_[i];
+        os << i << ": " << to_string(I.op) << " s" << I.dst;
+        switch (I.op) {
+            case FusedOp::kConst:
+                os << " = " << I.imm;
+                break;
+            case FusedOp::kLinComb: {
+                os << " = " << I.imm;
+                for (std::int32_t k = 0; k < I.b; ++k) {
+                    const LinTerm& t = lin_terms_[static_cast<std::size_t>(I.a + k)];
+                    os << " + " << t.coeff << "*s" << t.slot;
+                }
+                break;
+            }
+            default:
+                os << " <- s" << I.a << ", s" << I.b << ", s" << I.c << ", imm=" << I.imm;
+                break;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace amsvp::expr

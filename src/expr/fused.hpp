@@ -1,0 +1,139 @@
+// Fused register-machine compilation of whole signal-flow programs.
+//
+// The stack bytecode in expr/bytecode.hpp interprets one assignment at a
+// time through push/pop traffic on an evaluation stack. This engine instead
+// compiles *all* assignments of a model into a single flat stream of
+// three-address instructions that read and write the slot file directly:
+//
+//  * no push/pop — every operand names a slot, every result lands in one;
+//  * constant folding and a constant pool shared across assignments;
+//  * common-subexpression elimination across assignment boundaries
+//    (pointer identity for shared subtrees plus structural hashing for
+//    rebuilt ones), invalidated when a depended-on slot is rewritten;
+//  * superinstructions: immediate-operand arithmetic (load-op), fused
+//    multiply-add, and a linear-combination instruction
+//    y = c0 + sum(ci * xi) — the dominant shape of discretized RC/opamp
+//    models, where one instruction replaces an entire assignment.
+//
+// Temporaries live in scratch slots appended after the caller's slot file;
+// scratch registers are single-assignment, which keeps CSE sound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/bytecode.hpp"
+#include "expr/expr.hpp"
+
+namespace amsvp::expr {
+
+enum class FusedOp : std::uint8_t {
+    kConst,  ///< s[dst] = imm
+    kCopy,   ///< s[dst] = s[a]
+    // Unary: s[dst] = op(s[a]).
+    kNeg,
+    kNot,
+    kExp,
+    kLn,
+    kLog10,
+    kSqrt,
+    kSin,
+    kCos,
+    kTan,
+    kAbs,
+    // Binary: s[dst] = s[a] op s[b].
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kPow,
+    kMin,
+    kMax,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kEq,
+    kNe,
+    kAnd,
+    kOr,
+    // Immediate-operand forms (load-op fusion for constant operands).
+    kAddImm,   ///< s[dst] = s[a] + imm
+    kSubImm,   ///< s[dst] = s[a] - imm
+    kRSubImm,  ///< s[dst] = imm - s[a]
+    kMulImm,   ///< s[dst] = s[a] * imm
+    kDivImm,   ///< s[dst] = s[a] / imm
+    kRDivImm,  ///< s[dst] = imm / s[a]
+    // Fused multiply-add family (two roundings, same as the unfused pair).
+    kMulAdd,     ///< s[dst] = s[a] * s[b] + s[c]
+    kMulSub,     ///< s[dst] = s[a] * s[b] - s[c]
+    kMulRSub,    ///< s[dst] = s[c] - s[a] * s[b]
+    kMulAddImm,  ///< s[dst] = s[a] * imm + s[b]
+    kSelect,     ///< s[dst] = s[a] != 0 ? s[b] : s[c]
+    kLinComb,    ///< s[dst] = imm + sum over lin_terms()[a .. a+b)
+};
+
+[[nodiscard]] std::string_view to_string(FusedOp op);
+
+struct FusedInstr {
+    FusedOp op;
+    std::int32_t dst = 0;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    std::int32_t c = 0;
+    double imm = 0.0;
+};
+
+/// One term of a kLinComb instruction: coeff * s[slot].
+struct LinTerm {
+    std::int32_t slot = 0;
+    double coeff = 0.0;
+};
+
+class FusedProgram {
+public:
+    /// One model assignment: `target_slot := value`.
+    struct AssignmentSpec {
+        int target_slot = 0;
+        ExprPtr value;
+    };
+
+    FusedProgram() = default;
+
+    /// Compile all assignments (in execution order) against a slot file of
+    /// `slot_file_size` slots. Scratch registers and the constant pool are
+    /// allocated at indices [slot_file_size, slot_file_size + scratch_count()).
+    /// Expressions must be free of ddt/idt (discretized); violations abort.
+    [[nodiscard]] static FusedProgram compile(const std::vector<AssignmentSpec>& assignments,
+                                              const SlotResolver& resolver, int slot_file_size);
+
+    /// Extra slots the caller must append to the slot file.
+    [[nodiscard]] int scratch_count() const { return scratch_count_; }
+
+    /// Write the constant pool into the slot file. Call once after the slot
+    /// file is (re)initialised, before the first execute().
+    void initialize_constants(double* slots) const;
+
+    /// Run the whole program: every assignment, in order, one pass.
+    void execute(double* slots) const;
+
+    [[nodiscard]] const std::vector<FusedInstr>& instructions() const { return code_; }
+    [[nodiscard]] const std::vector<LinTerm>& lin_terms() const { return lin_terms_; }
+
+    /// Number of instructions with opcode `op` (fusion statistics, tests).
+    [[nodiscard]] std::size_t count_op(FusedOp op) const;
+
+    /// Human-readable listing for debugging and compiler tests.
+    [[nodiscard]] std::string describe() const;
+
+private:
+    friend class FusedCompiler;
+
+    std::vector<FusedInstr> code_;
+    std::vector<LinTerm> lin_terms_;
+    std::vector<std::pair<std::int32_t, double>> const_pool_;  ///< slot -> value
+    int scratch_count_ = 0;
+};
+
+}  // namespace amsvp::expr

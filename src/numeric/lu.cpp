@@ -1,5 +1,6 @@
 #include "numeric/lu.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace amsvp::numeric {
@@ -62,8 +63,10 @@ void LuFactorization::solve_in_place(Vector& b_to_x) const {
     const std::size_t n = lu_.rows();
     AMSVP_CHECK(b_to_x.size() == n, "rhs size mismatch");
 
-    // Apply the permutation: y = P b.
-    Vector y(n);
+    // Apply the permutation into the reused member scratch: y = P b. Only
+    // the first solve after factorise() sizes the buffer.
+    Vector& y = permute_scratch_;
+    y.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
         y[i] = b_to_x[permutation_[i]];
     }
@@ -86,7 +89,8 @@ void LuFactorization::solve_in_place(Vector& b_to_x) const {
         y[ii] = acc / lu_(ii, ii);
     }
 
-    b_to_x = std::move(y);
+    // Copy the solution back into the caller's buffer (capacity reused).
+    std::copy(y.begin(), y.end(), b_to_x.begin());
 }
 
 std::optional<Vector> solve_linear_system(const Matrix& a, const Vector& b) {

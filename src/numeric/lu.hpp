@@ -29,7 +29,10 @@ public:
     /// Solve A x = b using the stored factors.
     [[nodiscard]] Vector solve(const Vector& b) const;
 
-    /// In-place variant used by per-step solver loops to avoid allocation.
+    /// In-place variant used by per-step solver loops: no allocation in
+    /// steady state (the permutation scratch is a reused member, which makes
+    /// concurrent solves on the same factorisation unsafe — give each thread
+    /// its own copy).
     void solve_in_place(Vector& b_to_x) const;
 
     [[nodiscard]] std::size_t size() const { return lu_.rows(); }
@@ -37,6 +40,8 @@ public:
 private:
     Matrix lu_;
     std::vector<std::size_t> permutation_;
+    /// Permuted right-hand side y = P b, reused across solves.
+    mutable Vector permute_scratch_;
 };
 
 /// One-shot convenience: solve A x = b. Returns std::nullopt when singular.

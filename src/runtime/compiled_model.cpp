@@ -79,15 +79,28 @@ CompiledModel::CompiledModel(const SignalFlowModel& model, EvalStrategy strategy
     const expr::SlotResolver resolver = [this](const Symbol& s, int delay) {
         return slot_for(s, delay);
     };
-    for (const Assignment& a : model.assignments) {
-        CompiledAssignment ca;
-        ca.target_slot = slot_for(a.target, 0);
-        if (strategy_ == EvalStrategy::kBytecode) {
-            ca.program = expr::Program::compile(a.value, resolver);
-        } else {
-            ca.tree = a.value;
+    if (strategy_ == EvalStrategy::kFused) {
+        // Whole-model compilation: one fused instruction stream over the
+        // slot file, with scratch registers appended behind the model slots.
+        std::vector<expr::FusedProgram::AssignmentSpec> specs;
+        specs.reserve(model.assignments.size());
+        for (const Assignment& a : model.assignments) {
+            specs.push_back({slot_for(a.target, 0), a.value});
         }
-        assignments_.push_back(std::move(ca));
+        fused_ = expr::FusedProgram::compile(specs, resolver,
+                                             static_cast<int>(slots_.size()));
+        slots_.resize(slots_.size() + static_cast<std::size_t>(fused_.scratch_count()), 0.0);
+    } else {
+        for (const Assignment& a : model.assignments) {
+            CompiledAssignment ca;
+            ca.target_slot = slot_for(a.target, 0);
+            if (strategy_ == EvalStrategy::kBytecode) {
+                ca.program = expr::Program::compile(a.value, resolver);
+            } else {
+                ca.tree = a.value;
+            }
+            assignments_.push_back(std::move(ca));
+        }
     }
 
     for (const Symbol& in : model.inputs) {
@@ -125,6 +138,9 @@ void CompiledModel::reset() {
     for (const auto& [slot, value] : initial_values_) {
         slots_[static_cast<std::size_t>(slot)] = value;
     }
+    if (strategy_ == EvalStrategy::kFused) {
+        fused_.initialize_constants(slots_.data());
+    }
 }
 
 std::size_t CompiledModel::input_index(const std::string& name) const {
@@ -141,7 +157,9 @@ void CompiledModel::set_input(std::size_t index, double value) {
 void CompiledModel::step(double time_seconds) {
     slots_[static_cast<std::size_t>(time_slot_)] = time_seconds;
     double* slots = slots_.data();
-    if (strategy_ == EvalStrategy::kBytecode) {
+    if (strategy_ == EvalStrategy::kFused) {
+        fused_.execute(slots);
+    } else if (strategy_ == EvalStrategy::kBytecode) {
         for (const CompiledAssignment& a : assignments_) {
             slots[a.target_slot] = a.program.evaluate(slots);
         }

@@ -13,19 +13,21 @@
 
 #include "abstraction/signal_flow_model.hpp"
 #include "expr/bytecode.hpp"
+#include "expr/fused.hpp"
 #include "runtime/executor.hpp"
 
 namespace amsvp::runtime {
 
 enum class EvalStrategy {
-    kBytecode,  ///< flat postfix programs (default)
+    kFused,     ///< whole-model fused register machine (default)
+    kBytecode,  ///< per-assignment stack postfix programs (differential baseline)
     kTreeWalk,  ///< shared_ptr tree interpretation (ablation baseline)
 };
 
 class CompiledModel final : public ModelExecutor {
 public:
     explicit CompiledModel(const abstraction::SignalFlowModel& model,
-                           EvalStrategy strategy = EvalStrategy::kBytecode);
+                           EvalStrategy strategy = EvalStrategy::kFused);
 
     /// Reset state to the model's initial values (zeros by default).
     void reset() override;
@@ -50,6 +52,9 @@ public:
 
     [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
 
+    /// The fused instruction stream (kFused strategy; tests/diagnostics).
+    [[nodiscard]] const expr::FusedProgram& fused_program() const { return fused_; }
+
 private:
     struct SymbolSlots {
         int base = 0;   ///< slot of the current value
@@ -66,6 +71,7 @@ private:
     int ensure_symbol(const expr::Symbol& s, int extra_depth);
 
     EvalStrategy strategy_;
+    expr::FusedProgram fused_;  // kFused
     double timestep_ = 0.0;
     std::vector<double> slots_;
     std::unordered_map<expr::Symbol, SymbolSlots, expr::SymbolHash> layout_;

@@ -6,7 +6,13 @@ namespace amsvp::runtime {
 
 ExecutorFactory bytecode_executor_factory() {
     return [](const abstraction::SignalFlowModel& model) -> std::unique_ptr<ModelExecutor> {
-        return std::make_unique<CompiledModel>(model);
+        return std::make_unique<CompiledModel>(model, EvalStrategy::kBytecode);
+    };
+}
+
+ExecutorFactory fused_executor_factory() {
+    return [](const abstraction::SignalFlowModel& model) -> std::unique_ptr<ModelExecutor> {
+        return std::make_unique<CompiledModel>(model, EvalStrategy::kFused);
     };
 }
 

@@ -32,7 +32,10 @@ public:
 using ExecutorFactory =
     std::function<std::unique_ptr<ModelExecutor>(const abstraction::SignalFlowModel&)>;
 
-/// Factory producing the in-process bytecode executor.
+/// Factory producing the in-process stack-bytecode executor (baseline).
 [[nodiscard]] ExecutorFactory bytecode_executor_factory();
+
+/// Factory producing the fused register-machine executor (default hot path).
+[[nodiscard]] ExecutorFactory fused_executor_factory();
 
 }  // namespace amsvp::runtime

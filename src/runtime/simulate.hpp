@@ -21,7 +21,7 @@ struct TransientResult {
 [[nodiscard]] TransientResult simulate_transient(
     const abstraction::SignalFlowModel& model,
     const std::map<std::string, numeric::SourceFunction>& stimuli, double duration_seconds,
-    EvalStrategy strategy = EvalStrategy::kBytecode);
+    EvalStrategy strategy = EvalStrategy::kFused);
 
 /// Same, reusing an existing executor (state is reset first). Works with
 /// any ModelExecutor, including the native-compiled one.

@@ -222,14 +222,10 @@ void TdfCluster::attach(de::Simulator& sim) {
     AMSVP_CHECK(elaborated_, "cluster not elaborated");
     base_offset_ = de::to_seconds(sim.now());
     periods_run_ = 0;
-    schedule_next(sim);  // first activation one cluster period from now
-}
-
-void TdfCluster::schedule_next(de::Simulator& sim) {
-    sim.schedule_after(de::from_seconds(cluster_period_), [this, &sim] {
-        step();
-        schedule_next(sim);
-    });
+    // Periodic fast path: one step() per cluster period, the callback stored
+    // once in the kernel — no closure churn per period.
+    const de::Time period = de::from_seconds(cluster_period_);
+    sim.schedule_periodic(sim.now() + period, period, [this] { step(); });
 }
 
 }  // namespace amsvp::tdf

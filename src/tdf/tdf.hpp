@@ -161,8 +161,6 @@ private:
         std::unique_ptr<TdfBuffer> buffer;
     };
 
-    void schedule_next(de::Simulator& sim);
-
     std::vector<TdfModule*> modules_;
     std::vector<Arc> arcs_;
     std::vector<TdfModule*> schedule_;  ///< static firing sequence

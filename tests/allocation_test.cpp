@@ -1,0 +1,157 @@
+// Steady-state zero-allocation guarantees for the simulation hot paths.
+//
+// A counting global operator new (malloc passthrough plus an atomic
+// counter) observes every heap allocation in the test binary. Each test
+// warms its subject up — first iterations legitimately grow buffers to
+// their steady capacity — and then asserts that further steps allocate
+// nothing at all:
+//  * CompiledModel::step (fused and bytecode strategies),
+//  * a DE kernel running clocked models on the periodic fast path,
+//  * ElnEngine::step (RHS rebuild + LU back-substitution).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "abstraction/abstraction.hpp"
+#include "backends/de_modules.hpp"
+#include "de/clock.hpp"
+#include "de/kernel.hpp"
+#include "eln/engine.hpp"
+#include "netlist/builder.hpp"
+#include "numeric/sources.hpp"
+#include "runtime/compiled_model.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size == 0 ? 1 : size)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+    return ::operator new(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    void* p = nullptr;
+    if (posix_memalign(&p, static_cast<std::size_t>(align), size == 0 ? 1 : size) != 0) {
+        throw std::bad_alloc();
+    }
+    return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p) noexcept {
+    std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+    std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+
+namespace amsvp {
+namespace {
+
+std::uint64_t allocation_count() {
+    return g_allocations.load(std::memory_order_relaxed);
+}
+
+abstraction::SignalFlowModel ladder_model(int stages) {
+    const netlist::Circuit circuit = netlist::make_rc_ladder(stages);
+    std::string error;
+    auto model = abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, {}, &error);
+    EXPECT_TRUE(model.has_value()) << error;
+    return std::move(*model);
+}
+
+void run_model_steps(runtime::CompiledModel& compiled, double dt, int first_step, int steps) {
+    for (int k = first_step; k < first_step + steps; ++k) {
+        compiled.set_input(0, k % 2 == 0 ? 1.0 : 0.0);
+        compiled.step(static_cast<double>(k) * dt);
+        (void)compiled.output(0);
+    }
+}
+
+class AllocationFree : public ::testing::TestWithParam<runtime::EvalStrategy> {};
+
+TEST_P(AllocationFree, CompiledModelStep) {
+    const auto model = ladder_model(20);
+    runtime::CompiledModel compiled(model, GetParam());
+    run_model_steps(compiled, model.timestep, 1, 64);  // warm-up
+
+    const std::uint64_t before = allocation_count();
+    run_model_steps(compiled, model.timestep, 65, 10000);
+    EXPECT_EQ(allocation_count() - before, 0u)
+        << "CompiledModel::step allocated in steady state";
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AllocationFree,
+                         ::testing::Values(runtime::EvalStrategy::kFused,
+                                           runtime::EvalStrategy::kBytecode));
+
+TEST(AllocationFreeDe, PeriodicClockedModelActivation) {
+    // A clocked DE model on the periodic fast path: clock toggles, stimulus
+    // and model processes, signal updates and delta cycles — all without a
+    // single steady-state allocation. (No waveform sink on purpose: trace
+    // recording grows a buffer by design.)
+    const auto model = ladder_model(5);
+    de::Simulator sim;
+    de::Clock clock(sim, "clk", de::from_seconds(model.timestep));
+    backends::DeSource source(sim, clock, "u0", numeric::square_wave(1e-3));
+    backends::DeModel dut(sim, clock, "dut", model, {&source.out()});
+
+    sim.run(de::from_seconds(2000 * model.timestep));  // warm-up
+
+    const std::uint64_t before = allocation_count();
+    sim.run(de::from_seconds(20000 * model.timestep));
+    EXPECT_EQ(allocation_count() - before, 0u)
+        << "DE periodic activation allocated in steady state";
+    EXPECT_GT(sim.stats().timed_events, 40000u);  // the clock actually ran
+}
+
+TEST(AllocationFreeEln, EngineStep) {
+    const netlist::Circuit circuit = netlist::make_rc_ladder(20);
+    eln::ElnEngine engine(circuit, 50e-9);
+    std::vector<double> inputs(engine.input_names().size(), 1.0);
+    for (int k = 1; k <= 16; ++k) {  // warm-up
+        engine.step(inputs, k * 50e-9);
+    }
+
+    const std::uint64_t before = allocation_count();
+    for (int k = 17; k <= 2016; ++k) {
+        engine.step(inputs, k * 50e-9);
+    }
+    EXPECT_EQ(allocation_count() - before, 0u)
+        << "ElnEngine::step (build_rhs + LU solve) allocated in steady state";
+}
+
+}  // namespace
+}  // namespace amsvp

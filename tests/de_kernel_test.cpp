@@ -111,6 +111,81 @@ TEST(Simulator, DeltaCascadePropagatesThroughChain) {
     EXPECT_GE(sim.stats().delta_cycles, 2u);
 }
 
+TEST(Simulator, PeriodicFiresAtFixedCadence) {
+    Simulator sim;
+    std::vector<Time> fired;
+    sim.schedule_periodic(10, 5, [&] { fired.push_back(sim.now()); });
+    sim.run_until(27);
+    EXPECT_EQ(fired, (std::vector<Time>{10, 15, 20, 25}));
+}
+
+TEST(Simulator, PeriodicInterleavesWithOneShotsInFifoOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_periodic(10, 10, [&] { order.push_back(1); });
+    sim.schedule_at(10, [&] { order.push_back(2); });
+    sim.schedule_at(20, [&] { order.push_back(3); });
+    sim.run_until(20);
+    // At t=10 the periodic entry was scheduled first; at t=20 its re-armed
+    // occurrence (sequenced at the end of the t=10 callback) precedes the
+    // one-shot scheduled afterwards... which was scheduled earlier. FIFO by
+    // schedule order: periodic(10), oneshot(10), periodic-rearm vs
+    // oneshot(20) — the one-shot at 20 was enqueued before the re-arm.
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 1}));
+}
+
+TEST(Simulator, PeriodicCancelStopsFiring) {
+    Simulator sim;
+    int count = 0;
+    const PeriodicId id = sim.schedule_periodic(10, 10, [&] { ++count; });
+    sim.run_until(25);
+    EXPECT_EQ(count, 2);
+    sim.cancel_periodic(id);
+    sim.run_until(100);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PeriodicCancelFromWithinOwnCallback) {
+    Simulator sim;
+    int count = 0;
+    PeriodicId id = -1;
+    id = sim.schedule_periodic(10, 10, [&] {
+        if (++count == 3) {
+            sim.cancel_periodic(id);
+        }
+    });
+    sim.run_until(200);
+    EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PeriodicCallbackMayRegisterMorePeriodics) {
+    // Registering from inside a periodic callback must be safe even when
+    // the task table grows (the firing callback must not be moved).
+    Simulator sim;
+    int child_fires = 0;
+    sim.schedule_periodic(10, 10, [&] {
+        if (sim.now() == 10) {
+            for (int i = 0; i < 16; ++i) {
+                sim.schedule_periodic(sim.now() + 5, 10, [&] { ++child_fires; });
+            }
+        }
+    });
+    sim.run_until(35);
+    EXPECT_EQ(child_fires, 48);  // 16 children x fires at 15, 25, 35
+}
+
+TEST(Clock, ConstructedMidSimulationKeepsRelativePhase) {
+    Simulator sim;
+    sim.run_until(1000);
+    Clock clock(sim, "late_clk", 100);
+    std::vector<Time> edges;
+    const ProcessId pid = sim.add_process("watch", [&] { edges.push_back(sim.now()); });
+    clock.pos_sensitive(pid);
+    sim.run_until(1350);
+    // First rising edge one full period after construction time.
+    EXPECT_EQ(edges, (std::vector<Time>{1100, 1200, 1300}));
+}
+
 TEST(Clock, PosedgesAtMultiplesOfPeriod) {
     Simulator sim;
     Clock clock(sim, "clk", 10);

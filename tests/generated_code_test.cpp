@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -29,10 +30,21 @@ bool have_compiler() {
 std::string compile_and_run(const std::string& generated, const std::string& type_name,
                             int samples) {
     const std::string dir = ::testing::TempDir();
-    const std::string header = dir + "/model.hpp";
-    const std::string driver = dir + "/driver.cpp";
-    const std::string binary = dir + "/model_bin";
-    const std::string output = dir + "/out.txt";
+    // Unique per test instance: parallel ctest runs the parameterized
+    // instances concurrently, and they must not clobber each other's files.
+    std::string tag = type_name;
+    if (const auto* info = ::testing::UnitTest::GetInstance()->current_test_info()) {
+        tag += std::string("_") + info->test_suite_name() + "_" + info->name();
+    }
+    for (char& ch : tag) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) {
+            ch = '_';
+        }
+    }
+    const std::string header = dir + "/model_" + tag + ".hpp";
+    const std::string driver = dir + "/driver_" + tag + ".cpp";
+    const std::string binary = dir + "/model_bin_" + tag;
+    const std::string output = dir + "/out_" + tag + ".txt";
 
     {
         std::ofstream h(header);
@@ -45,7 +57,8 @@ std::string compile_and_run(const std::string& generated, const std::string& typ
         // the in-process runtime see bit-identical inputs.
         d << R"(#include <cmath>
 #include <cstdio>
-#include "model.hpp"
+#include "model_)"
+          << tag << R"(.hpp"
 int main() {
     )" << type_name
           << R"( model;
@@ -93,10 +106,12 @@ TEST_P(GeneratedVsRuntime, SamplesMatchExactly) {
     constexpr int kSamples = 2000;
     const std::string printed = compile_and_run(code, "gen_model", kSamples);
 
-    // Reference: the in-process runtime on the same model and stimulus.
+    // Reference: the in-process runtime on the same model and stimulus,
+    // pinned to the stack bytecode — the generated C++ mirrors the
+    // expression tree, while the fused register machine may reassociate.
     auto reference = runtime::simulate_transient(
         *model, {{"u0", numeric::sine_wave(1000.0)}},
-        kSamples * model->timestep);
+        kSamples * model->timestep, runtime::EvalStrategy::kBytecode);
     ASSERT_EQ(reference.outputs.front().size(), static_cast<std::size_t>(kSamples));
 
     std::istringstream lines(printed);
@@ -136,7 +151,8 @@ TEST(GeneratedCode, OpampModelCompilesAndSettles) {
     // Compare the final sample against the in-process runtime under the
     // same 1 kHz sine stimulus.
     auto reference = runtime::simulate_transient(*model, {{"u0", numeric::sine_wave(1000.0)}},
-                                                 kSamples * model->timestep);
+                                                 kSamples * model->timestep,
+                                                 runtime::EvalStrategy::kBytecode);
     std::istringstream lines(printed);
     std::string line;
     std::string last;

@@ -29,7 +29,9 @@ TEST_P(NativeVsBytecode, TracesAreBitIdentical) {
     auto native = NativeModel::compile(model, &error);
     ASSERT_NE(native, nullptr) << error;
 
-    runtime::CompiledModel bytecode(model);
+    // Pinned to the stack bytecode: the fused register machine may reassociate
+    // (e.g. linear combinations), while the generated C++ mirrors the tree.
+    runtime::CompiledModel bytecode(model, runtime::EvalStrategy::kBytecode);
     ASSERT_EQ(native->input_count(), bytecode.input_count());
     ASSERT_EQ(native->output_count(), bytecode.output_count());
     ASSERT_DOUBLE_EQ(native->timestep(), bytecode.timestep());
