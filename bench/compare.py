@@ -2,30 +2,127 @@
 """Perf-trajectory threshold check over bench JSON output.
 
 Reads the BENCH_micro.json written by `bench_micro_kernels --json <path>`
-and enforces the fused-register-engine speedup floor: on the RC20 and OA
-circuits the fused strategy must be at least `--min-speedup` (default 2.0)
-times faster than the stack-bytecode baseline. Exits non-zero on violation,
-so it can gate CI (wired as the optional `bench_perf_check` ctest, enabled
-with -DAMSVP_BENCH_TESTS=ON).
+and enforces two floors:
+
+  * fused-engine speedup: on the RC20 and OA circuits the fused strategy
+    must be at least `--min-speedup` (default 2.0) times faster than the
+    stack-bytecode baseline;
+  * batch-execution speedup: at every measured batch width >=
+    `--batch-floor-lanes` (default 8), BatchCompiledModel's per-lane
+    ns/step must be at least `--min-batch-speedup` (default 2.0) times
+    better than N independent CompiledModel instances.
+
+With `--history <path>` every run is appended to a JSONL file and each
+metric is compared against the best value ever recorded there: regressions
+beyond `--history-tolerance` (default 10%) are flagged as warnings, or as
+failures with `--strict-history`. This catches gradual drift that a
+single-run threshold never sees.
+
+Exits non-zero on violation, so it can gate CI (wired as the optional
+`bench_perf_check` ctest, enabled with -DAMSVP_BENCH_TESTS=ON).
 
 Usage:
     compare.py BENCH_micro.json [--min-speedup 2.0] [--circuits RC20,OA]
+               [--history BENCH_history.jsonl] [--strict-history]
 """
 
 import argparse
 import json
+import os
 import sys
+import time
 
 
-def load_model_steps(path):
+def load_results(path):
     with open(path) as f:
         data = json.load(f)
+    return data.get("results", [])
+
+
+def model_step_table(results):
     table = {}
-    for entry in data.get("results", []):
+    for entry in results:
         if entry.get("name") != "model_step":
             continue
         table[(entry["circuit"], entry["strategy"])] = float(entry["ns_per_step"])
     return table
+
+
+def batch_sweep_table(results):
+    """(lanes, mode) -> per-lane ns/step."""
+    table = {}
+    for entry in results:
+        if entry.get("name") != "batch_sweep":
+            continue
+        table[(int(entry["lanes"]), entry["mode"])] = float(entry["ns_per_step_per_lane"])
+    return table
+
+
+def metric_key(entry):
+    """Stable identity of one measured series: its string labels."""
+    labels = sorted((k, v) for k, v in entry.items() if isinstance(v, str))
+    # lanes / n are parameters, not measurements — part of the identity.
+    for param in ("lanes", "n"):
+        if param in entry:
+            labels.append((param, str(int(entry[param]))))
+    return json.dumps(labels)
+
+
+def metric_value(entry):
+    """The one measured (lower-is-better) value of a result entry."""
+    for key, value in entry.items():
+        if key.startswith("ns_per_") and isinstance(value, (int, float)):
+            return key, float(value)
+    return None, None
+
+
+def check_history(results, history_path, tolerance, strict):
+    """Append this run to the history and flag regressions vs the best run.
+
+    Returns the number of regressions (counted as failures when strict).
+    """
+    best = {}
+    if os.path.exists(history_path):
+        with open(history_path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    run = json.loads(line)
+                except json.JSONDecodeError:
+                    # A run killed mid-append leaves a truncated line; skip
+                    # it rather than wedging every future check.
+                    print(f"WARN: skipping unparseable line in {history_path}",
+                          file=sys.stderr)
+                    continue
+                for entry in run.get("results", []):
+                    key = metric_key(entry)
+                    _, value = metric_value(entry)
+                    if value is None:
+                        continue
+                    if key not in best or value < best[key]:
+                        best[key] = value
+
+    regressions = 0
+    for entry in results:
+        key = metric_key(entry)
+        name, value = metric_value(entry)
+        if value is None or key not in best:
+            continue
+        if value > best[key] * (1.0 + tolerance):
+            regressions += 1
+            labels = ", ".join(f"{k}={v}" for k, v in entry.items() if isinstance(v, str))
+            print(f"{'FAIL' if strict else 'WARN'}: regression vs best recorded run: "
+                  f"[{labels}] {name} {value:.1f} vs best {best[key]:.1f} "
+                  f"(+{100.0 * (value / best[key] - 1.0):.1f}%, allowed +{100.0 * tolerance:.0f}%)",
+                  file=sys.stderr if strict else sys.stdout)
+
+    with open(history_path, "a") as f:
+        f.write(json.dumps({"timestamp": time.time(), "results": results}) + "\n")
+    print(f"# appended run to {history_path} "
+          f"({len(best)} tracked metrics, {regressions} regression(s))")
+    return regressions if strict else 0
 
 
 def main():
@@ -35,9 +132,20 @@ def main():
                         help="required fused-vs-bytecode speedup (default: 2.0)")
     parser.add_argument("--circuits", default="RC20,OA",
                         help="comma-separated circuits to check (default: RC20,OA)")
+    parser.add_argument("--min-batch-speedup", type=float, default=2.0,
+                        help="required batch-vs-scalar per-lane speedup (default: 2.0)")
+    parser.add_argument("--batch-floor-lanes", type=int, default=8,
+                        help="enforce the batch floor at widths >= this (default: 8)")
+    parser.add_argument("--history", default=None,
+                        help="JSONL file: append this run, flag regressions vs the best run")
+    parser.add_argument("--history-tolerance", type=float, default=0.10,
+                        help="allowed slowdown vs the best recorded value (default: 0.10)")
+    parser.add_argument("--strict-history", action="store_true",
+                        help="treat history regressions as failures, not warnings")
     args = parser.parse_args()
 
-    table = load_model_steps(args.json_path)
+    results = load_results(args.json_path)
+    table = model_step_table(results)
     if not table:
         print(f"error: no model_step results in {args.json_path}", file=sys.stderr)
         return 2
@@ -58,6 +166,29 @@ def main():
               f"speedup {speedup:.2f}x (required >= {args.min_speedup:.2f}x) [{status}]")
         if speedup < args.min_speedup:
             failures += 1
+
+    batch = batch_sweep_table(results)
+    widths = sorted({lanes for lanes, _ in batch})
+    for lanes in widths:
+        try:
+            scalar = batch[(lanes, "scalar")]
+            batched = batch[(lanes, "batch")]
+        except KeyError as missing:
+            print(f"error: missing batch_sweep result {missing}", file=sys.stderr)
+            failures += 1
+            continue
+        speedup = scalar / batched
+        enforced = lanes >= args.batch_floor_lanes
+        status = "ok" if (not enforced or speedup >= args.min_batch_speedup) else "FAIL"
+        floor = f"required >= {args.min_batch_speedup:.2f}x" if enforced else "informational"
+        print(f"batch x{lanes}: scalar {scalar:.1f} ns/step/lane, "
+              f"batch {batched:.1f} ns/step/lane, speedup {speedup:.2f}x ({floor}) [{status}]")
+        if enforced and speedup < args.min_batch_speedup:
+            failures += 1
+
+    if args.history:
+        failures += check_history(results, args.history, args.history_tolerance,
+                                  args.strict_history)
 
     return 1 if failures else 0
 

@@ -7,6 +7,10 @@
 //  * the dense LU factorise/solve pair under the ELN (factor once) and
 //    SPICE (refactor every step) usage patterns.
 //
+//  * batched multi-instance execution — BatchCompiledModel (one fused
+//    stream, strided slot file, SIMD across lanes) vs N independent
+//    CompiledModel instances on RC20: per-lane ns/step per batch width.
+//
 // Self-timed (steady_clock, calibrated batch counts) — no external
 // benchmark dependency. `--json <path>` emits machine-readable results
 // (ns-per-step per circuit per strategy) for the perf-trajectory check in
@@ -18,6 +22,7 @@
 
 #include "bench_common.hpp"
 #include "numeric/lu.hpp"
+#include "runtime/batch_model.hpp"
 #include "runtime/compiled_model.hpp"
 
 namespace {
@@ -140,6 +145,67 @@ int main(int argc, char** argv) {
         for (std::size_t a = 0; a < std::size(kArms); ++a) {
             std::printf("%-8s %-10s %14.1f %11.2fx\n", c.name.c_str(), kArms[a].name,
                         arm_ns[a], bytecode_ns / arm_ns[a]);
+        }
+        std::printf("\n");
+    }
+
+    // Batched execution: per-lane cost of one strided BatchCompiledModel vs
+    // N independent scalar instances, on RC20 (the largest paper circuit).
+    // Lane results are bit-identical to the scalar engine (enforced by
+    // tests/batch_model_test.cpp), so this is a pure locality/SIMD number.
+    {
+        std::printf("%-22s %6s %18s %18s %10s\n", "batch_sweep (RC20)", "lanes",
+                    "scalar ns/st/lane", "batch ns/st/lane", "speedup");
+        const auto circuits = bench::paper_circuits();
+        const bench::BenchCircuit* rc20 = nullptr;
+        for (const bench::BenchCircuit& c : circuits) {
+            if (c.name == "RC20") {
+                rc20 = &c;
+            }
+        }
+        if (rc20 == nullptr) {
+            std::fprintf(stderr, "batch_sweep: RC20 missing from paper_circuits()\n");
+            return 1;
+        }
+        const double dt = rc20->model.timestep;
+        for (const int lanes : {1, 4, 8, 16, 32}) {
+            // Baseline: N independent compiles + N scattered slot files,
+            // stepped in a loop — what running N instances costs today
+            // without the batch API.
+            std::vector<runtime::CompiledModel> scalars;
+            scalars.reserve(static_cast<std::size_t>(lanes));
+            for (int l = 0; l < lanes; ++l) {
+                scalars.emplace_back(rc20->model);
+                scalars.back().set_input(0, 1.0);
+            }
+            double t_scalar = 0.0;
+            const double scalar_ns = time_ns([&] {
+                              t_scalar += dt;
+                              for (runtime::CompiledModel& m : scalars) {
+                                  m.step(t_scalar);
+                              }
+                          }) /
+                          static_cast<double>(lanes);
+
+            runtime::BatchCompiledModel batch(rc20->model, lanes);
+            for (int l = 0; l < lanes; ++l) {
+                batch.set_input(l, 0, 1.0);
+            }
+            double t_batch = 0.0;
+            const double batch_ns = time_ns([&] {
+                             t_batch += dt;
+                             batch.step(t_batch);
+                         }) /
+                         static_cast<double>(lanes);
+
+            std::printf("%-22s %6d %18.1f %18.1f %9.2fx\n", "", lanes, scalar_ns,
+                        batch_ns, scalar_ns / batch_ns);
+            report.add({{"name", "batch_sweep"}, {"circuit", "RC20"}, {"mode", "scalar"}},
+                       {{"lanes", static_cast<double>(lanes)},
+                        {"ns_per_step_per_lane", scalar_ns}});
+            report.add({{"name", "batch_sweep"}, {"circuit", "RC20"}, {"mode", "batch"}},
+                       {{"lanes", static_cast<double>(lanes)},
+                        {"ns_per_step_per_lane", batch_ns}});
         }
         std::printf("\n");
     }

@@ -8,7 +8,12 @@ if(NOT bench_rc EQUAL 0)
   message(FATAL_ERROR "bench_micro_kernels failed (rc=${bench_rc})")
 endif()
 
-execute_process(COMMAND ${PYTHON_EXE} ${COMPARE_PY} ${JSON_OUT} RESULT_VARIABLE compare_rc)
+# The history file accumulates one JSONL line per run next to the JSON
+# output, so gradual regressions against the best recorded run get flagged.
+cmake_path(GET JSON_OUT PARENT_PATH json_dir)
+execute_process(COMMAND ${PYTHON_EXE} ${COMPARE_PY} ${JSON_OUT}
+                        --history ${json_dir}/BENCH_history.jsonl
+                RESULT_VARIABLE compare_rc)
 if(NOT compare_rc EQUAL 0)
   message(FATAL_ERROR "perf threshold check failed (rc=${compare_rc})")
 endif()

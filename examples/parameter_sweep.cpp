@@ -1,0 +1,72 @@
+// Batched parameter sweep / Monte-Carlo: many instances of one model, one
+// compile, one strided slot file.
+//
+//   circuit --abstract--> signal-flow model --ModelLayout::compile--> layout
+//     --BatchCompiledModel--> N lanes stepped by one fused instruction
+//     stream (SIMD across instances), per-lane stimuli and overrides,
+//     per-lane waveforms out.
+//
+// Build & run:  ./build/example_parameter_sweep
+#include <algorithm>
+#include <cstdio>
+#include <random>
+
+#include "abstraction/abstraction.hpp"
+#include "netlist/builder.hpp"
+#include "runtime/simulate.hpp"
+
+int main() {
+    using namespace amsvp;
+
+    // The paper's RC20 ladder, abstracted once.
+    const netlist::Circuit circuit = netlist::make_rc_ladder(20);
+    std::string error;
+    auto model = abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, {}, &error);
+    if (!model) {
+        std::fprintf(stderr, "abstraction failed: %s\n", error.c_str());
+        return 1;
+    }
+
+    // 1. Amplitude sweep: 8 lanes, each driving the ladder with a different
+    //    square-wave amplitude. One compile, one batched run.
+    constexpr int kLanes = 8;
+    std::vector<runtime::SweepLane> lanes(kLanes);
+    for (int l = 0; l < kLanes; ++l) {
+        const double amplitude = 0.25 * static_cast<double>(l + 1);
+        lanes[static_cast<std::size_t>(l)].stimuli["u0"] =
+            numeric::square_wave(1e-3, 0.0, amplitude);
+    }
+    const auto sweep = runtime::simulate_sweep(*model, {}, lanes, 2e-3);
+    std::printf("--- Amplitude sweep (%d lanes, %zu steps each) -------------\n",
+                kLanes, sweep.steps);
+    const std::size_t last = sweep.steps - 1;
+    for (int l = 0; l < kLanes; ++l) {
+        std::printf("  lane %d: amplitude %.2f V -> V(out) at t=2ms: %+.6f V\n", l,
+                    0.25 * static_cast<double>(l + 1),
+                    sweep.outputs[0].value(static_cast<std::size_t>(l), last));
+    }
+
+    // 2. Monte-Carlo corners: randomize the initial state of the last
+    //    ladder node per lane (e.g. power-up uncertainty) under a shared
+    //    stimulus, and report the settled spread.
+    std::mt19937 rng(42);
+    std::normal_distribution<double> v0(0.0, 0.5);
+    std::vector<runtime::SweepLane> corners(16);
+    const expr::Symbol out_node = model->outputs.front();
+    for (auto& lane : corners) {
+        lane.overrides[out_node] = v0(rng);
+    }
+    const auto mc = runtime::simulate_sweep(
+        *model, {{"u0", numeric::square_wave(1e-3)}}, corners, 0.5e-3);
+    double lo = 1e9;
+    double hi = -1e9;
+    for (std::size_t l = 0; l < corners.size(); ++l) {
+        const double v = mc.outputs[0].value(l, mc.steps - 1);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::printf("\n--- Monte-Carlo start-state spread (16 lanes) --------------\n"
+                "  V(out) at t=0.5ms: min %+.6f V, max %+.6f V (spread %.3e)\n",
+                lo, hi, hi - lo);
+    return 0;
+}

@@ -11,8 +11,22 @@ void Event::notify_after(Time delay) {
     sim_.schedule_after(delay, [this, generation] { fire(generation); });
 }
 
+void Event::notify_every(Time first_delay, Time period) {
+    if (periodic_ >= 0) {
+        sim_.cancel_periodic(periodic_);
+    }
+    // The stored callback reads generation_ at fire time, so a later
+    // cancel() stops both the one-shots in flight and this schedule.
+    periodic_ = sim_.schedule_periodic(sim_.now() + first_delay, period,
+                                       [this] { fire(generation_); });
+}
+
 void Event::cancel() {
     ++generation_;
+    if (periodic_ >= 0) {
+        sim_.cancel_periodic(periodic_);
+        periodic_ = -1;
+    }
 }
 
 void Event::fire(std::uint64_t generation) {

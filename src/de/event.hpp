@@ -23,7 +23,14 @@ public:
     void notify();
     /// Timed notification after `delay`.
     void notify_after(Time delay);
-    /// Cancel pending timed notifications (they fire but are ignored).
+    /// Repeating notification: first after `first_delay`, then every
+    /// `period`, until cancel(). Rides the kernel's schedule_periodic fast
+    /// path — the callback is stored once and re-armed without allocating,
+    /// unlike a notify_after that re-schedules itself. Re-issuing replaces
+    /// the previous repeating schedule.
+    void notify_every(Time first_delay, Time period);
+    /// Cancel pending timed notifications (one-shots fire but are ignored;
+    /// a repeating schedule stops outright).
     void cancel();
 
     [[nodiscard]] const std::string& name() const { return name_; }
@@ -36,7 +43,8 @@ private:
     std::string name_;
     std::vector<ProcessId> sensitive_;
     std::uint64_t notifications_ = 0;
-    std::uint64_t generation_ = 0;  ///< bumped by cancel()
+    std::uint64_t generation_ = 0;   ///< bumped by cancel()
+    PeriodicId periodic_ = -1;       ///< active notify_every schedule, or -1
 };
 
 }  // namespace amsvp::de

@@ -37,8 +37,19 @@ void Simulator::schedule_after(Time delay, Callback cb) {
 PeriodicId Simulator::schedule_periodic(Time first, Time period, Callback cb) {
     AMSVP_CHECK(first >= now_, "cannot schedule an event in the past");
     AMSVP_CHECK(period > 0, "periodic schedule needs a positive period");
-    const auto id = static_cast<PeriodicId>(periodic_tasks_.size());
-    periodic_tasks_.push_back(PeriodicTask{period, std::move(cb), true});
+    PeriodicId id;
+    if (!free_periodic_.empty()) {
+        // Recycle a drained cancelled slot: a slot only reaches the free
+        // list once no heap entry references it, so reuse cannot collide
+        // with a stale in-flight occurrence.
+        id = free_periodic_.back();
+        free_periodic_.pop_back();
+        periodic_tasks_[static_cast<std::size_t>(id)] =
+            PeriodicTask{period, std::move(cb), true};
+    } else {
+        id = static_cast<PeriodicId>(periodic_tasks_.size());
+        periodic_tasks_.push_back(PeriodicTask{period, std::move(cb), true});
+    }
     timed_.push(TimedEvent{first, next_seq_++, {}, id});
     return id;
 }
@@ -97,9 +108,9 @@ Time Simulator::run_until(Time end) {
                 ++stats_.timed_events;
                 if (!periodic_tasks_[static_cast<std::size_t>(periodic)].active) {
                     // Cancelled: this was its last pending entry — release
-                    // the stored closure (ids are not reclaimed, but dead
-                    // entries keep no captures alive).
+                    // the stored closure and recycle the slot.
                     periodic_tasks_[static_cast<std::size_t>(periodic)].fn = nullptr;
+                    free_periodic_.push_back(periodic);
                     continue;
                 }
                 periodic_tasks_[static_cast<std::size_t>(periodic)].fn();
@@ -108,7 +119,10 @@ Time Simulator::run_until(Time end) {
                 if (task.active) {
                     timed_.push(TimedEvent{at + task.period, next_seq_++, {}, periodic});
                 } else {
-                    task.fn = nullptr;  // cancelled itself; release the closure
+                    // Cancelled itself: no pending entry remains — release
+                    // the closure and recycle the slot.
+                    task.fn = nullptr;
+                    free_periodic_.push_back(periodic);
                 }
                 continue;
             }

@@ -58,9 +58,18 @@ public:
     /// allocation (unlike a callback that re-schedules itself each time).
     /// Ordering matches the self-rescheduling pattern exactly: the next
     /// occurrence is sequenced directly after the callback returns.
+    /// Slots of cancelled schedules are recycled once their last pending
+    /// heap entry drains, so repeated schedule/cancel cycles (re-tuned
+    /// Event::notify_every, re-programmed timers) keep the task table
+    /// bounded instead of growing with simulated time.
     PeriodicId schedule_periodic(Time first, Time period, Callback cb);
     /// Stop a periodic schedule. Safe to call from within its own callback.
+    /// Call at most once per id: a cancelled id may be recycled by a later
+    /// schedule_periodic, so double-cancel could hit an unrelated schedule.
     void cancel_periodic(PeriodicId id);
+
+    /// Task-table slots currently allocated (diagnostics: boundedness tests).
+    [[nodiscard]] std::size_t periodic_slot_count() const { return periodic_tasks_.size(); }
 
     /// Channel update request for the current delta's update phase.
     void request_update(Callback update);
@@ -119,6 +128,9 @@ private:
     /// tasks while it runs, and push_back must not move the PeriodicTask
     /// whose fn() is currently on the stack.
     std::deque<PeriodicTask> periodic_tasks_;
+    /// Recyclable task slots: cancelled schedules whose pending heap entry
+    /// has drained.
+    std::vector<PeriodicId> free_periodic_;
     std::uint64_t next_seq_ = 0;
     Time now_ = 0;
     KernelStats stats_;

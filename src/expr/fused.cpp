@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstddef>
 #include <optional>
 #include <sstream>
 #include <unordered_map>
@@ -95,7 +96,8 @@ public:
             AMSVP_CHECK(a.value != nullptr, "fused compile of null expression");
             compile_assignment(a.target_slot, a.value);
         }
-        out_.scratch_count_ = next_reg_ - first_scratch_;
+        out_.uncompacted_scratch_count_ = next_reg_ - first_scratch_;
+        compact_scratch();
         return std::move(out_);
     }
 
@@ -575,6 +577,167 @@ private:
         invalidate_readers_of(target_slot, keep_idx);
     }
 
+    // --- Liveness compaction ----------------------------------------------
+
+    /// Apply `fn` to every slot operand the instruction reads, as a mutable
+    /// reference so the compaction pass can rewrite operands in place.
+    template <typename Fn>
+    void for_each_read_slot(FusedInstr& instr, Fn&& fn) {
+        switch (instr.op) {
+            case FusedOp::kConst:
+                return;  // no reads; a/b/c are unused
+            case FusedOp::kLinComb:
+                // a is the term-table offset, b the term count — the reads
+                // are the term slots themselves.
+                for (std::int32_t k = 0; k < instr.b; ++k) {
+                    fn(out_.lin_terms_[static_cast<std::size_t>(instr.a + k)].slot);
+                }
+                return;
+            case FusedOp::kMulAdd:
+            case FusedOp::kMulSub:
+            case FusedOp::kMulRSub:
+            case FusedOp::kSelect:
+                fn(instr.a);
+                fn(instr.b);
+                fn(instr.c);
+                return;
+            case FusedOp::kAdd:
+            case FusedOp::kSub:
+            case FusedOp::kMul:
+            case FusedOp::kDiv:
+            case FusedOp::kPow:
+            case FusedOp::kMin:
+            case FusedOp::kMax:
+            case FusedOp::kLt:
+            case FusedOp::kLe:
+            case FusedOp::kGt:
+            case FusedOp::kGe:
+            case FusedOp::kEq:
+            case FusedOp::kNe:
+            case FusedOp::kAnd:
+            case FusedOp::kOr:
+            case FusedOp::kMulAddImm:
+                fn(instr.a);
+                fn(instr.b);
+                return;
+            default:  // copy, unary ops, single-operand immediate forms
+                fn(instr.a);
+                return;
+        }
+    }
+
+    /// Last-use liveness over the straight-line stream: renumber the scratch
+    /// area so pooled constants sit at the bottom (live for the whole
+    /// program) and temporaries recycle a small register pool as their
+    /// values die. Every *definition* opens a fresh live range — retargeted
+    /// assignments release and re-allocate the top register, so one original
+    /// number can be defined more than once. Shrinking the scratch area is a
+    /// cache-locality win on large models, multiplied under batch execution
+    /// where every scratch register is replicated per lane.
+    void compact_scratch() {
+        const std::int32_t n_orig = next_reg_ - first_scratch_;
+        if (n_orig == 0) {
+            out_.scratch_count_ = 0;
+            return;
+        }
+        std::vector<bool> is_const(static_cast<std::size_t>(n_orig), false);
+        for (const auto& [slot, value] : out_.const_pool_) {
+            is_const[static_cast<std::size_t>(slot - first_scratch_)] = true;
+        }
+
+        // Pass 1: live ranges. Reads attach to the most recent definition of
+        // their register; a range never read dies at its own definition.
+        struct Interval {
+            std::size_t last_use;
+            std::int32_t compact = -1;
+            bool freed = false;
+        };
+        std::vector<Interval> intervals;
+        std::vector<std::int32_t> live_def(static_cast<std::size_t>(n_orig), -1);
+        for (std::size_t i = 0; i < out_.code_.size(); ++i) {
+            FusedInstr& instr = out_.code_[i];
+            for_each_read_slot(instr, [&](std::int32_t& slot) {
+                if (slot < first_scratch_ ||
+                    is_const[static_cast<std::size_t>(slot - first_scratch_)]) {
+                    return;
+                }
+                const std::int32_t id = live_def[static_cast<std::size_t>(slot - first_scratch_)];
+                AMSVP_CHECK(id >= 0, "scratch register read before definition");
+                intervals[static_cast<std::size_t>(id)].last_use = i;
+            });
+            if (instr.dst >= first_scratch_ &&
+                !is_const[static_cast<std::size_t>(instr.dst - first_scratch_)]) {
+                live_def[static_cast<std::size_t>(instr.dst - first_scratch_)] =
+                    static_cast<std::int32_t>(intervals.size());
+                intervals.push_back(Interval{i});
+            }
+        }
+
+        // Pass 2: assign compact registers. Constants first, stable order.
+        std::vector<std::int32_t> const_map(static_cast<std::size_t>(n_orig), -1);
+        std::int32_t next = first_scratch_;
+        for (std::int32_t r = 0; r < n_orig; ++r) {
+            if (is_const[static_cast<std::size_t>(r)]) {
+                const_map[static_cast<std::size_t>(r)] = next++;
+            }
+        }
+        for (auto& [slot, value] : out_.const_pool_) {
+            slot = const_map[static_cast<std::size_t>(slot - first_scratch_)];
+        }
+        // Temporaries: re-walk definitions in order (same order as pass 1)
+        // and rewrite operands against the currently live mapping.
+        std::int32_t high_water = next;
+        std::vector<std::int32_t> free_regs;
+        std::fill(live_def.begin(), live_def.end(), -1);
+        std::size_t next_def = 0;
+        auto release = [&](Interval& iv) {
+            if (!iv.freed) {
+                iv.freed = true;
+                free_regs.push_back(iv.compact);
+            }
+        };
+        for (std::size_t i = 0; i < out_.code_.size(); ++i) {
+            FusedInstr& instr = out_.code_[i];
+            // Rewrite reads, releasing registers whose value dies here so
+            // the destination may reuse an operand's register (safe: every
+            // operator reads its operands before writing, lane by lane).
+            for_each_read_slot(instr, [&](std::int32_t& slot) {
+                const std::int32_t orig = slot - first_scratch_;
+                if (orig < 0) {
+                    return;
+                }
+                if (is_const[static_cast<std::size_t>(orig)]) {
+                    slot = const_map[static_cast<std::size_t>(orig)];
+                    return;
+                }
+                Interval& iv = intervals[static_cast<std::size_t>(
+                    live_def[static_cast<std::size_t>(orig)])];
+                slot = iv.compact;
+                if (iv.last_use == i) {
+                    release(iv);
+                }
+            });
+            if (instr.dst >= first_scratch_ &&
+                !is_const[static_cast<std::size_t>(instr.dst - first_scratch_)]) {
+                Interval& iv = intervals[next_def];
+                if (free_regs.empty()) {
+                    iv.compact = high_water++;
+                } else {
+                    iv.compact = free_regs.back();
+                    free_regs.pop_back();
+                }
+                live_def[static_cast<std::size_t>(instr.dst - first_scratch_)] =
+                    static_cast<std::int32_t>(next_def);
+                ++next_def;
+                instr.dst = iv.compact;
+                if (iv.last_use == i) {
+                    release(iv);  // dead store: reusable immediately
+                }
+            }
+        }
+        out_.scratch_count_ = high_water - first_scratch_;
+    }
+
     const SlotResolver& resolver_;
     std::int32_t next_reg_ = 0;
     std::int32_t first_scratch_ = 0;
@@ -599,134 +762,211 @@ void FusedProgram::initialize_constants(double* slots) const {
     }
 }
 
-void FusedProgram::execute(double* s) const {
+void FusedProgram::initialize_constants_batch(double* slots, int batch) const {
+    for (const auto& [slot, value] : const_pool_) {
+        double* lane = slots + static_cast<std::ptrdiff_t>(slot) * batch;
+        for (int l = 0; l < batch; ++l) {
+            lane[l] = value;
+        }
+    }
+}
+
+// One interpreter body serves both entry points: a lane loop around every
+// operator, with the slot stride equal to the lane count. kStaticBatch == 1
+// lets the compiler fold the loops away (the scalar hot path of PR 1);
+// kStaticBatch == 0 keeps the count dynamic, and the lane-contiguous layout
+// makes each loop trivially auto-vectorizable.
+template <int kStaticBatch>
+void FusedProgram::execute_impl(double* s, int batch) const {
+    const int B = kStaticBatch > 0 ? kStaticBatch : batch;
     const LinTerm* terms = lin_terms_.data();
     for (const FusedInstr& I : code_) {
+        // Offsets (not pointers) so the kConst/kLinComb reinterpretation of
+        // the operand fields never forms an out-of-range pointer.
+        const std::ptrdiff_t d = static_cast<std::ptrdiff_t>(I.dst) * B;
+        const std::ptrdiff_t a = static_cast<std::ptrdiff_t>(I.a) * B;
+        const std::ptrdiff_t b = static_cast<std::ptrdiff_t>(I.b) * B;
+        const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(I.c) * B;
         switch (I.op) {
             case FusedOp::kConst:
-                s[I.dst] = I.imm;
+                for (int l = 0; l < B; ++l) s[d + l] = I.imm;
                 break;
             case FusedOp::kCopy:
-                s[I.dst] = s[I.a];
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l];
                 break;
             case FusedOp::kNeg:
-                s[I.dst] = -s[I.a];
+                for (int l = 0; l < B; ++l) s[d + l] = -s[a + l];
                 break;
             case FusedOp::kNot:
-                s[I.dst] = s[I.a] == 0.0 ? 1.0 : 0.0;
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] == 0.0 ? 1.0 : 0.0;
                 break;
             case FusedOp::kExp:
-                s[I.dst] = std::exp(s[I.a]);
+                for (int l = 0; l < B; ++l) s[d + l] = std::exp(s[a + l]);
                 break;
             case FusedOp::kLn:
-                s[I.dst] = std::log(s[I.a]);
+                for (int l = 0; l < B; ++l) s[d + l] = std::log(s[a + l]);
                 break;
             case FusedOp::kLog10:
-                s[I.dst] = std::log10(s[I.a]);
+                for (int l = 0; l < B; ++l) s[d + l] = std::log10(s[a + l]);
                 break;
             case FusedOp::kSqrt:
-                s[I.dst] = std::sqrt(s[I.a]);
+                for (int l = 0; l < B; ++l) s[d + l] = std::sqrt(s[a + l]);
                 break;
             case FusedOp::kSin:
-                s[I.dst] = std::sin(s[I.a]);
+                for (int l = 0; l < B; ++l) s[d + l] = std::sin(s[a + l]);
                 break;
             case FusedOp::kCos:
-                s[I.dst] = std::cos(s[I.a]);
+                for (int l = 0; l < B; ++l) s[d + l] = std::cos(s[a + l]);
                 break;
             case FusedOp::kTan:
-                s[I.dst] = std::tan(s[I.a]);
+                for (int l = 0; l < B; ++l) s[d + l] = std::tan(s[a + l]);
                 break;
             case FusedOp::kAbs:
-                s[I.dst] = std::fabs(s[I.a]);
+                for (int l = 0; l < B; ++l) s[d + l] = std::fabs(s[a + l]);
                 break;
             case FusedOp::kAdd:
-                s[I.dst] = s[I.a] + s[I.b];
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] + s[b + l];
                 break;
             case FusedOp::kSub:
-                s[I.dst] = s[I.a] - s[I.b];
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] - s[b + l];
                 break;
             case FusedOp::kMul:
-                s[I.dst] = s[I.a] * s[I.b];
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] * s[b + l];
                 break;
             case FusedOp::kDiv:
-                s[I.dst] = s[I.a] / s[I.b];
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] / s[b + l];
                 break;
             case FusedOp::kPow:
-                s[I.dst] = std::pow(s[I.a], s[I.b]);
+                for (int l = 0; l < B; ++l) s[d + l] = std::pow(s[a + l], s[b + l]);
                 break;
             case FusedOp::kMin:
-                s[I.dst] = std::min(s[I.a], s[I.b]);
+                for (int l = 0; l < B; ++l) s[d + l] = std::min(s[a + l], s[b + l]);
                 break;
             case FusedOp::kMax:
-                s[I.dst] = std::max(s[I.a], s[I.b]);
+                for (int l = 0; l < B; ++l) s[d + l] = std::max(s[a + l], s[b + l]);
                 break;
             case FusedOp::kLt:
-                s[I.dst] = s[I.a] < s[I.b] ? 1.0 : 0.0;
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] < s[b + l] ? 1.0 : 0.0;
                 break;
             case FusedOp::kLe:
-                s[I.dst] = s[I.a] <= s[I.b] ? 1.0 : 0.0;
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] <= s[b + l] ? 1.0 : 0.0;
                 break;
             case FusedOp::kGt:
-                s[I.dst] = s[I.a] > s[I.b] ? 1.0 : 0.0;
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] > s[b + l] ? 1.0 : 0.0;
                 break;
             case FusedOp::kGe:
-                s[I.dst] = s[I.a] >= s[I.b] ? 1.0 : 0.0;
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] >= s[b + l] ? 1.0 : 0.0;
                 break;
             case FusedOp::kEq:
-                s[I.dst] = s[I.a] == s[I.b] ? 1.0 : 0.0;
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] == s[b + l] ? 1.0 : 0.0;
                 break;
             case FusedOp::kNe:
-                s[I.dst] = s[I.a] != s[I.b] ? 1.0 : 0.0;
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] != s[b + l] ? 1.0 : 0.0;
                 break;
             case FusedOp::kAnd:
-                s[I.dst] = (s[I.a] != 0.0 && s[I.b] != 0.0) ? 1.0 : 0.0;
+                for (int l = 0; l < B; ++l) {
+                    s[d + l] = (s[a + l] != 0.0 && s[b + l] != 0.0) ? 1.0 : 0.0;
+                }
                 break;
             case FusedOp::kOr:
-                s[I.dst] = (s[I.a] != 0.0 || s[I.b] != 0.0) ? 1.0 : 0.0;
+                for (int l = 0; l < B; ++l) {
+                    s[d + l] = (s[a + l] != 0.0 || s[b + l] != 0.0) ? 1.0 : 0.0;
+                }
                 break;
             case FusedOp::kAddImm:
-                s[I.dst] = s[I.a] + I.imm;
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] + I.imm;
                 break;
             case FusedOp::kSubImm:
-                s[I.dst] = s[I.a] - I.imm;
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] - I.imm;
                 break;
             case FusedOp::kRSubImm:
-                s[I.dst] = I.imm - s[I.a];
+                for (int l = 0; l < B; ++l) s[d + l] = I.imm - s[a + l];
                 break;
             case FusedOp::kMulImm:
-                s[I.dst] = s[I.a] * I.imm;
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] * I.imm;
                 break;
             case FusedOp::kDivImm:
-                s[I.dst] = s[I.a] / I.imm;
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] / I.imm;
                 break;
             case FusedOp::kRDivImm:
-                s[I.dst] = I.imm / s[I.a];
+                for (int l = 0; l < B; ++l) s[d + l] = I.imm / s[a + l];
                 break;
             case FusedOp::kMulAdd:
-                s[I.dst] = s[I.a] * s[I.b] + s[I.c];
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] * s[b + l] + s[c + l];
                 break;
             case FusedOp::kMulSub:
-                s[I.dst] = s[I.a] * s[I.b] - s[I.c];
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] * s[b + l] - s[c + l];
                 break;
             case FusedOp::kMulRSub:
-                s[I.dst] = s[I.c] - s[I.a] * s[I.b];
+                for (int l = 0; l < B; ++l) s[d + l] = s[c + l] - s[a + l] * s[b + l];
                 break;
             case FusedOp::kMulAddImm:
-                s[I.dst] = s[I.a] * I.imm + s[I.b];
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] * I.imm + s[b + l];
                 break;
             case FusedOp::kSelect:
-                s[I.dst] = s[I.a] != 0.0 ? s[I.b] : s[I.c];
+                for (int l = 0; l < B; ++l) s[d + l] = s[a + l] != 0.0 ? s[b + l] : s[c + l];
                 break;
             case FusedOp::kLinComb: {
-                double acc = I.imm;
+                // Lane-innermost so every term becomes one contiguous FMA
+                // row across instances. The chunk-local accumulator keeps
+                // the scalar semantics (all term reads happen before the
+                // destination write, per lane) and the scalar accumulation
+                // order (terms in sequence), so lanes stay bit-identical to
+                // the batch == 1 path.
                 const LinTerm* t = terms + I.a;
-                for (std::int32_t k = 0; k < I.b; ++k) {
-                    acc += t[k].coeff * s[t[k].slot];
+                constexpr int kChunk = kStaticBatch > 0 ? kStaticBatch : 16;
+                double acc[kChunk];
+                for (int l0 = 0; l0 < B; l0 += kChunk) {
+                    const int n = kStaticBatch > 0 ? kStaticBatch : std::min(kChunk, B - l0);
+                    for (int j = 0; j < n; ++j) {
+                        acc[j] = I.imm;
+                    }
+                    for (std::int32_t k = 0; k < I.b; ++k) {
+                        const double coeff = t[k].coeff;
+                        const double* src =
+                            s + static_cast<std::ptrdiff_t>(t[k].slot) * B + l0;
+                        for (int j = 0; j < n; ++j) {
+                            acc[j] += coeff * src[j];
+                        }
+                    }
+                    double* out = s + d + l0;
+                    for (int j = 0; j < n; ++j) {
+                        out[j] = acc[j];
+                    }
                 }
-                s[I.dst] = acc;
                 break;
             }
         }
+    }
+}
+
+void FusedProgram::execute(double* s) const {
+    execute_impl<1>(s, 1);
+}
+
+void FusedProgram::execute_batch(double* s, int batch) const {
+    AMSVP_CHECK(batch >= 1, "batch execution needs at least one lane");
+    switch (batch) {
+        case 1:
+            execute_impl<1>(s, 1);
+            break;
+        // Pinned lane counts for the common sweep widths: the compiler emits
+        // straight-line SIMD for these instead of a runtime-trip-count loop.
+        case 4:
+            execute_impl<4>(s, 4);
+            break;
+        case 8:
+            execute_impl<8>(s, 8);
+            break;
+        case 16:
+            execute_impl<16>(s, 16);
+            break;
+        case 32:
+            execute_impl<32>(s, 32);
+            break;
+        default:
+            execute_impl<0>(s, batch);
+            break;
     }
 }
 

@@ -16,7 +16,18 @@
 //    models, where one instruction replaces an entire assignment.
 //
 // Temporaries live in scratch slots appended after the caller's slot file;
-// scratch registers are single-assignment, which keeps CSE sound.
+// scratch registers are single-assignment during compilation, which keeps
+// CSE sound. A liveness post-pass (last-use scan over the straight-line
+// stream) then compacts them onto a small recycled register pool, so the
+// scratch area stays cache-resident even on large models — and, replicated
+// per lane, cheap in batch execution.
+//
+// Execution has two entry points over the same instruction semantics:
+// execute() for one instance, and execute_batch() for N instances stored in
+// one strided slot file (slot i of lane l at slots[i * batch + l], lanes
+// contiguous so every instruction becomes an auto-vectorizable loop across
+// instances). The scalar path is the batch == 1 specialization of the same
+// interpreter body — there is one source of truth for operator semantics.
 #pragma once
 
 #include <cstdint>
@@ -108,15 +119,30 @@ public:
     [[nodiscard]] static FusedProgram compile(const std::vector<AssignmentSpec>& assignments,
                                               const SlotResolver& resolver, int slot_file_size);
 
-    /// Extra slots the caller must append to the slot file.
+    /// Extra slots the caller must append to the slot file (after liveness
+    /// compaction; constants and recycled temporaries).
     [[nodiscard]] int scratch_count() const { return scratch_count_; }
+
+    /// Scratch registers the compiler allocated before the liveness pass
+    /// compacted them (diagnostics / regression tests).
+    [[nodiscard]] int uncompacted_scratch_count() const { return uncompacted_scratch_count_; }
 
     /// Write the constant pool into the slot file. Call once after the slot
     /// file is (re)initialised, before the first execute().
     void initialize_constants(double* slots) const;
 
+    /// Batch variant: broadcast every pooled constant across all `batch`
+    /// lanes of a strided slot file.
+    void initialize_constants_batch(double* slots, int batch) const;
+
     /// Run the whole program: every assignment, in order, one pass.
     void execute(double* slots) const;
+
+    /// Run the whole program over `batch` instances at once. Slot i of lane
+    /// l lives at slots[i * batch + l]; every instruction loops over the
+    /// contiguous lane dimension (SIMD across instances). batch == 1 is
+    /// exactly execute().
+    void execute_batch(double* slots, int batch) const;
 
     [[nodiscard]] const std::vector<FusedInstr>& instructions() const { return code_; }
     [[nodiscard]] const std::vector<LinTerm>& lin_terms() const { return lin_terms_; }
@@ -130,10 +156,16 @@ public:
 private:
     friend class FusedCompiler;
 
+    /// Shared interpreter body; kStaticBatch > 0 pins the lane count at
+    /// compile time (1 = the scalar specialization), 0 reads `batch`.
+    template <int kStaticBatch>
+    void execute_impl(double* slots, int batch) const;
+
     std::vector<FusedInstr> code_;
     std::vector<LinTerm> lin_terms_;
     std::vector<std::pair<std::int32_t, double>> const_pool_;  ///< slot -> value
     int scratch_count_ = 0;
+    int uncompacted_scratch_count_ = 0;
 };
 
 }  // namespace amsvp::expr

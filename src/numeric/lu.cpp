@@ -7,17 +7,26 @@ namespace amsvp::numeric {
 
 std::optional<LuFactorization> LuFactorization::factorise(const Matrix& a,
                                                           double pivot_tolerance) {
+    LuFactorization f;
+    if (!f.refactorise(a, pivot_tolerance)) {
+        return std::nullopt;
+    }
+    return f;
+}
+
+bool LuFactorization::refactorise(const Matrix& a, double pivot_tolerance) {
     AMSVP_CHECK(a.rows() == a.cols(), "LU requires a square matrix");
     const std::size_t n = a.rows();
 
-    LuFactorization f;
-    f.lu_ = a;
-    f.permutation_.resize(n);
+    // Copy-assign reuses capacity: same-size refactorisation is
+    // allocation-free after the first call.
+    lu_ = a;
+    permutation_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-        f.permutation_[i] = i;
+        permutation_[i] = i;
     }
 
-    Matrix& lu = f.lu_;
+    Matrix& lu = lu_;
     for (std::size_t k = 0; k < n; ++k) {
         // Partial pivoting: pick the largest magnitude entry in column k.
         std::size_t pivot_row = k;
@@ -30,13 +39,13 @@ std::optional<LuFactorization> LuFactorization::factorise(const Matrix& a,
             }
         }
         if (pivot_mag < pivot_tolerance) {
-            return std::nullopt;
+            return false;
         }
         if (pivot_row != k) {
             for (std::size_t c = 0; c < n; ++c) {
                 std::swap(lu(k, c), lu(pivot_row, c));
             }
-            std::swap(f.permutation_[k], f.permutation_[pivot_row]);
+            std::swap(permutation_[k], permutation_[pivot_row]);
         }
         const double pivot = lu(k, k);
         for (std::size_t r = k + 1; r < n; ++r) {
@@ -50,7 +59,7 @@ std::optional<LuFactorization> LuFactorization::factorise(const Matrix& a,
             }
         }
     }
-    return f;
+    return true;
 }
 
 Vector LuFactorization::solve(const Vector& b) const {

@@ -26,6 +26,13 @@ public:
     [[nodiscard]] static std::optional<LuFactorization> factorise(const Matrix& a,
                                                                   double pivot_tolerance = 1e-13);
 
+    /// Re-factorise into this object, reusing its storage: the
+    /// refactor-every-step pattern (SPICE Newton loops) performs no heap
+    /// allocation once warm. Returns false when the matrix is numerically
+    /// singular — the object then holds garbage factors; refactorise again
+    /// before solving.
+    [[nodiscard]] bool refactorise(const Matrix& a, double pivot_tolerance = 1e-13);
+
     /// Solve A x = b using the stored factors.
     [[nodiscard]] Vector solve(const Vector& b) const;
 

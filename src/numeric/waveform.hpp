@@ -45,4 +45,42 @@ private:
     std::vector<double> samples_;
 };
 
+/// Lane-parallel waveform capture for batched execution: one frame of
+/// `lanes` samples per step, stored frame-contiguously so a
+/// BatchCompiledModel's lane-contiguous output row is appended with a
+/// single copy (no per-lane scatter in the sweep hot loop).
+class WaveformBatch {
+public:
+    WaveformBatch() = default;
+    WaveformBatch(std::size_t lanes, double step_seconds, double start_time_seconds = 0.0)
+        : lanes_(lanes), step_(step_seconds), start_(start_time_seconds) {}
+
+    /// Append one frame: `lanes()` doubles, lane-contiguous.
+    void append_frame(const double* values);
+    void reserve(std::size_t frames);
+
+    [[nodiscard]] std::size_t lanes() const { return lanes_; }
+    /// Number of frames (samples per lane) captured.
+    [[nodiscard]] std::size_t size() const { return lanes_ == 0 ? 0 : data_.size() / lanes_; }
+    [[nodiscard]] bool empty() const { return data_.empty(); }
+    [[nodiscard]] double step() const { return step_; }
+    [[nodiscard]] double start_time() const { return start_; }
+
+    [[nodiscard]] double value(std::size_t lane, std::size_t frame) const {
+        return data_[frame * lanes_ + lane];
+    }
+    [[nodiscard]] double time(std::size_t frame) const {
+        return start_ + static_cast<double>(frame) * step_;
+    }
+
+    /// Extract one lane as a standalone Waveform (copies).
+    [[nodiscard]] Waveform waveform(std::size_t lane) const;
+
+private:
+    std::size_t lanes_ = 0;
+    double step_ = 0.0;
+    double start_ = 0.0;
+    std::vector<double> data_;  ///< frame-major: frame k at [k * lanes, (k+1) * lanes)
+};
+
 }  // namespace amsvp::numeric

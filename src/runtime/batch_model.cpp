@@ -1,0 +1,89 @@
+#include "runtime/batch_model.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace amsvp::runtime {
+
+BatchCompiledModel::BatchCompiledModel(std::shared_ptr<const ModelLayout> layout, int batch)
+    : layout_(std::move(layout)), batch_(batch) {
+    AMSVP_CHECK(layout_ != nullptr, "BatchCompiledModel needs a layout");
+    AMSVP_CHECK(batch_ >= 1, "batch needs at least one lane");
+    AMSVP_CHECK(layout_->strategy() == EvalStrategy::kFused,
+                "batch execution runs on the fused strategy");
+    slots_.assign(layout_->slot_count() * static_cast<std::size_t>(batch_), 0.0);
+    reset();
+}
+
+BatchCompiledModel::BatchCompiledModel(const abstraction::SignalFlowModel& model, int batch)
+    : BatchCompiledModel(ModelLayout::compile(model, EvalStrategy::kFused), batch) {}
+
+void BatchCompiledModel::reset() {
+    std::fill(slots_.begin(), slots_.end(), 0.0);
+    for (const auto& [slot, value] : layout_->initial_values()) {
+        double* lane = slots_.data() + at(slot, 0);
+        for (int l = 0; l < batch_; ++l) {
+            lane[l] = value;
+        }
+    }
+    layout_->fused_program().initialize_constants_batch(slots_.data(), batch_);
+}
+
+void BatchCompiledModel::set_input(int lane, std::size_t index, double value) {
+    AMSVP_CHECK(lane >= 0 && lane < batch_, "lane out of range");
+    AMSVP_CHECK(index < layout_->input_count(), "input index out of range");
+    slots_[at(layout_->input_slots()[index], lane)] = value;
+}
+
+void BatchCompiledModel::broadcast_input(std::size_t index, double value) {
+    AMSVP_CHECK(index < layout_->input_count(), "input index out of range");
+    double* lane = slots_.data() + at(layout_->input_slots()[index], 0);
+    for (int l = 0; l < batch_; ++l) {
+        lane[l] = value;
+    }
+}
+
+void BatchCompiledModel::set_value(int lane, const expr::Symbol& symbol, double value) {
+    AMSVP_CHECK(lane >= 0 && lane < batch_, "lane out of range");
+    const ModelLayout::SymbolSlots& s = layout_->slots_of(symbol);
+    for (int k = 0; k <= s.depth; ++k) {
+        slots_[at(s.base + k, lane)] = value;
+    }
+}
+
+void BatchCompiledModel::step(double time_seconds) {
+    double* slots = slots_.data();
+    double* time_lane = slots + at(layout_->time_slot(), 0);
+    for (int l = 0; l < batch_; ++l) {
+        time_lane[l] = time_seconds;
+    }
+    layout_->fused_program().execute_batch(slots, batch_);
+    // Rotate history: each slot row is lane-contiguous, so one row copy
+    // rotates the whole batch.
+    const std::size_t row = static_cast<std::size_t>(batch_) * sizeof(double);
+    for (const ModelLayout::SymbolSlots& r : layout_->rotations()) {
+        for (int k = r.depth; k >= 1; --k) {
+            std::memcpy(slots + at(r.base + k, 0), slots + at(r.base + k - 1, 0), row);
+        }
+    }
+}
+
+double BatchCompiledModel::output(int lane, std::size_t index) const {
+    AMSVP_CHECK(lane >= 0 && lane < batch_, "lane out of range");
+    AMSVP_CHECK(index < layout_->output_count(), "output index out of range");
+    return slots_[at(layout_->output_slots()[index], lane)];
+}
+
+const double* BatchCompiledModel::output_lanes(std::size_t index) const {
+    AMSVP_CHECK(index < layout_->output_count(), "output index out of range");
+    return slots_.data() + at(layout_->output_slots()[index], 0);
+}
+
+double BatchCompiledModel::value_of(int lane, const expr::Symbol& symbol) const {
+    AMSVP_CHECK(lane >= 0 && lane < batch_, "lane out of range");
+    return slots_[at(layout_->slot_for(symbol, 0), lane)];
+}
+
+}  // namespace amsvp::runtime

@@ -1,0 +1,78 @@
+// Batched multi-instance execution: many instances of one model, one fused
+// instruction stream, one strided slot file.
+//
+// Parameter sweeps, Monte-Carlo corners and per-user model instances run
+// the *same* compiled program with different data. BatchCompiledModel
+// stores all instances in a structure-of-arrays slot file — slot i of lane
+// l lives at slots[i * batch + l], lanes contiguous — so each fused
+// instruction becomes one loop across instances that the compiler
+// auto-vectorizes (SIMD across lanes). One ModelLayout is shared by the
+// whole batch: N instances cost one compile and one cache-resident heap.
+//
+// Lane semantics are identical to a scalar CompiledModel stepped with the
+// same inputs — the scalar path is literally the batch == 1 specialization
+// of the same interpreter — so results agree bit-for-bit lane by lane.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "abstraction/signal_flow_model.hpp"
+#include "runtime/model_layout.hpp"
+
+namespace amsvp::runtime {
+
+class BatchCompiledModel {
+public:
+    /// `batch` instances over a pre-compiled (kFused) layout.
+    BatchCompiledModel(std::shared_ptr<const ModelLayout> layout, int batch);
+
+    /// Convenience: compile the model (fused) and batch it.
+    BatchCompiledModel(const abstraction::SignalFlowModel& model, int batch);
+
+    [[nodiscard]] int batch() const { return batch_; }
+    [[nodiscard]] std::size_t input_count() const { return layout_->input_count(); }
+    [[nodiscard]] std::size_t output_count() const { return layout_->output_count(); }
+    [[nodiscard]] double timestep() const { return layout_->timestep(); }
+    [[nodiscard]] std::size_t input_index(const std::string& name) const {
+        return layout_->input_index(name);
+    }
+
+    /// Reset every lane to the model's initial values.
+    void reset();
+
+    void set_input(int lane, std::size_t index, double value);
+    /// Same input value on every lane (shared stimulus).
+    void broadcast_input(std::size_t index, double value);
+
+    /// Override a symbol's value — current slot and all history slots — on
+    /// one lane. This is how sweeps apply per-lane parameter overrides and
+    /// initial conditions after reset().
+    void set_value(int lane, const expr::Symbol& symbol, double value);
+
+    /// Evaluate one step at absolute time `time_seconds` on every lane,
+    /// then rotate each lane's history.
+    void step(double time_seconds);
+
+    [[nodiscard]] double output(int lane, std::size_t index) const;
+    /// Lane-contiguous values of output `index` (batch() doubles) — the
+    /// zero-copy row batched waveform capture appends per step.
+    [[nodiscard]] const double* output_lanes(std::size_t index) const;
+
+    /// Value of an arbitrary model symbol on one lane (testing).
+    [[nodiscard]] double value_of(int lane, const expr::Symbol& symbol) const;
+
+    [[nodiscard]] const std::shared_ptr<const ModelLayout>& layout() const { return layout_; }
+
+private:
+    [[nodiscard]] std::size_t at(int slot, int lane) const {
+        return static_cast<std::size_t>(slot) * static_cast<std::size_t>(batch_) +
+               static_cast<std::size_t>(lane);
+    }
+
+    std::shared_ptr<const ModelLayout> layout_;
+    int batch_ = 1;
+    std::vector<double> slots_;  ///< slot-major, lane-contiguous (SoA)
+};
+
+}  // namespace amsvp::runtime

@@ -2,177 +2,57 @@
 
 #include <algorithm>
 
-#include "expr/traversal.hpp"
 #include "support/check.hpp"
 
 namespace amsvp::runtime {
 
-using abstraction::Assignment;
-using abstraction::SignalFlowModel;
-using expr::ExprKind;
-using expr::ExprPtr;
 using expr::Symbol;
 
-CompiledModel::CompiledModel(const SignalFlowModel& model, EvalStrategy strategy)
-    : strategy_(strategy), timestep_(model.timestep) {
-    // Pass 1: history depth needed per symbol.
-    std::unordered_map<Symbol, int, expr::SymbolHash> depth;
-    auto note_depth = [&](const Symbol& s, int d) {
-        auto [it, inserted] = depth.try_emplace(s, d);
-        if (!inserted) {
-            it->second = std::max(it->second, d);
-        }
-    };
-    for (const Symbol& in : model.inputs) {
-        note_depth(in, 0);
-    }
-    for (const Assignment& a : model.assignments) {
-        note_depth(a.target, 0);
-        expr::visit(a.value, [&](const ExprPtr& node) {
-            if (node->kind() == ExprKind::kSymbol) {
-                note_depth(node->symbol(), 0);
-            } else if (node->kind() == ExprKind::kDelayed) {
-                note_depth(node->symbol(), node->delay());
-            }
-            return true;
-        });
-    }
+CompiledModel::CompiledModel(const abstraction::SignalFlowModel& model, EvalStrategy strategy)
+    : CompiledModel(ModelLayout::compile(model, strategy)) {}
 
-    // Pass 2: allocate slots (current value + history behind it).
-    auto allocate = [&](const Symbol& s) {
-        const auto it = depth.find(s);
-        const int d = it == depth.end() ? 0 : it->second;
-        SymbolSlots slots{static_cast<int>(slots_.size()), d};
-        layout_.emplace(s, slots);
-        slots_.resize(slots_.size() + static_cast<std::size_t>(d) + 1, 0.0);
-        if (d > 0) {
-            rotations_.push_back(slots);
-        }
-    };
-    for (const Symbol& in : model.inputs) {
-        allocate(in);
-    }
-    for (const Assignment& a : model.assignments) {
-        if (!layout_.contains(a.target)) {
-            allocate(a.target);
-        }
-    }
-    // Any symbol referenced but never assigned / declared is a bug upstream;
-    // allocate defensively so resolver aborts with context below instead.
-    for (const auto& [sym, d] : depth) {
-        if (!layout_.contains(sym)) {
-            allocate(sym);
-        }
-    }
-    // $abstime.
-    {
-        const Symbol time = expr::time_symbol();
-        if (!layout_.contains(time)) {
-            SymbolSlots slots{static_cast<int>(slots_.size()), 0};
-            layout_.emplace(time, slots);
-            slots_.push_back(0.0);
-        }
-        time_slot_ = layout_.at(time).base;
-    }
-
-    // Pass 3: compile assignments.
-    const expr::SlotResolver resolver = [this](const Symbol& s, int delay) {
-        return slot_for(s, delay);
-    };
-    if (strategy_ == EvalStrategy::kFused) {
-        // Whole-model compilation: one fused instruction stream over the
-        // slot file, with scratch registers appended behind the model slots.
-        std::vector<expr::FusedProgram::AssignmentSpec> specs;
-        specs.reserve(model.assignments.size());
-        for (const Assignment& a : model.assignments) {
-            specs.push_back({slot_for(a.target, 0), a.value});
-        }
-        fused_ = expr::FusedProgram::compile(specs, resolver,
-                                             static_cast<int>(slots_.size()));
-        slots_.resize(slots_.size() + static_cast<std::size_t>(fused_.scratch_count()), 0.0);
-    } else {
-        for (const Assignment& a : model.assignments) {
-            CompiledAssignment ca;
-            ca.target_slot = slot_for(a.target, 0);
-            if (strategy_ == EvalStrategy::kBytecode) {
-                ca.program = expr::Program::compile(a.value, resolver);
-            } else {
-                ca.tree = a.value;
-            }
-            assignments_.push_back(std::move(ca));
-        }
-    }
-
-    for (const Symbol& in : model.inputs) {
-        input_slots_.push_back(slot_for(in, 0));
-    }
-    for (const Symbol& out : model.outputs) {
-        output_slots_.push_back(slot_for(out, 0));
-    }
-
-    for (const auto& [sym, value] : model.initial_values) {
-        const auto it = layout_.find(sym);
-        if (it == layout_.end()) {
-            continue;
-        }
-        for (int k = 0; k <= it->second.depth; ++k) {
-            initial_values_.emplace_back(it->second.base + k, value);
-        }
-    }
-    // Remember input names for input_index().
-    for (std::size_t i = 0; i < model.inputs.size(); ++i) {
-        input_names_.emplace(model.inputs[i].name, i);
-    }
+CompiledModel::CompiledModel(std::shared_ptr<const ModelLayout> layout)
+    : layout_(std::move(layout)) {
+    AMSVP_CHECK(layout_ != nullptr, "CompiledModel needs a layout");
+    slots_.assign(layout_->slot_count(), 0.0);
     reset();
-}
-
-int CompiledModel::slot_for(const Symbol& s, int delay) const {
-    const auto it = layout_.find(s);
-    AMSVP_CHECK(it != layout_.end(), "reference to unknown symbol");
-    AMSVP_CHECK(delay >= 0 && delay <= it->second.depth, "delay exceeds allocated history");
-    return it->second.base + delay;
 }
 
 void CompiledModel::reset() {
     std::fill(slots_.begin(), slots_.end(), 0.0);
-    for (const auto& [slot, value] : initial_values_) {
+    for (const auto& [slot, value] : layout_->initial_values()) {
         slots_[static_cast<std::size_t>(slot)] = value;
     }
-    if (strategy_ == EvalStrategy::kFused) {
-        fused_.initialize_constants(slots_.data());
+    if (layout_->strategy() == EvalStrategy::kFused) {
+        layout_->fused_program().initialize_constants(slots_.data());
     }
-}
-
-std::size_t CompiledModel::input_index(const std::string& name) const {
-    const auto it = input_names_.find(name);
-    AMSVP_CHECK(it != input_names_.end(), "unknown input name");
-    return it->second;
 }
 
 void CompiledModel::set_input(std::size_t index, double value) {
-    AMSVP_CHECK(index < input_slots_.size(), "input index out of range");
-    slots_[static_cast<std::size_t>(input_slots_[index])] = value;
+    AMSVP_CHECK(index < layout_->input_count(), "input index out of range");
+    slots_[static_cast<std::size_t>(layout_->input_slots()[index])] = value;
 }
 
 void CompiledModel::step(double time_seconds) {
-    slots_[static_cast<std::size_t>(time_slot_)] = time_seconds;
+    const ModelLayout& l = *layout_;
+    slots_[static_cast<std::size_t>(l.time_slot())] = time_seconds;
     double* slots = slots_.data();
-    if (strategy_ == EvalStrategy::kFused) {
-        fused_.execute(slots);
-    } else if (strategy_ == EvalStrategy::kBytecode) {
-        for (const CompiledAssignment& a : assignments_) {
+    if (l.strategy() == EvalStrategy::kFused) {
+        l.fused_program().execute(slots);
+    } else if (l.strategy() == EvalStrategy::kBytecode) {
+        for (const ModelLayout::CompiledAssignment& a : l.assignments()) {
             slots[a.target_slot] = a.program.evaluate(slots);
         }
     } else {
-        const expr::SlotResolver resolver = [this](const Symbol& s, int delay) {
-            return slot_for(s, delay);
+        const expr::SlotResolver resolver = [&l](const Symbol& s, int delay) {
+            return l.slot_for(s, delay);
         };
-        for (const CompiledAssignment& a : assignments_) {
+        for (const ModelLayout::CompiledAssignment& a : l.assignments()) {
             slots[a.target_slot] = expr::evaluate_tree(a.tree, resolver, slots);
         }
     }
     // Rotate history: current value becomes delay-1, and so on.
-    for (const SymbolSlots& r : rotations_) {
+    for (const ModelLayout::SymbolSlots& r : l.rotations()) {
         for (int k = r.depth; k >= 1; --k) {
             slots[r.base + k] = slots[r.base + k - 1];
         }
@@ -180,12 +60,12 @@ void CompiledModel::step(double time_seconds) {
 }
 
 double CompiledModel::output(std::size_t index) const {
-    AMSVP_CHECK(index < output_slots_.size(), "output index out of range");
-    return slots_[static_cast<std::size_t>(output_slots_[index])];
+    AMSVP_CHECK(index < layout_->output_count(), "output index out of range");
+    return slots_[static_cast<std::size_t>(layout_->output_slots()[index])];
 }
 
 double CompiledModel::value_of(const Symbol& symbol) const {
-    return slots_[static_cast<std::size_t>(slot_for(symbol, 0))];
+    return slots_[static_cast<std::size_t>(layout_->slot_for(symbol, 0))];
 }
 
 }  // namespace amsvp::runtime

@@ -5,39 +5,43 @@
 // with no simulation kernel around it. The same compiled form is reused by
 // the SystemC-DE and TDF wrappers, so backend comparisons measure kernel
 // overhead, not evaluation differences.
+//
+// The compile artifact lives in a shared, immutable ModelLayout; a
+// CompiledModel is one executing instance over it — a slot vector plus thin
+// step logic. N instances of the same model can (and should) share one
+// layout: see ModelLayout::compile and BatchCompiledModel for the batched
+// form that also shares the slot file.
 #pragma once
 
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "abstraction/signal_flow_model.hpp"
-#include "expr/bytecode.hpp"
-#include "expr/fused.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/model_layout.hpp"
 
 namespace amsvp::runtime {
-
-enum class EvalStrategy {
-    kFused,     ///< whole-model fused register machine (default)
-    kBytecode,  ///< per-assignment stack postfix programs (differential baseline)
-    kTreeWalk,  ///< shared_ptr tree interpretation (ablation baseline)
-};
 
 class CompiledModel final : public ModelExecutor {
 public:
     explicit CompiledModel(const abstraction::SignalFlowModel& model,
                            EvalStrategy strategy = EvalStrategy::kFused);
 
+    /// Instance over a pre-compiled layout (no compilation happens here).
+    explicit CompiledModel(std::shared_ptr<const ModelLayout> layout);
+
     /// Reset state to the model's initial values (zeros by default).
     void reset() override;
 
-    [[nodiscard]] std::size_t input_count() const override { return input_slots_.size(); }
-    [[nodiscard]] std::size_t output_count() const override { return output_slots_.size(); }
-    [[nodiscard]] double timestep() const override { return timestep_; }
+    [[nodiscard]] std::size_t input_count() const override { return layout_->input_count(); }
+    [[nodiscard]] std::size_t output_count() const override { return layout_->output_count(); }
+    [[nodiscard]] double timestep() const override { return layout_->timestep(); }
 
     /// Input index by stimulus name; aborts on unknown names.
-    [[nodiscard]] std::size_t input_index(const std::string& name) const;
+    [[nodiscard]] std::size_t input_index(const std::string& name) const {
+        return layout_->input_index(name);
+    }
 
     void set_input(std::size_t index, double value) override;
 
@@ -52,37 +56,17 @@ public:
 
     [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
 
+    /// The shared compile artifact (pass to more instances to reuse it).
+    [[nodiscard]] const std::shared_ptr<const ModelLayout>& layout() const { return layout_; }
+
     /// The fused instruction stream (kFused strategy; tests/diagnostics).
-    [[nodiscard]] const expr::FusedProgram& fused_program() const { return fused_; }
+    [[nodiscard]] const expr::FusedProgram& fused_program() const {
+        return layout_->fused_program();
+    }
 
 private:
-    struct SymbolSlots {
-        int base = 0;   ///< slot of the current value
-        int depth = 0;  ///< number of history slots behind it
-    };
-
-    struct CompiledAssignment {
-        int target_slot;
-        expr::Program program;     // kBytecode
-        expr::ExprPtr tree;        // kTreeWalk
-    };
-
-    [[nodiscard]] int slot_for(const expr::Symbol& s, int delay) const;
-    int ensure_symbol(const expr::Symbol& s, int extra_depth);
-
-    EvalStrategy strategy_;
-    expr::FusedProgram fused_;  // kFused
-    double timestep_ = 0.0;
+    std::shared_ptr<const ModelLayout> layout_;
     std::vector<double> slots_;
-    std::unordered_map<expr::Symbol, SymbolSlots, expr::SymbolHash> layout_;
-    std::vector<CompiledAssignment> assignments_;
-    std::vector<int> input_slots_;
-    std::vector<int> output_slots_;
-    int time_slot_ = -1;
-    std::vector<std::pair<int, double>> initial_values_;  // slot -> value
-    /// (base, depth) pairs to rotate after each step.
-    std::vector<SymbolSlots> rotations_;
-    std::unordered_map<std::string, std::size_t> input_names_;
 };
 
 }  // namespace amsvp::runtime

@@ -32,10 +32,18 @@ public:
 using ExecutorFactory =
     std::function<std::unique_ptr<ModelExecutor>(const abstraction::SignalFlowModel&)>;
 
+class ModelLayout;
+
 /// Factory producing the in-process stack-bytecode executor (baseline).
 [[nodiscard]] ExecutorFactory bytecode_executor_factory();
 
 /// Factory producing the fused register-machine executor (default hot path).
 [[nodiscard]] ExecutorFactory fused_executor_factory();
+
+/// Factory whose executors all share one pre-compiled layout: N scalar
+/// instances, one compile. The model argument each call receives is
+/// ignored — it must be the model `layout` was compiled from.
+[[nodiscard]] ExecutorFactory shared_layout_executor_factory(
+    std::shared_ptr<const ModelLayout> layout);
 
 }  // namespace amsvp::runtime

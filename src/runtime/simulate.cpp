@@ -50,4 +50,67 @@ TransientResult simulate_transient(ModelExecutor& compiled,
     return result;
 }
 
+SweepResult simulate_sweep(const abstraction::SignalFlowModel& model,
+                           const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
+                           const std::vector<SweepLane>& lanes, double duration_seconds) {
+    BatchCompiledModel batch(model, static_cast<int>(lanes.size()));
+    return simulate_sweep(batch, model.inputs, shared_stimuli, lanes, duration_seconds);
+}
+
+SweepResult simulate_sweep(BatchCompiledModel& batch,
+                           const std::vector<expr::Symbol>& input_symbols,
+                           const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
+                           const std::vector<SweepLane>& lanes, double duration_seconds) {
+    AMSVP_CHECK(!lanes.empty(), "sweep needs at least one lane");
+    AMSVP_CHECK(batch.batch() == static_cast<int>(lanes.size()),
+                "batch width must match the lane count");
+    batch.reset();
+    const double dt = batch.timestep();
+    AMSVP_CHECK(dt > 0.0, "model has no timestep");
+
+    // Per (input, lane) stimulus: the lane's own override or the shared one.
+    std::vector<const numeric::SourceFunction*> sources;
+    sources.reserve(input_symbols.size() * lanes.size());
+    for (const expr::Symbol& in : input_symbols) {
+        for (const SweepLane& lane : lanes) {
+            auto it = lane.stimuli.find(in.name);
+            if (it == lane.stimuli.end()) {
+                it = shared_stimuli.find(in.name);
+                AMSVP_CHECK(it != shared_stimuli.end(), "missing stimulus for model input");
+            }
+            sources.push_back(&it->second);
+        }
+    }
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+        for (const auto& [symbol, value] : lanes[l].overrides) {
+            batch.set_value(static_cast<int>(l), symbol, value);
+        }
+    }
+
+    const auto steps = static_cast<std::size_t>(duration_seconds / dt);
+    SweepResult result;
+    result.steps = steps;
+    result.outputs.assign(batch.output_count(),
+                          numeric::WaveformBatch(lanes.size(), dt, dt));
+    for (auto& w : result.outputs) {
+        w.reserve(steps);
+    }
+
+    const int nlanes = batch.batch();
+    for (std::size_t k = 0; k < steps; ++k) {
+        const double t = static_cast<double>(k + 1) * dt;
+        const numeric::SourceFunction* const* src = sources.data();
+        for (std::size_t i = 0; i < input_symbols.size(); ++i) {
+            for (int l = 0; l < nlanes; ++l) {
+                batch.set_input(l, i, (**src++)(t));
+            }
+        }
+        batch.step(t);
+        for (std::size_t o = 0; o < result.outputs.size(); ++o) {
+            result.outputs[o].append_frame(batch.output_lanes(o));
+        }
+    }
+    return result;
+}
+
 }  // namespace amsvp::runtime

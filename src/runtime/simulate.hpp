@@ -1,5 +1,7 @@
 // Convenience transient simulation of a signal-flow model under named
-// stimuli, tracing every output into a waveform.
+// stimuli, tracing every output into a waveform — plus the batched sweep
+// driver that runs many instances (parameter sweeps, Monte-Carlo corners)
+// through one fused instruction stream.
 #pragma once
 
 #include <map>
@@ -7,6 +9,7 @@
 
 #include "numeric/sources.hpp"
 #include "numeric/waveform.hpp"
+#include "runtime/batch_model.hpp"
 #include "runtime/compiled_model.hpp"
 
 namespace amsvp::runtime {
@@ -28,5 +31,40 @@ struct TransientResult {
 [[nodiscard]] TransientResult simulate_transient(
     ModelExecutor& executor, const std::vector<expr::Symbol>& input_symbols,
     const std::map<std::string, numeric::SourceFunction>& stimuli, double duration_seconds);
+
+/// One instance of a batched sweep. Anything not overridden falls back to
+/// the sweep's shared configuration, so a Monte-Carlo run only specifies
+/// what varies per lane.
+struct SweepLane {
+    /// Per-lane stimulus overrides by input name; inputs not listed use the
+    /// shared stimuli map.
+    std::map<std::string, numeric::SourceFunction> stimuli;
+    /// Per-lane symbol overrides (parameters / initial conditions), applied
+    /// to the symbol's current and history slots after reset.
+    std::map<expr::Symbol, double> overrides;
+};
+
+struct SweepResult {
+    /// outputs[o] holds every lane of model output o, frame per step.
+    std::vector<numeric::WaveformBatch> outputs;
+    std::size_t steps = 0;
+};
+
+/// Run all `lanes` for `duration_seconds` through one BatchCompiledModel:
+/// one compile, one strided slot file, per-lane stimuli and overrides,
+/// per-lane waveforms out. Sampling matches simulate_transient (t = dt,
+/// 2dt, ...), and each lane agrees bit-for-bit with a scalar CompiledModel
+/// run of the same configuration.
+[[nodiscard]] SweepResult simulate_sweep(
+    const abstraction::SignalFlowModel& model,
+    const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
+    const std::vector<SweepLane>& lanes, double duration_seconds);
+
+/// Same, reusing an existing batch instance (state is reset first; the
+/// batch width must equal lanes.size()).
+[[nodiscard]] SweepResult simulate_sweep(
+    BatchCompiledModel& batch, const std::vector<expr::Symbol>& input_symbols,
+    const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
+    const std::vector<SweepLane>& lanes, double duration_seconds);
 
 }  // namespace amsvp::runtime

@@ -305,7 +305,7 @@ void SpiceEngine::stamp_jacobian(const numeric::Vector& x, const numeric::Vector
                                  const std::vector<double>& input_values, double time_seconds,
                                  numeric::Matrix& j) {
     j.reset(size_, size_);
-    numeric::Vector x_fd;
+    numeric::Vector& x_fd = fd_x_scratch_;
     for (std::size_t r = 0; r < rows_.size(); ++r) {
         const Row& row = rows_[r];
         if (row.linear) {
@@ -346,22 +346,23 @@ bool SpiceEngine::substep(const std::vector<double>& input_values, double time_s
     AMSVP_CHECK(input_values.size() == inputs_.size(), "input value count mismatch");
     x_prev_ = x_;
 
-    numeric::Matrix jacobian;
-    numeric::Vector residual;
+    // Member scratch: the Newton loop re-stamps and refactorises every
+    // iteration (the paper's cost model) but allocates nothing once warm.
+    numeric::Matrix& jacobian = jacobian_scratch_;
+    numeric::Vector& residual = residual_scratch_;
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
         ++stats_.newton_iterations;
         evaluate_residual(x_, x_prev_, input_values, time_seconds, residual);
         stamp_jacobian(x_, x_prev_, input_values, time_seconds, jacobian);
 
-        auto lu = numeric::LuFactorization::factorise(jacobian);
         ++stats_.factorizations;
-        if (!lu) {
+        if (!lu_scratch_.refactorise(jacobian)) {
             return false;
         }
         for (double& v : residual) {
             v = -v;
         }
-        lu->solve_in_place(residual);  // residual now holds dx
+        lu_scratch_.solve_in_place(residual);  // residual now holds dx
         double dx_norm = 0.0;
         for (std::size_t i = 0; i < size_; ++i) {
             x_[i] += residual[i];

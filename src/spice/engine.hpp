@@ -21,6 +21,7 @@
 
 #include "expr/bytecode.hpp"
 #include "netlist/circuit.hpp"
+#include "numeric/lu.hpp"
 #include "numeric/matrix.hpp"
 #include "numeric/sources.hpp"
 #include "numeric/waveform.hpp"
@@ -118,6 +119,13 @@ private:
 
     numeric::Vector x_;
     numeric::Vector x_prev_;
+    /// Newton scratch, reused across iterations and steps (like the ELN
+    /// engine's member buffers): the per-step refactorisation is the paper's
+    /// cost model, the allocations around it are not.
+    numeric::Matrix jacobian_scratch_;
+    numeric::Vector residual_scratch_;
+    numeric::Vector fd_x_scratch_;
+    numeric::LuFactorization lu_scratch_;
     SpiceStats stats_;
 };
 

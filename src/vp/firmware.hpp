@@ -11,6 +11,8 @@ inline constexpr std::uint32_t kRamSize = 64 * 1024;
 inline constexpr std::uint32_t kApbBase = 0x10000000;
 inline constexpr std::uint32_t kUartBase = kApbBase + 0x0000;
 inline constexpr std::uint32_t kAdcBase = kApbBase + 0x1000;
+/// Periodic timer (kernel-backed platforms only; see vp::Timer).
+inline constexpr std::uint32_t kTimerBase = kApbBase + 0x2000;
 
 /// The smart-system application of the Table III experiments: continuously
 /// start ADC conversions, low-pass the samples with a 4-tap moving average,

@@ -16,6 +16,7 @@
 #include "vp/adc.hpp"
 #include "vp/assembler.hpp"
 #include "vp/cpu.hpp"
+#include "vp/timer.hpp"
 #include "vp/uart.hpp"
 
 namespace amsvp::vp {
@@ -256,6 +257,11 @@ PlatformResult run_kernel_platform(const PlatformConfig& config,
     }
 
     DigitalPlatform digital(config, program, std::move(probe));
+    // Kernel platforms expose a periodic timer peripheral; firmware enables
+    // it by writing a period + the enable bit (the default firmware leaves
+    // it off, so the memory map is the only difference to the pure-C++ run).
+    Timer timer(sim);
+    digital.apb.attach("timer", kTimerBase - kApbBase, 0x1000, timer);
     de::Clock cpu_clock(sim, "clk", config.cpu_period);
     CpuDeModule cpu_module(sim, cpu_clock, *digital.cpu, config.fidelity);
 
@@ -264,6 +270,7 @@ PlatformResult run_kernel_platform(const PlatformConfig& config,
     sim.run_until(de::from_seconds(duration));
     result.wall_seconds = elapsed(start);
     result.kernel = sim.stats();
+    result.timer_ticks = timer.ticks();
     digital.collect(result);
     return result;
 }

@@ -76,7 +76,8 @@ struct PlatformResult {
     std::uint64_t bus_reads = 0;
     std::uint64_t bus_writes = 0;
     std::uint64_t apb_transfers = 0;
-    de::KernelStats kernel;  ///< zeroed for the pure-C++ platform
+    std::uint64_t timer_ticks = 0;  ///< vp::Timer expirations (kernel platforms)
+    de::KernelStats kernel;         ///< zeroed for the pure-C++ platform
 };
 
 /// Build and run the platform for `duration` simulated seconds.

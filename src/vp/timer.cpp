@@ -1,0 +1,72 @@
+#include "vp/timer.hpp"
+
+namespace amsvp::vp {
+
+Timer::Timer(de::Simulator& sim, std::string name) : sim_(sim), tick_(sim, std::move(name)) {}
+
+std::uint32_t Timer::read32(std::uint32_t offset) {
+    switch (offset) {
+        case kCtrl:
+            return enabled_ ? 0x1 : 0x0;
+        case kPeriodNs:
+            return period_ns_;
+        case kStatus:
+            return pending_ ? 0x1 : 0x0;
+        case kCount:
+            return static_cast<std::uint32_t>(ticks_);
+        default:
+            return 0;
+    }
+}
+
+void Timer::write32(std::uint32_t offset, std::uint32_t value) {
+    switch (offset) {
+        case kCtrl:
+            if ((value & 0x1) != 0) {
+                // Idempotent while running: firmware poll loops may rewrite
+                // CTRL=1 every iteration. Disable first to latch a new
+                // period.
+                if (!enabled_) {
+                    enable();
+                }
+            } else {
+                disable();
+            }
+            break;
+        case kPeriodNs:
+            period_ns_ = value;  // latched on the next enable
+            break;
+        case kStatus:
+            pending_ = false;
+            break;
+        default:
+            break;
+    }
+}
+
+void Timer::enable() {
+    disable();
+    if (period_ns_ == 0) {
+        return;  // a zero period would flood the kernel; stay disabled
+    }
+    const de::Time period = static_cast<de::Time>(period_ns_) * de::kNanosecond;
+    enabled_ = true;
+    ticks_ = 0;
+    periodic_ = sim_.schedule_periodic(sim_.now() + period, period, [this] { tick(); });
+}
+
+void Timer::disable() {
+    if (periodic_ >= 0) {
+        sim_.cancel_periodic(periodic_);
+        periodic_ = -1;
+    }
+    enabled_ = false;
+}
+
+void Timer::tick() {
+    ++ticks_;
+    pending_ = true;
+    tick_.notify();
+}
+
+}  // namespace amsvp::vp

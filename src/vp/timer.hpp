@@ -1,0 +1,54 @@
+// Memory-mapped periodic timer peripheral of the virtual platform.
+//
+// Firmware programs a period (nanoseconds), sets the enable bit and polls
+// STATUS for the tick flag; DE-side modules can instead wait on
+// tick_event(). The device rides the kernel's schedule_periodic fast path:
+// its callback is registered once and re-armed by the kernel, so a running
+// timer performs no heap allocation in steady state — the same extension of
+// the periodic machinery as de::Event::notify_every.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "de/event.hpp"
+#include "de/kernel.hpp"
+#include "vp/bus.hpp"
+
+namespace amsvp::vp {
+
+class Timer final : public BusTarget {
+public:
+    static constexpr std::uint32_t kCtrl = 0x0;      ///< bit0: enable (0 disables)
+    static constexpr std::uint32_t kPeriodNs = 0x4;  ///< tick period in ns (latched on enable)
+    static constexpr std::uint32_t kStatus = 0x8;    ///< read: bit0 tick pending; write: clear
+    static constexpr std::uint32_t kCount = 0xC;     ///< ticks since the last enable
+
+    Timer(de::Simulator& sim, std::string name = "timer");
+    /// Cancels the kernel callback: a Timer may be torn down while its
+    /// simulator keeps running.
+    ~Timer() override { disable(); }
+
+    [[nodiscard]] std::uint32_t read32(std::uint32_t offset) override;
+    void write32(std::uint32_t offset, std::uint32_t value) override;
+
+    /// Fires every tick; DE processes subscribe via add_sensitive().
+    [[nodiscard]] de::Event& tick_event() { return tick_; }
+    [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+private:
+    void enable();
+    void disable();
+    void tick();
+
+    de::Simulator& sim_;
+    de::Event tick_;
+    std::uint32_t period_ns_ = 0;
+    bool enabled_ = false;
+    bool pending_ = false;
+    std::uint64_t ticks_ = 0;
+    de::PeriodicId periodic_ = -1;
+};
+
+}  // namespace amsvp::vp

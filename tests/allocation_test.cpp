@@ -6,8 +6,11 @@
 // their steady capacity — and then asserts that further steps allocate
 // nothing at all:
 //  * CompiledModel::step (fused and bytecode strategies),
+//  * BatchCompiledModel::step (the strided multi-instance hot loop),
 //  * a DE kernel running clocked models on the periodic fast path,
-//  * ElnEngine::step (RHS rebuild + LU back-substitution).
+//  * de::Event::notify_every and the vp::Timer periodic devices,
+//  * ElnEngine::step (RHS rebuild + LU back-substitution),
+//  * SpiceEngine::substep (Newton: residual, Jacobian, refactorisation).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -17,11 +20,15 @@
 #include "abstraction/abstraction.hpp"
 #include "backends/de_modules.hpp"
 #include "de/clock.hpp"
+#include "de/event.hpp"
 #include "de/kernel.hpp"
 #include "eln/engine.hpp"
 #include "netlist/builder.hpp"
 #include "numeric/sources.hpp"
+#include "runtime/batch_model.hpp"
 #include "runtime/compiled_model.hpp"
+#include "spice/engine.hpp"
+#include "vp/timer.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -135,6 +142,72 @@ TEST(AllocationFreeDe, PeriodicClockedModelActivation) {
     EXPECT_EQ(allocation_count() - before, 0u)
         << "DE periodic activation allocated in steady state";
     EXPECT_GT(sim.stats().timed_events, 40000u);  // the clock actually ran
+}
+
+TEST(AllocationFreeBatch, BatchModelStep) {
+    const auto model = ladder_model(20);
+    runtime::BatchCompiledModel batch(model, 8);
+    auto run = [&](int first, int steps) {
+        for (int k = first; k < first + steps; ++k) {
+            for (int l = 0; l < batch.batch(); ++l) {
+                batch.set_input(l, 0, (k + l) % 2 == 0 ? 1.0 : 0.0);
+            }
+            batch.step(static_cast<double>(k) * model.timestep);
+            (void)batch.output_lanes(0);
+        }
+    };
+    run(1, 64);  // warm-up
+
+    const std::uint64_t before = allocation_count();
+    run(65, 10000);
+    EXPECT_EQ(allocation_count() - before, 0u)
+        << "BatchCompiledModel::step allocated in steady state";
+}
+
+TEST(AllocationFreePeriodic, EventNotifyEveryAndTimer) {
+    // Both schedule_periodic clients added on top of the clock: a repeating
+    // event notification and the memory-mapped timer device must run their
+    // steady state without a single allocation.
+    de::Simulator sim;
+    de::Event ev(sim, "tick");
+    int wakes = 0;
+    const de::ProcessId p = sim.add_process("w", [&] { ++wakes; });
+    ev.add_sensitive(p);
+    ev.notify_every(10 * de::kNanosecond, 10 * de::kNanosecond);
+
+    vp::Timer timer(sim);
+    timer.write32(vp::Timer::kPeriodNs, 25);
+    timer.write32(vp::Timer::kCtrl, 1);
+
+    sim.run(10 * de::kMicrosecond);  // warm-up
+
+    const std::uint64_t before = allocation_count();
+    sim.run(100 * de::kMicrosecond);
+    EXPECT_EQ(allocation_count() - before, 0u)
+        << "periodic event/timer activity allocated in steady state";
+    EXPECT_GT(wakes, 10000);
+    EXPECT_GT(timer.ticks(), 4000u);
+}
+
+TEST(AllocationFreeSpice, NewtonSubstep) {
+    // The conservative engine refactorises every iteration by design; the
+    // buffers around that (residual, Jacobian, LU, FD scratch) are members
+    // and must stop allocating once warm.
+    const netlist::Circuit circuit = netlist::make_rc_ladder(8);
+    auto engine = spice::SpiceEngine::create(circuit, {});
+    ASSERT_TRUE(engine.has_value());
+    std::vector<double> inputs(engine->input_names().size(), 1.0);
+    const double h = engine->timestep() / 8.0;
+    for (int k = 1; k <= 16; ++k) {  // warm-up
+        ASSERT_TRUE(engine->substep(inputs, k * h));
+    }
+
+    const std::uint64_t before = allocation_count();
+    for (int k = 17; k <= 1016; ++k) {
+        ASSERT_TRUE(engine->substep(inputs, k * h));
+    }
+    EXPECT_EQ(allocation_count() - before, 0u)
+        << "SpiceEngine::substep allocated in steady state";
 }
 
 TEST(AllocationFreeEln, EngineStep) {

@@ -63,6 +63,66 @@ TEST(Event, MultipleSubscribersAllWake) {
     EXPECT_EQ(total, 3);
 }
 
+TEST(Event, NotifyEveryRepeats) {
+    Simulator sim;
+    Event ev(sim, "tick");
+    int activations = 0;
+    const ProcessId p = sim.add_process("watcher", [&] { ++activations; });
+    ev.add_sensitive(p);
+
+    ev.notify_every(10, 5);  // fires at 10, 15, 20, ...
+    sim.run_until(30);
+    EXPECT_EQ(activations, 5);
+    EXPECT_EQ(ev.notification_count(), 5u);
+}
+
+TEST(Event, CancelStopsRepeatingNotifications) {
+    Simulator sim;
+    Event ev(sim, "tick");
+    int activations = 0;
+    const ProcessId p = sim.add_process("watcher", [&] { ++activations; });
+    ev.add_sensitive(p);
+
+    ev.notify_every(10, 10);
+    sim.schedule_at(35, [&] { ev.cancel(); });
+    sim.run_until(100);
+    EXPECT_EQ(activations, 3);  // 10, 20, 30 — nothing after cancel
+
+    // A fresh repeating schedule after cancel works normally.
+    ev.notify_every(10, 10);
+    sim.run_until(125);
+    EXPECT_EQ(activations, 5);  // 110, 120
+}
+
+TEST(Event, RepeatedRescheduleKeepsKernelTaskTableBounded) {
+    // Re-tuning a repeating notification cancels and re-schedules; the
+    // kernel must recycle drained slots instead of growing its task table
+    // with every reconfiguration.
+    Simulator sim;
+    Event ev(sim, "tick");
+    const ProcessId p = sim.add_process("watcher", [] {});
+    ev.add_sensitive(p);
+
+    for (int i = 0; i < 100; ++i) {
+        ev.notify_every(1, 10);
+        sim.run(25);  // old cancelled entries drain, slots recycle
+    }
+    EXPECT_LE(sim.periodic_slot_count(), 2u);
+}
+
+TEST(Event, NotifyEveryReplacesPreviousSchedule) {
+    Simulator sim;
+    Event ev(sim, "tick");
+    int activations = 0;
+    const ProcessId p = sim.add_process("watcher", [&] { ++activations; });
+    ev.add_sensitive(p);
+
+    ev.notify_every(10, 10);
+    ev.notify_every(5, 100);  // replaces: only the new cadence fires
+    sim.run_until(110);
+    EXPECT_EQ(activations, 2);  // 5, 105
+}
+
 TEST(Tracing, SignalChangesLandInVcd) {
     Simulator sim;
     Signal<double> v(sim, "v", 0.0);

@@ -335,6 +335,46 @@ TEST(FusedCompiler, SelfReferentialAssignmentInvalidatesCache) {
     EXPECT_DOUBLE_EQ(fused.value_of(z), 4.0);
 }
 
+TEST(FusedCompiler, LivenessCompactionShrinksScratchOnRC20) {
+    // The liveness post-pass must recycle dead temporaries: on RC20 the
+    // compiler allocates far more single-assignment registers than can be
+    // live at once, and the compacted scratch area (replicated per lane in
+    // batch execution) has to come out strictly smaller.
+    const netlist::Circuit circuit = netlist::make_rc_ladder(20);
+    std::string error;
+    auto model = abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, {}, &error);
+    ASSERT_TRUE(model.has_value()) << error;
+    runtime::CompiledModel fused(*model, runtime::EvalStrategy::kFused);
+
+    const expr::FusedProgram& program = fused.fused_program();
+    EXPECT_LT(program.scratch_count(), program.uncompacted_scratch_count())
+        << program.describe();
+    EXPECT_GT(program.scratch_count(), 0);
+}
+
+TEST(FusedCompiler, CompactionKeepsConstantsStable) {
+    // Pooled constants live at the bottom of the scratch area for the whole
+    // program; reset() + steps must keep producing identical results (the
+    // constant pool is re-written on every reset).
+    const netlist::Circuit circuit = netlist::make_opamp();
+    std::string error;
+    auto model = abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, {}, &error);
+    ASSERT_TRUE(model.has_value()) << error;
+    runtime::CompiledModel fused(*model, runtime::EvalStrategy::kFused);
+
+    fused.set_input(0, 1.0);
+    for (int k = 1; k <= 50; ++k) {
+        fused.step(k * model->timestep);
+    }
+    const double first_run = fused.output(0);
+    fused.reset();
+    fused.set_input(0, 1.0);
+    for (int k = 1; k <= 50; ++k) {
+        fused.step(k * model->timestep);
+    }
+    EXPECT_EQ(fused.output(0), first_run);
+}
+
 TEST(FusedCompiler, ResetRestoresInitialValuesAndConstants) {
     SignalFlowModel m;
     m.name = "reset";

@@ -1,0 +1,97 @@
+// vp::Timer — the memory-mapped periodic timer peripheral riding the
+// kernel's schedule_periodic fast path.
+#include <gtest/gtest.h>
+
+#include "de/kernel.hpp"
+#include "vp/timer.hpp"
+
+namespace amsvp::vp {
+namespace {
+
+TEST(Timer, TicksAtProgrammedPeriod) {
+    de::Simulator sim;
+    Timer timer(sim);
+    timer.write32(Timer::kPeriodNs, 100);  // 100 ns
+    timer.write32(Timer::kCtrl, 1);
+    EXPECT_TRUE(timer.enabled());
+
+    sim.run_until(1000 * de::kNanosecond);
+    EXPECT_EQ(timer.ticks(), 10u);
+    EXPECT_EQ(timer.read32(Timer::kCount), 10u);
+    EXPECT_EQ(timer.read32(Timer::kStatus), 1u);  // tick pending
+}
+
+TEST(Timer, StatusWriteClearsPendingFlag) {
+    de::Simulator sim;
+    Timer timer(sim);
+    timer.write32(Timer::kPeriodNs, 50);
+    timer.write32(Timer::kCtrl, 1);
+
+    sim.run_until(60 * de::kNanosecond);
+    ASSERT_EQ(timer.read32(Timer::kStatus), 1u);
+    timer.write32(Timer::kStatus, 0);
+    EXPECT_EQ(timer.read32(Timer::kStatus), 0u);
+    // The flag re-arms on the next expiration.
+    sim.run(50 * de::kNanosecond);
+    EXPECT_EQ(timer.read32(Timer::kStatus), 1u);
+}
+
+TEST(Timer, DisableStopsTicking) {
+    de::Simulator sim;
+    Timer timer(sim);
+    timer.write32(Timer::kPeriodNs, 100);
+    timer.write32(Timer::kCtrl, 1);
+    sim.run_until(250 * de::kNanosecond);
+    ASSERT_EQ(timer.ticks(), 2u);
+
+    timer.write32(Timer::kCtrl, 0);
+    EXPECT_FALSE(timer.enabled());
+    sim.run_until(1000 * de::kNanosecond);
+    EXPECT_EQ(timer.ticks(), 2u);
+}
+
+TEST(Timer, ZeroPeriodStaysDisabled) {
+    de::Simulator sim;
+    Timer timer(sim);
+    timer.write32(Timer::kCtrl, 1);  // no period programmed
+    EXPECT_FALSE(timer.enabled());
+    sim.run_until(1000 * de::kNanosecond);
+    EXPECT_EQ(timer.ticks(), 0u);
+}
+
+TEST(Timer, TickEventWakesSensitiveProcesses) {
+    de::Simulator sim;
+    Timer timer(sim);
+    int wakes = 0;
+    const de::ProcessId p = sim.add_process("isr", [&] { ++wakes; });
+    timer.tick_event().add_sensitive(p);
+
+    timer.write32(Timer::kPeriodNs, 200);
+    timer.write32(Timer::kCtrl, 1);
+    sim.run_until(1000 * de::kNanosecond);
+    EXPECT_EQ(wakes, 5);
+}
+
+TEST(Timer, ReenableRestartsCount) {
+    de::Simulator sim;
+    Timer timer(sim);
+    timer.write32(Timer::kPeriodNs, 100);
+    timer.write32(Timer::kCtrl, 1);
+    sim.run_until(300 * de::kNanosecond);
+    ASSERT_EQ(timer.read32(Timer::kCount), 3u);
+
+    // CTRL=1 while running is a no-op (poll loops rewrite it freely); a new
+    // period is latched by the disable/enable pair.
+    timer.write32(Timer::kPeriodNs, 200);
+    timer.write32(Timer::kCtrl, 1);
+    sim.run(100 * de::kNanosecond);
+    EXPECT_EQ(timer.read32(Timer::kCount), 4u);  // still on the 100 ns cadence
+
+    timer.write32(Timer::kCtrl, 0);
+    timer.write32(Timer::kCtrl, 1);
+    sim.run(400 * de::kNanosecond);
+    EXPECT_EQ(timer.read32(Timer::kCount), 2u);
+}
+
+}  // namespace
+}  // namespace amsvp::vp
