@@ -18,11 +18,18 @@ beyond `--history-tolerance` (default 10%) are flagged as warnings, or as
 failures with `--strict-history`. This catches gradual drift that a
 single-run threshold never sees.
 
+Additional bench outputs (e.g. BENCH_table1.json from
+`bench_table1_isolation --json`) can be folded into the same history
+append/regression check with `--extra-json <path>` (repeatable): their
+metrics carry no single-run thresholds, but drift against the best
+recorded run is flagged exactly like the micro-bench metrics.
+
 Exits non-zero on violation, so it can gate CI (wired as the optional
 `bench_perf_check` ctest, enabled with -DAMSVP_BENCH_TESTS=ON).
 
 Usage:
     compare.py BENCH_micro.json [--min-speedup 2.0] [--circuits RC20,OA]
+               [--extra-json BENCH_table1.json]
                [--history BENCH_history.jsonl] [--strict-history]
 """
 
@@ -136,6 +143,9 @@ def main():
                         help="required batch-vs-scalar per-lane speedup (default: 2.0)")
     parser.add_argument("--batch-floor-lanes", type=int, default=8,
                         help="enforce the batch floor at widths >= this (default: 8)")
+    parser.add_argument("--extra-json", action="append", default=[],
+                        help="additional bench JSON (e.g. BENCH_table1.json) folded into "
+                             "the history tracking; no single-run thresholds applied")
     parser.add_argument("--history", default=None,
                         help="JSONL file: append this run, flag regressions vs the best run")
     parser.add_argument("--history-tolerance", type=float, default=0.10,
@@ -186,8 +196,20 @@ def main():
         if enforced and speedup < args.min_batch_speedup:
             failures += 1
 
+    tracked = list(results)
+    for path in args.extra_json:
+        try:
+            extra = load_results(path)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"error: cannot read extra json {path}: {err}", file=sys.stderr)
+            failures += 1
+            continue
+        if not extra:
+            print(f"WARN: no results in extra json {path}")
+        tracked.extend(extra)
+
     if args.history:
-        failures += check_history(results, args.history, args.history_tolerance,
+        failures += check_history(tracked, args.history, args.history_tolerance,
                                   args.strict_history)
 
     return 1 if failures else 0

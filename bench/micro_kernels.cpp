@@ -9,7 +9,11 @@
 //
 //  * batched multi-instance execution — BatchCompiledModel (one fused
 //    stream, strided slot file, SIMD across lanes) vs N independent
-//    CompiledModel instances on RC20: per-lane ns/step per batch width.
+//    CompiledModel instances on RC20: per-lane ns/step per batch width;
+//
+//  * the DE kernel's periodic machinery — schedule_periodic,
+//    Event::notify_every and the memory-mapped vp::Timer device: ns per
+//    periodic tick including the heap re-arm and delta-cycle plumbing.
 //
 // Self-timed (steady_clock, calibrated batch counts) — no external
 // benchmark dependency. `--json <path>` emits machine-readable results
@@ -21,9 +25,12 @@
 #include <random>
 
 #include "bench_common.hpp"
+#include "de/event.hpp"
+#include "de/kernel.hpp"
 #include "numeric/lu.hpp"
 #include "runtime/batch_model.hpp"
 #include "runtime/compiled_model.hpp"
+#include "vp/timer.hpp"
 
 namespace {
 
@@ -206,6 +213,50 @@ int main(int argc, char** argv) {
             report.add({{"name", "batch_sweep"}, {"circuit", "RC20"}, {"mode", "batch"}},
                        {{"lanes", static_cast<double>(lanes)},
                         {"ns_per_step_per_lane", batch_ns}});
+        }
+        std::printf("\n");
+    }
+
+    // Periodic kernel machinery: one tick of each periodic primitive —
+    // schedule_periodic (the allocation-free fast path itself), a
+    // notify_every Event waking a sensitive process, and the vp::Timer
+    // device (bus-programmed, event + status flag per tick). Each fn()
+    // advances the kernel by exactly one period, so the number is ns per
+    // tick including heap re-arm and delta-cycle processing.
+    {
+        std::printf("%-22s %14s\n", "periodic tick", "ns/tick");
+        const de::Time period = de::from_seconds(1e-6);
+
+        {
+            de::Simulator sim;
+            std::uint64_t ticks = 0;
+            sim.schedule_periodic(period, period, [&] { ++ticks; });
+            const double ns = time_ns([&] { sim.run(period); });
+            std::printf("%-22s %14.1f\n", "schedule_periodic", ns);
+            report.add({{"name", "periodic_tick"}, {"kernel", "schedule_periodic"}},
+                       {{"ns_per_tick", ns}});
+        }
+        {
+            de::Simulator sim;
+            std::uint64_t wakeups = 0;
+            const de::ProcessId pid = sim.add_process("counter", [&] { ++wakeups; });
+            de::Event event(sim, "tick");
+            event.add_sensitive(pid);
+            event.notify_every(period, period);
+            const double ns = time_ns([&] { sim.run(period); });
+            std::printf("%-22s %14.1f\n", "event_notify_every", ns);
+            report.add({{"name", "periodic_tick"}, {"kernel", "event_notify_every"}},
+                       {{"ns_per_tick", ns}});
+        }
+        {
+            de::Simulator sim;
+            vp::Timer timer(sim);
+            timer.write32(vp::Timer::kPeriodNs, 1000);  // 1 us
+            timer.write32(vp::Timer::kCtrl, 1);         // enable
+            const double ns = time_ns([&] { sim.run(period); });
+            std::printf("%-22s %14.1f\n", "vp_timer", ns);
+            report.add({{"name", "periodic_tick"}, {"kernel", "vp_timer"}},
+                       {{"ns_per_tick", ns}});
         }
         std::printf("\n");
     }

@@ -2,10 +2,21 @@
 # JSON output, then enforce the speedup thresholds via bench/compare.py.
 # Invoked as:
 #   cmake -DBENCH_EXE=... -DPYTHON_EXE=... -DCOMPARE_PY=... -DJSON_OUT=...
-#         -P run_perf_check.cmake
+#         [-DTABLE1_EXE=... -DTABLE1_JSON=...] -P run_perf_check.cmake
 execute_process(COMMAND ${BENCH_EXE} --json ${JSON_OUT} RESULT_VARIABLE bench_rc)
 if(NOT bench_rc EQUAL 0)
   message(FATAL_ERROR "bench_micro_kernels failed (rc=${bench_rc})")
+endif()
+
+# Optionally run the Table 1 backend bench too: its per-step numbers carry
+# no single-run threshold but are tracked in the same history gate.
+set(extra_args "")
+if(TABLE1_EXE)
+  execute_process(COMMAND ${TABLE1_EXE} --json ${TABLE1_JSON} RESULT_VARIABLE table1_rc)
+  if(NOT table1_rc EQUAL 0)
+    message(FATAL_ERROR "bench_table1_isolation failed (rc=${table1_rc})")
+  endif()
+  set(extra_args --extra-json ${TABLE1_JSON})
 endif()
 
 # The history file accumulates one JSONL line per run next to the JSON
@@ -13,6 +24,7 @@ endif()
 cmake_path(GET JSON_OUT PARENT_PATH json_dir)
 execute_process(COMMAND ${PYTHON_EXE} ${COMPARE_PY} ${JSON_OUT}
                         --history ${json_dir}/BENCH_history.jsonl
+                        ${extra_args}
                 RESULT_VARIABLE compare_rc)
 if(NOT compare_rc EQUAL 0)
   message(FATAL_ERROR "perf threshold check failed (rc=${compare_rc})")

@@ -11,6 +11,13 @@
 // platform. In-tree simulation of DE/TDF backends does not go through
 // generated text: the kernels execute the SignalFlowModel directly, so
 // backend benchmarks compare kernel overhead, not codegen fidelity.
+//
+// All three emitters render the *fused register-machine program* — the same
+// mid-level IR the in-process interpreter executes — not the raw expression
+// trees. Generated code therefore carries constant folding, cross-assignment
+// CSE, multiply-add superinstructions and linear-combination FMA chains, and
+// (compiled with -ffp-contract=off) reproduces EvalStrategy::kFused
+// bit-for-bit.
 #pragma once
 
 #include <string>
@@ -32,6 +39,12 @@ struct CodegenOptions {
     std::string type_name;
     /// Emit a doc-comment header with provenance information.
     bool header_comment = true;
+    /// C++ target only: emit a `double slot_value(int) const` accessor that
+    /// exposes the model's slot file (runtime ModelLayout order), so a
+    /// compiled generated model can be compared against the in-process
+    /// fused interpreter slot-for-slot. Also forces the `_abstime` member
+    /// so the time slot is observable.
+    bool slot_accessor = false;
 };
 
 /// Generate source text for the requested target.

@@ -9,7 +9,6 @@
 #include <fstream>
 
 #include "codegen/codegen.hpp"
-#include "codegen/emit_common.hpp"
 #include "runtime/compiled_model.hpp"
 #include "support/check.hpp"
 
@@ -27,20 +26,23 @@ std::string unique_stem() {
 std::string wrapper_source(const abstraction::SignalFlowModel& model) {
     CodegenOptions options;
     options.type_name = "amsvp_native_model";
+    options.slot_accessor = true;
     std::string src = emit_cpp(model, options);
     src += "\nnamespace { amsvp_native_model g_model; }\n";
     src += "\nextern \"C\" void amsvp_reset() { g_model = amsvp_native_model(); }\n";
     src += "\nextern \"C\" void amsvp_step(const double* inputs, double t, double* outputs) {\n";
-    const detail::ModelLayout layout = detail::build_layout(model, options.type_name);
-    for (std::size_t i = 0; i < layout.inputs.size(); ++i) {
-        src += "    g_model." + layout.inputs[i] + " = inputs[" + std::to_string(i) + "];\n";
+    for (std::size_t i = 0; i < model.inputs.size(); ++i) {
+        src += "    g_model." + model.inputs[i].identifier() + " = inputs[" +
+               std::to_string(i) + "];\n";
     }
     src += "    g_model.step(t);\n";
-    for (std::size_t i = 0; i < layout.outputs.size(); ++i) {
+    for (std::size_t i = 0; i < model.outputs.size(); ++i) {
         src += "    outputs[" + std::to_string(i) + "] = g_model.output" + std::to_string(i) +
                "();\n";
     }
     src += "}\n";
+    src += "\nextern \"C\" double amsvp_slot(int i) { return g_model.slot_value(i); }\n";
+    src += "\nextern \"C\" int amsvp_slot_count() { return amsvp_native_model::slot_count; }\n";
     return src;
 }
 
@@ -75,7 +77,8 @@ std::unique_ptr<NativeModel> NativeModel::compile(const abstraction::SignalFlowM
         out << wrapper_source(model);
     }
     // -ffp-contract=off keeps the native arithmetic bit-identical to the
-    // bytecode interpreter (each operation rounds separately).
+    // in-process interpreters (each operation rounds separately; the amsvp
+    // library itself builds with the same flag).
     const std::string cmd = "c++ -std=c++17 -O2 -ffp-contract=off -shared -fPIC -o " +
                             so_path + " " + src_path + " 2> " + stem + ".log";
     if (std::system(cmd.c_str()) != 0) {
@@ -100,7 +103,11 @@ std::unique_ptr<NativeModel> NativeModel::compile(const abstraction::SignalFlowM
     native->handle_ = handle;
     native->reset_fn_ = reinterpret_cast<ResetFn>(::dlsym(handle, "amsvp_reset"));
     native->step_fn_ = reinterpret_cast<StepFn>(::dlsym(handle, "amsvp_step"));
-    if (native->reset_fn_ == nullptr || native->step_fn_ == nullptr) {
+    native->slot_fn_ = reinterpret_cast<SlotFn>(::dlsym(handle, "amsvp_slot"));
+    native->slot_count_fn_ =
+        reinterpret_cast<SlotCountFn>(::dlsym(handle, "amsvp_slot_count"));
+    if (native->reset_fn_ == nullptr || native->step_fn_ == nullptr ||
+        native->slot_fn_ == nullptr || native->slot_count_fn_ == nullptr) {
         if (error != nullptr) {
             *error = "generated shared object lacks the expected entry points";
         }

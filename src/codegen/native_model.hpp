@@ -36,15 +36,27 @@ public:
     [[nodiscard]] std::size_t output_count() const override { return outputs_.size(); }
     [[nodiscard]] double timestep() const override { return timestep_; }
 
+    /// Model slots of the generated code (== runtime ModelLayout's
+    /// model_slot_count() for the same model): generated models expose
+    /// their slot file so tests can compare them against the fused
+    /// interpreter slot-for-slot.
+    [[nodiscard]] int model_slot_count() const { return slot_count_fn_(); }
+    /// Value of model slot `i` (runtime ModelLayout slot order).
+    [[nodiscard]] double slot_value(int i) const { return slot_fn_(i); }
+
 private:
     NativeModel() = default;
 
     using ResetFn = void (*)();
     using StepFn = void (*)(const double*, double, double*);
+    using SlotFn = double (*)(int);
+    using SlotCountFn = int (*)();
 
     void* handle_ = nullptr;
     ResetFn reset_fn_ = nullptr;
     StepFn step_fn_ = nullptr;
+    SlotFn slot_fn_ = nullptr;
+    SlotCountFn slot_count_fn_ = nullptr;
     std::vector<double> inputs_;
     std::vector<double> outputs_;
     double timestep_ = 0.0;

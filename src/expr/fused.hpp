@@ -147,6 +147,13 @@ public:
     [[nodiscard]] const std::vector<FusedInstr>& instructions() const { return code_; }
     [[nodiscard]] const std::vector<LinTerm>& lin_terms() const { return lin_terms_; }
 
+    /// The constant pool as (slot, value) pairs. Consumers that re-render
+    /// the program textually (the codegen emitters) inline these as
+    /// literals instead of materializing pool slots.
+    [[nodiscard]] const std::vector<std::pair<std::int32_t, double>>& constants() const {
+        return const_pool_;
+    }
+
     /// Number of instructions with opcode `op` (fusion statistics, tests).
     [[nodiscard]] std::size_t count_op(FusedOp op) const;
 

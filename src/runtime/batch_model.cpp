@@ -81,6 +81,32 @@ const double* BatchCompiledModel::output_lanes(std::size_t index) const {
     return slots_.data() + at(layout_->output_slots()[index], 0);
 }
 
+void BatchCompiledModel::compact_lanes(const std::vector<int>& keep) {
+    AMSVP_CHECK(!keep.empty(), "compact_lanes needs at least one surviving lane");
+    for (std::size_t j = 0; j < keep.size(); ++j) {
+        AMSVP_CHECK(keep[j] >= 0 && keep[j] < batch_, "kept lane out of range");
+        AMSVP_CHECK(j == 0 || keep[j] > keep[j - 1], "kept lanes must be strictly ascending");
+    }
+    const int old_batch = batch_;
+    const int new_batch = static_cast<int>(keep.size());
+    if (new_batch == old_batch) {
+        return;  // nothing retired
+    }
+    // Forward re-stride is safe in place: the write index i*new + j never
+    // exceeds the read index i*old + keep[j] (new <= old, j <= keep[j]),
+    // and both advance monotonically.
+    const std::size_t slot_count = slots_.size() / static_cast<std::size_t>(old_batch);
+    for (std::size_t i = 0; i < slot_count; ++i) {
+        const double* src = slots_.data() + i * static_cast<std::size_t>(old_batch);
+        double* dst = slots_.data() + i * static_cast<std::size_t>(new_batch);
+        for (int j = 0; j < new_batch; ++j) {
+            dst[j] = src[keep[static_cast<std::size_t>(j)]];
+        }
+    }
+    batch_ = new_batch;
+    slots_.resize(slot_count * static_cast<std::size_t>(new_batch));
+}
+
 double BatchCompiledModel::value_of(int lane, const expr::Symbol& symbol) const {
     AMSVP_CHECK(lane >= 0 && lane < batch_, "lane out of range");
     return slots_[at(layout_->slot_for(symbol, 0), lane)];

@@ -62,6 +62,14 @@ public:
     /// Value of an arbitrary model symbol on one lane (testing).
     [[nodiscard]] double value_of(int lane, const expr::Symbol& symbol) const;
 
+    /// Shrink the batch in place to the lanes in `keep` (strictly
+    /// ascending current lane indices). Every kept lane's state is
+    /// preserved exactly — the slot file is re-strided with one forward
+    /// pass, no reallocation — so stepping continues bit-for-bit for the
+    /// survivors. This is how sweeps retire lanes that reached steady
+    /// state without paying for them on every subsequent step.
+    void compact_lanes(const std::vector<int>& keep);
+
     [[nodiscard]] const std::shared_ptr<const ModelLayout>& layout() const { return layout_; }
 
 private:

@@ -54,6 +54,12 @@ public:
     /// Value of an arbitrary model symbol at the current step (testing).
     [[nodiscard]] double value_of(const expr::Symbol& symbol) const;
 
+    /// Raw slot value (testing: slot-for-slot differentials against
+    /// generated code, which exposes the same layout via slot_value()).
+    [[nodiscard]] double slot_value(int slot) const {
+        return slots_.at(static_cast<std::size_t>(slot));
+    }
+
     [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
 
     /// The shared compile artifact (pass to more instances to reuse it).

@@ -79,6 +79,7 @@ std::shared_ptr<const ModelLayout> ModelLayout::compile(const SignalFlowModel& m
         }
         l.time_slot_ = l.layout_.at(time).base;
     }
+    l.model_slot_count_ = slot_count;
 
     // Pass 3: compile assignments.
     const expr::SlotResolver resolver = [&l](const Symbol& s, int delay) {

@@ -53,6 +53,19 @@ public:
     /// Slots one instance occupies: model slots plus fused scratch.
     [[nodiscard]] std::size_t slot_count() const { return slot_count_; }
 
+    /// Slots holding model symbols (inputs, targets, history, $abstime) —
+    /// everything below the fused scratch area. Generated code renders
+    /// these as named variables and the scratch slots as locals, so a
+    /// generated model and the fused interpreter are comparable
+    /// slot-for-slot over this prefix.
+    [[nodiscard]] std::size_t model_slot_count() const { return model_slot_count_; }
+
+    /// The full symbol -> slots map (codegen emitters, diagnostics).
+    [[nodiscard]] const std::unordered_map<expr::Symbol, SymbolSlots, expr::SymbolHash>&
+    symbol_slots() const {
+        return layout_;
+    }
+
     [[nodiscard]] std::size_t input_count() const { return input_slots_.size(); }
     [[nodiscard]] std::size_t output_count() const { return output_slots_.size(); }
     [[nodiscard]] const std::vector<int>& input_slots() const { return input_slots_; }
@@ -87,6 +100,7 @@ private:
     EvalStrategy strategy_ = EvalStrategy::kFused;
     double timestep_ = 0.0;
     std::size_t slot_count_ = 0;
+    std::size_t model_slot_count_ = 0;
     expr::FusedProgram fused_;
     std::unordered_map<expr::Symbol, SymbolSlots, expr::SymbolHash> layout_;
     std::vector<CompiledAssignment> assignments_;

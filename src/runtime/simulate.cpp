@@ -1,5 +1,8 @@
 #include "runtime/simulate.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "support/check.hpp"
 
 namespace amsvp::runtime {
@@ -52,15 +55,30 @@ TransientResult simulate_transient(ModelExecutor& compiled,
 
 SweepResult simulate_sweep(const abstraction::SignalFlowModel& model,
                            const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
-                           const std::vector<SweepLane>& lanes, double duration_seconds) {
+                           const std::vector<SweepLane>& lanes, double duration_seconds,
+                           const SweepOptions& options) {
     BatchCompiledModel batch(model, static_cast<int>(lanes.size()));
-    return simulate_sweep(batch, model.inputs, shared_stimuli, lanes, duration_seconds);
+    return simulate_sweep(batch, model.inputs, shared_stimuli, lanes, duration_seconds,
+                          options);
 }
+
+namespace {
+
+/// True when the move from `prev` to `value` is within the steady band. A
+/// diverged (non-finite) value is never steady: |inf - x| <= inf would
+/// otherwise retire a blown-up lane as "settled".
+bool within_steady_band(double value, double prev, double tolerance) {
+    return std::isfinite(value) &&
+           std::fabs(value - prev) <= tolerance * std::max(1.0, std::fabs(value));
+}
+
+}  // namespace
 
 SweepResult simulate_sweep(BatchCompiledModel& batch,
                            const std::vector<expr::Symbol>& input_symbols,
                            const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
-                           const std::vector<SweepLane>& lanes, double duration_seconds) {
+                           const std::vector<SweepLane>& lanes, double duration_seconds,
+                           const SweepOptions& options) {
     AMSVP_CHECK(!lanes.empty(), "sweep needs at least one lane");
     AMSVP_CHECK(batch.batch() == static_cast<int>(lanes.size()),
                 "batch width must match the lane count");
@@ -88,26 +106,123 @@ SweepResult simulate_sweep(BatchCompiledModel& batch,
     }
 
     const auto steps = static_cast<std::size_t>(duration_seconds / dt);
+    const std::size_t n_lanes = lanes.size();
+    const std::size_t n_outputs = batch.output_count();
     SweepResult result;
     result.steps = steps;
-    result.outputs.assign(batch.output_count(),
-                          numeric::WaveformBatch(lanes.size(), dt, dt));
+    result.settled_at.assign(n_lanes, steps);
+    result.outputs.assign(n_outputs, numeric::WaveformBatch(n_lanes, dt, dt));
     for (auto& w : result.outputs) {
         w.reserve(steps);
     }
 
-    const int nlanes = batch.batch();
+    const bool detect = options.steady_tolerance > 0.0;
+    if (detect) {
+        AMSVP_CHECK(options.steady_window >= 1, "steady_window must be at least one step");
+    }
+    if (!detect) {
+        const int nlanes = batch.batch();
+        for (std::size_t k = 0; k < steps; ++k) {
+            const double t = static_cast<double>(k + 1) * dt;
+            const numeric::SourceFunction* const* src = sources.data();
+            for (std::size_t i = 0; i < input_symbols.size(); ++i) {
+                for (int l = 0; l < nlanes; ++l) {
+                    batch.set_input(l, i, (**src++)(t));
+                }
+            }
+            batch.step(t);
+            for (std::size_t o = 0; o < n_outputs; ++o) {
+                result.outputs[o].append_frame(batch.output_lanes(o));
+            }
+        }
+        return result;
+    }
+
+    // Steady-state detection: lanes that settle are retired and the batch
+    // compacts in place, so the per-step cost tracks the *surviving* lane
+    // count. `origin[pos]` maps a current batch position back to its sweep
+    // lane; retired lanes' frames hold the settled value.
+    std::vector<int> origin(n_lanes);
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+        origin[l] = static_cast<int>(l);
+    }
+    std::vector<std::vector<double>> frame(n_outputs, std::vector<double>(n_lanes, 0.0));
+    /// Streak anchor: each output's value when the lane's current quiet
+    /// streak started. Comparing against the anchor (not the previous
+    /// step) bounds the total drift over the whole window by the steady
+    /// band — a merely slow transient (per-step move below tolerance but
+    /// steadily accumulating) cannot false-settle.
+    std::vector<std::vector<double>> anchor(n_outputs, std::vector<double>(n_lanes, 0.0));
+    std::vector<int> quiet_steps(n_lanes, 0);  ///< consecutive in-band steps per sweep lane
+    std::vector<int> keep;                     ///< scratch for compact_lanes
+
     for (std::size_t k = 0; k < steps; ++k) {
         const double t = static_cast<double>(k + 1) * dt;
-        const numeric::SourceFunction* const* src = sources.data();
+        const int active = batch.batch();
         for (std::size_t i = 0; i < input_symbols.size(); ++i) {
-            for (int l = 0; l < nlanes; ++l) {
-                batch.set_input(l, i, (**src++)(t));
+            const numeric::SourceFunction* const* row = sources.data() + i * n_lanes;
+            for (int pos = 0; pos < active; ++pos) {
+                batch.set_input(pos, i, (*row[origin[static_cast<std::size_t>(pos)]])(t));
             }
         }
         batch.step(t);
-        for (std::size_t o = 0; o < result.outputs.size(); ++o) {
-            result.outputs[o].append_frame(batch.output_lanes(o));
+        for (std::size_t o = 0; o < n_outputs; ++o) {
+            const double* values = batch.output_lanes(o);
+            for (int pos = 0; pos < active; ++pos) {
+                frame[o][static_cast<std::size_t>(origin[static_cast<std::size_t>(pos)])] =
+                    values[pos];
+            }
+            result.outputs[o].append_frame(frame[o].data());
+        }
+
+        // Settle check against the streak anchor (first step only seeds it).
+        bool any_settled = false;
+        for (int pos = 0; pos < active; ++pos) {
+            const auto lane = static_cast<std::size_t>(origin[static_cast<std::size_t>(pos)]);
+            bool quiet = k > 0;
+            for (std::size_t o = 0; quiet && o < n_outputs; ++o) {
+                quiet = within_steady_band(frame[o][lane], anchor[o][lane],
+                                           options.steady_tolerance);
+            }
+            if (quiet) {
+                ++quiet_steps[lane];
+            } else {
+                quiet_steps[lane] = 0;
+                for (std::size_t o = 0; o < n_outputs; ++o) {
+                    anchor[o][lane] = frame[o][lane];
+                }
+            }
+            if (quiet_steps[lane] >= options.steady_window) {
+                result.settled_at[lane] = k + 1;
+                any_settled = true;
+            }
+        }
+        if (!any_settled) {
+            continue;
+        }
+        keep.clear();
+        for (int pos = 0; pos < active; ++pos) {
+            if (result.settled_at[static_cast<std::size_t>(
+                    origin[static_cast<std::size_t>(pos)])] == steps) {
+                keep.push_back(pos);
+            }
+        }
+        if (keep.empty()) {
+            // Everything settled: pad the remaining samples with the held
+            // frames so waveform lengths stay uniform, and stop stepping.
+            for (std::size_t pad = k + 1; pad < steps; ++pad) {
+                for (std::size_t o = 0; o < n_outputs; ++o) {
+                    result.outputs[o].append_frame(frame[o].data());
+                }
+            }
+            break;
+        }
+        if (static_cast<int>(keep.size()) < active) {
+            batch.compact_lanes(keep);
+            for (std::size_t j = 0; j < keep.size(); ++j) {
+                origin[j] = origin[static_cast<std::size_t>(keep[j])];
+            }
+            origin.resize(keep.size());
         }
     }
     return result;

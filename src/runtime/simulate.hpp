@@ -48,6 +48,26 @@ struct SweepResult {
     /// outputs[o] holds every lane of model output o, frame per step.
     std::vector<numeric::WaveformBatch> outputs;
     std::size_t steps = 0;
+    /// Step at which each lane was retired by steady-state detection
+    /// (`steps` when the lane ran to the end or detection was off). A
+    /// retired lane's remaining samples hold its settled value.
+    std::vector<std::size_t> settled_at;
+};
+
+/// Convergence helpers for simulate_sweep.
+struct SweepOptions {
+    /// > 0 enables per-lane steady-state detection: a lane settles once
+    /// every output stays within `steady_tolerance * max(1, |value|)` of
+    /// its value at the start of the quiet streak for `steady_window`
+    /// consecutive steps (a window-span check, so a slow but steady drift
+    /// cannot false-settle). Settled lanes are retired —
+    /// the batch is compacted in place (BatchCompiledModel::compact_lanes)
+    /// so surviving lanes keep full SIMD throughput — and their waveforms
+    /// hold the settled value. Detection only pays off for stimuli that
+    /// actually settle (decay / step responses); periodic stimuli never
+    /// trigger it.
+    double steady_tolerance = 0.0;
+    int steady_window = 8;
 };
 
 /// Run all `lanes` for `duration_seconds` through one BatchCompiledModel:
@@ -58,13 +78,16 @@ struct SweepResult {
 [[nodiscard]] SweepResult simulate_sweep(
     const abstraction::SignalFlowModel& model,
     const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
-    const std::vector<SweepLane>& lanes, double duration_seconds);
+    const std::vector<SweepLane>& lanes, double duration_seconds,
+    const SweepOptions& options = {});
 
 /// Same, reusing an existing batch instance (state is reset first; the
-/// batch width must equal lanes.size()).
+/// batch width must equal lanes.size()). Note: steady-state detection may
+/// compact `batch` in place — re-create or re-compile it before reuse.
 [[nodiscard]] SweepResult simulate_sweep(
     BatchCompiledModel& batch, const std::vector<expr::Symbol>& input_symbols,
     const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
-    const std::vector<SweepLane>& lanes, double duration_seconds);
+    const std::vector<SweepLane>& lanes, double duration_seconds,
+    const SweepOptions& options = {});
 
 }  // namespace amsvp::runtime

@@ -74,8 +74,9 @@ int main() {
 }
 )";
     }
-    // -ffp-contract=off: the in-process bytecode VM performs each operation
-    // separately, so the generated expression must not be FMA-contracted.
+    // -ffp-contract=off: the in-process interpreters round each operation
+    // separately (the library builds with the same flag), so the generated
+    // expressions must not be FMA-contracted either.
     const std::string compile_cmd = "c++ -std=c++17 -O2 -ffp-contract=off -o " + binary + " " +
                                     driver + " 2> " + dir + "/cc.log";
     EXPECT_EQ(std::system(compile_cmd.c_str()), 0) << "generated code failed to compile";
@@ -107,11 +108,12 @@ TEST_P(GeneratedVsRuntime, SamplesMatchExactly) {
     const std::string printed = compile_and_run(code, "gen_model", kSamples);
 
     // Reference: the in-process runtime on the same model and stimulus,
-    // pinned to the stack bytecode — the generated C++ mirrors the
-    // expression tree, while the fused register machine may reassociate.
+    // running the fused register machine — the generated C++ renders the
+    // very same FusedProgram IR, so ("%.17e" round-trips doubles exactly)
+    // every sample must match bit-for-bit.
     auto reference = runtime::simulate_transient(
         *model, {{"u0", numeric::sine_wave(1000.0)}},
-        kSamples * model->timestep, runtime::EvalStrategy::kBytecode);
+        kSamples * model->timestep, runtime::EvalStrategy::kFused);
     ASSERT_EQ(reference.outputs.front().size(), static_cast<std::size_t>(kSamples));
 
     std::istringstream lines(printed);
@@ -121,11 +123,7 @@ TEST_P(GeneratedVsRuntime, SamplesMatchExactly) {
         ASSERT_LT(k, kSamples);
         const double generated_value = std::strtod(line.c_str(), nullptr);
         const double runtime_value = reference.outputs.front().value(static_cast<std::size_t>(k));
-        // Identical inputs and operations up to compiler instruction
-        // selection: allow a few ulps.
-        ASSERT_NEAR(generated_value, runtime_value,
-                    1e-12 * std::max(1.0, std::fabs(runtime_value)))
-            << "sample " << k;
+        ASSERT_EQ(generated_value, runtime_value) << "sample " << k;
         ++k;
     }
     EXPECT_EQ(k, kSamples);
@@ -148,11 +146,11 @@ TEST(GeneratedCode, OpampModelCompilesAndSettles) {
     constexpr int kSamples = 10000;
     const std::string printed = compile_and_run(code, "gen_model", kSamples);
 
-    // Compare the final sample against the in-process runtime under the
-    // same 1 kHz sine stimulus.
+    // Compare the final sample against the in-process fused runtime under
+    // the same 1 kHz sine stimulus (exact: same IR, "%.17e" round-trip).
     auto reference = runtime::simulate_transient(*model, {{"u0", numeric::sine_wave(1000.0)}},
                                                  kSamples * model->timestep,
-                                                 runtime::EvalStrategy::kBytecode);
+                                                 runtime::EvalStrategy::kFused);
     std::istringstream lines(printed);
     std::string line;
     std::string last;
@@ -163,8 +161,7 @@ TEST(GeneratedCode, OpampModelCompilesAndSettles) {
     }
     ASSERT_FALSE(last.empty());
     const double expected = reference.outputs.front().samples().back();
-    EXPECT_NEAR(std::strtod(last.c_str(), nullptr), expected,
-                1e-12 * std::max(1.0, std::fabs(expected)));
+    EXPECT_EQ(std::strtod(last.c_str(), nullptr), expected);
 }
 
 }  // namespace

@@ -1,10 +1,18 @@
 // Native execution: generated C++ compiled to a shared object and loaded at
-// runtime must behave exactly like the bytecode interpreter.
+// runtime must behave exactly like the in-process fused interpreter — the
+// emitters render the same FusedProgram IR the interpreter executes, and
+// both sides build with -ffp-contract=off, so traces (and the whole model
+// slot file) must match bit-for-bit, not just to tolerance.
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
 
 #include "abstraction/abstraction.hpp"
 #include "codegen/native_model.hpp"
+#include "expr/fused.hpp"
 #include "netlist/builder.hpp"
+#include "random_models.hpp"
 #include "runtime/simulate.hpp"
 
 namespace amsvp::codegen {
@@ -18,42 +26,167 @@ abstraction::SignalFlowModel ladder_model(int stages) {
     return std::move(*model);
 }
 
-class NativeVsBytecode : public ::testing::TestWithParam<int> {};
+/// Bit-for-bit trace comparison of the native-compiled generated code and
+/// the fused interpreter under the given stimuli.
+void expect_native_matches_fused(const abstraction::SignalFlowModel& model,
+                                 const std::map<std::string, numeric::SourceFunction>& stimuli,
+                                 double duration) {
+    std::string error;
+    auto native = NativeModel::compile(model, &error);
+    ASSERT_NE(native, nullptr) << error;
+    runtime::CompiledModel fused(model, runtime::EvalStrategy::kFused);
 
-TEST_P(NativeVsBytecode, TracesAreBitIdentical) {
+    auto native_run = runtime::simulate_transient(*native, model.inputs, stimuli, duration);
+    auto fused_run = runtime::simulate_transient(fused, model.inputs, stimuli, duration);
+
+    ASSERT_EQ(native_run.outputs.size(), fused_run.outputs.size());
+    for (std::size_t o = 0; o < native_run.outputs.size(); ++o) {
+        const auto& n = native_run.outputs[o];
+        const auto& f = fused_run.outputs[o];
+        ASSERT_EQ(n.size(), f.size());
+        for (std::size_t k = 0; k < n.size(); ++k) {
+            // Exact: generated code renders the fused instruction stream.
+            ASSERT_EQ(n.value(k), f.value(k)) << "output " << o << " sample " << k;
+        }
+    }
+}
+
+class NativeVsFused : public ::testing::TestWithParam<int> {};
+
+TEST_P(NativeVsFused, TracesAreBitIdentical) {
     if (!native_compilation_available()) {
         GTEST_SKIP() << "no C++ compiler in PATH";
     }
     const auto model = ladder_model(GetParam());
+    expect_native_matches_fused(model, {{"u0", numeric::square_wave(1e-3)}}, 5e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ladders, NativeVsFused, ::testing::Values(1, 2, 5, 20));
+
+// The acceptance differential: >= 10 random linear models, generated C++
+// vs EvalStrategy::kFused, bit-for-bit.
+class RandomModelDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomModelDifferential, GeneratedCodeMatchesFusedBitForBit) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    const auto random = testing_support::make_random_rc(GetParam() + 7000);
+    abstraction::AbstractionOptions options;
+    options.timestep = 1e-7;
     std::string error;
-    auto native = NativeModel::compile(model, &error);
-    ASSERT_NE(native, nullptr) << error;
+    auto model = abstraction::abstract_circuit(random.circuit,
+                                               {{random.observed_node, "gnd"}}, options,
+                                               &error);
+    ASSERT_TRUE(model.has_value()) << error << "\n" << random.circuit.describe();
+    expect_native_matches_fused(*model, {{"u0", numeric::sine_wave(25e3)}}, 2e-4);
+}
 
-    // Pinned to the stack bytecode: the fused register machine may reassociate
-    // (e.g. linear combinations), while the generated C++ mirrors the tree.
-    runtime::CompiledModel bytecode(model, runtime::EvalStrategy::kBytecode);
-    ASSERT_EQ(native->input_count(), bytecode.input_count());
-    ASSERT_EQ(native->output_count(), bytecode.output_count());
-    ASSERT_DOUBLE_EQ(native->timestep(), bytecode.timestep());
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelDifferential, ::testing::Range(1u, 13u));
 
-    const auto stimuli = std::map<std::string, numeric::SourceFunction>{
-        {"u0", numeric::square_wave(1e-3)}};
-    auto native_run =
-        runtime::simulate_transient(*native, model.inputs, stimuli, 5e-4);
-    auto bytecode_run =
-        runtime::simulate_transient(bytecode, model.inputs, stimuli, 5e-4);
+TEST(NativeModel, SlotFileMatchesFusedSlotForSlot) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    const auto model = ladder_model(3);
+    auto native = NativeModel::compile(model);
+    ASSERT_NE(native, nullptr);
+    runtime::CompiledModel fused(model, runtime::EvalStrategy::kFused);
 
-    const auto& n = native_run.outputs.front();
-    const auto& b = bytecode_run.outputs.front();
-    ASSERT_EQ(n.size(), b.size());
-    for (std::size_t k = 0; k < n.size(); ++k) {
-        // -ffp-contract=off in the native build keeps every operation
-        // individually rounded, matching the interpreter exactly.
-        ASSERT_DOUBLE_EQ(n.value(k), b.value(k)) << "sample " << k;
+    // The generated struct exposes the same model-slot prefix the runtime
+    // layout allocates (named variables in slot order, scratch excluded).
+    const int model_slots = static_cast<int>(fused.layout()->model_slot_count());
+    ASSERT_EQ(native->model_slot_count(), model_slots);
+
+    const auto stimulus = numeric::sine_wave(1000.0);
+    const double dt = model.timestep;
+    for (int k = 1; k <= 500; ++k) {
+        const double t = k * dt;
+        native->set_input(0, stimulus(t));
+        fused.set_input(0, stimulus(t));
+        native->step(t);
+        fused.step(t);
+        for (int s = 0; s < model_slots; ++s) {
+            ASSERT_EQ(native->slot_value(s), fused.slot_value(s))
+                << "slot " << s << " at step " << k;
+        }
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Ladders, NativeVsBytecode, ::testing::Values(1, 2, 5, 20));
+// A model built to hit the linear-combination superinstruction hard: wide
+// affine assignments over inputs and state history. Verifies the emitters
+// reproduce kLinComb (the one reassociating op) exactly.
+TEST(NativeModel, LinCombHeavyModelMatchesFused) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    using expr::Expr;
+    const expr::Symbol u0 = expr::input_symbol("u0");
+    const expr::Symbol u1 = expr::input_symbol("u1");
+    const expr::Symbol u2 = expr::input_symbol("u2");
+    const expr::Symbol y{expr::SymbolKind::kVariable, "y"};
+    const expr::Symbol z{expr::SymbolKind::kVariable, "z"};
+
+    abstraction::SignalFlowModel model;
+    model.name = "lincomb_heavy";
+    model.timestep = 1e-6;
+    model.inputs = {u0, u1, u2};
+    // y := 0.75*y' + 0.25*u0 - 0.5*u1 + 0.125*u2 + 3.5
+    model.assignments.push_back(
+        {y, Expr::add(
+                Expr::add(Expr::add(Expr::mul(Expr::constant(0.75), Expr::delayed(y, 1)),
+                                    Expr::mul(Expr::constant(0.25), Expr::symbol(u0))),
+                          Expr::sub(Expr::mul(Expr::constant(0.125), Expr::symbol(u2)),
+                                    Expr::mul(Expr::constant(0.5), Expr::symbol(u1)))),
+                Expr::constant(3.5))});
+    // z := 2*y - 0.0625*u0 + 0.03125*u1 - 7*z'
+    model.assignments.push_back(
+        {z, Expr::sub(
+                Expr::add(Expr::mul(Expr::constant(2.0), Expr::symbol(y)),
+                          Expr::sub(Expr::mul(Expr::constant(0.03125), Expr::symbol(u1)),
+                                    Expr::mul(Expr::constant(0.0625), Expr::symbol(u0)))),
+                Expr::mul(Expr::constant(7.0), Expr::delayed(z, 1)))});
+    model.outputs = {z};
+    model.initial_values[y] = 0.25;
+    ASSERT_TRUE(model.validate().empty());
+
+    // The fused compile must actually use the superinstruction, otherwise
+    // this test exercises nothing.
+    runtime::CompiledModel fused(model, runtime::EvalStrategy::kFused);
+    EXPECT_GE(fused.fused_program().count_op(expr::FusedOp::kLinComb), 2u);
+
+    expect_native_matches_fused(model,
+                                {{"u0", numeric::sine_wave(1000.0)},
+                                 {"u1", numeric::sine_wave(2500.0)},
+                                 {"u2", numeric::square_wave(1e-3)}},
+                                5e-3);
+}
+
+// A delayed *input* reference makes the input symbol a state variable too;
+// the emitters must not declare it twice (the runtime handles the same
+// model through input history slots).
+TEST(NativeModel, DelayedInputModelMatchesFused) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    using expr::Expr;
+    const expr::Symbol u0 = expr::input_symbol("u0");
+    const expr::Symbol y{expr::SymbolKind::kVariable, "y"};
+
+    abstraction::SignalFlowModel model;
+    model.name = "fir_taps";
+    model.timestep = 1e-6;
+    model.inputs = {u0};
+    // y := 0.5*u0 + 0.3*u0' + 0.2*u0'' (a small FIR — input history only).
+    model.assignments.push_back(
+        {y, Expr::add(Expr::add(Expr::mul(Expr::constant(0.5), Expr::symbol(u0)),
+                                Expr::mul(Expr::constant(0.3), Expr::delayed(u0, 1))),
+                      Expr::mul(Expr::constant(0.2), Expr::delayed(u0, 2)))});
+    model.outputs = {y};
+    ASSERT_TRUE(model.validate().empty());
+
+    expect_native_matches_fused(model, {{"u0", numeric::sine_wave(1000.0)}}, 5e-3);
+}
 
 TEST(NativeModel, ResetRestoresInitialState) {
     if (!native_compilation_available()) {

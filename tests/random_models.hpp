@@ -1,0 +1,68 @@
+// Shared random-model generation for property-based tests: random linear
+// RC networks (random_circuit_test) and the generated-code differential
+// suite (native_model_test) draw from the same distribution.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace amsvp::testing_support {
+
+struct RandomCircuit {
+    netlist::Circuit circuit;
+    std::string observed_node;
+};
+
+/// Random RC network: a random tree of resistors grown from the driven
+/// node, random capacitors to ground, plus a few chord resistors closing
+/// loops. Always connected, always has a source, never degenerate.
+inline RandomCircuit make_random_rc(unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> node_count_dist(2, 8);
+    std::uniform_real_distribution<double> r_dist(100.0, 50e3);
+    std::uniform_real_distribution<double> c_dist(1e-9, 200e-9);
+    std::bernoulli_distribution coin(0.5);
+
+    netlist::CircuitBuilder cb("rand" + std::to_string(seed));
+    cb.ground("gnd");
+    cb.voltage_source("VIN", "n0", "gnd", "u0");
+
+    const int extra_nodes = node_count_dist(rng);
+    int next_r = 0;
+    int next_c = 0;
+    std::vector<std::string> nodes{"n0"};
+    for (int i = 1; i <= extra_nodes; ++i) {
+        const std::string name = "n" + std::to_string(i);
+        std::uniform_int_distribution<std::size_t> pick(0, nodes.size() - 1);
+        cb.resistor("R" + std::to_string(next_r++), nodes[pick(rng)], name, r_dist(rng));
+        // Every node needs a DC path to ground through the tree; give each a
+        // capacitor (state) or a bleed resistor.
+        if (coin(rng)) {
+            cb.capacitor("C" + std::to_string(next_c++), name, "gnd", c_dist(rng));
+        } else {
+            cb.resistor("R" + std::to_string(next_r++), name, "gnd", r_dist(rng));
+        }
+        nodes.push_back(name);
+    }
+    // A couple of chords to create non-trivial loops (and KVL equations).
+    std::uniform_int_distribution<std::size_t> pick(0, nodes.size() - 1);
+    for (int i = 0; i < 2 && nodes.size() > 2; ++i) {
+        const std::string a = nodes[pick(rng)];
+        const std::string b = nodes[pick(rng)];
+        if (a != b && !cb.peek().find_branch_between(*cb.peek().find_node(a),
+                                                     *cb.peek().find_node(b))) {
+            cb.resistor("R" + std::to_string(next_r++), a, b, r_dist(rng));
+        }
+    }
+
+    RandomCircuit out{cb.build(), nodes.back()};
+    EXPECT_TRUE(out.circuit.validate().empty());
+    return out;
+}
+
+}  // namespace amsvp::testing_support

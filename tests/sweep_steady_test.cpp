@@ -1,0 +1,151 @@
+// Per-lane steady-state detection in simulate_sweep: lanes that settle are
+// retired early and the batch compacts in place, without changing any
+// surviving lane's results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abstraction/abstraction.hpp"
+#include "netlist/builder.hpp"
+#include "runtime/simulate.hpp"
+
+namespace amsvp::runtime {
+namespace {
+
+abstraction::SignalFlowModel ladder_model(int stages, double timestep = 0.0) {
+    const netlist::Circuit circuit = netlist::make_rc_ladder(stages);
+    abstraction::AbstractionOptions options;
+    if (timestep > 0.0) {
+        options.timestep = timestep;
+    }
+    std::string error;
+    auto model = abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, options, &error);
+    EXPECT_TRUE(model.has_value()) << error;
+    return std::move(*model);
+}
+
+TEST(BatchCompaction, KeptLanesContinueBitForBit) {
+    const auto model = ladder_model(2);
+    const auto layout = ModelLayout::compile(model, EvalStrategy::kFused);
+    const double dt = model.timestep;
+
+    // Reference: four scalar instances with distinct constant inputs.
+    std::vector<CompiledModel> scalars;
+    for (int l = 0; l < 4; ++l) {
+        scalars.emplace_back(layout);
+        scalars.back().set_input(0, 0.25 * (l + 1));
+    }
+    BatchCompiledModel batch(layout, 4);
+    for (int l = 0; l < 4; ++l) {
+        batch.set_input(l, 0, 0.25 * (l + 1));
+    }
+
+    for (int k = 1; k <= 100; ++k) {
+        const double t = k * dt;
+        batch.step(t);
+        for (auto& m : scalars) {
+            m.step(t);
+        }
+    }
+    // Retire lanes 1 and 2; survivors keep their exact state.
+    batch.compact_lanes({0, 3});
+    ASSERT_EQ(batch.batch(), 2);
+    EXPECT_EQ(batch.output(0, 0), scalars[0].output(0));
+    EXPECT_EQ(batch.output(1, 0), scalars[3].output(0));
+
+    batch.set_input(0, 0, 0.25);
+    batch.set_input(1, 0, 1.0);
+    for (int k = 101; k <= 200; ++k) {
+        const double t = k * dt;
+        batch.step(t);
+        scalars[0].step(t);
+        scalars[3].step(t);
+        ASSERT_EQ(batch.output(0, 0), scalars[0].output(0)) << "step " << k;
+        ASSERT_EQ(batch.output(1, 0), scalars[3].output(0)) << "step " << k;
+    }
+}
+
+TEST(BatchCompaction, RejectsUnorderedLanes) {
+    const auto model = ladder_model(1);
+    BatchCompiledModel batch(model, 3);
+    EXPECT_DEATH(batch.compact_lanes({2, 1}), "ascending");
+}
+
+TEST(SweepSteadyState, Rc20DecayRetiresLanesEarly) {
+    // Coarse timestep (backward Euler is unconditionally stable): the
+    // ladder's slowest mode decays in a few hundred steps instead of
+    // millions at the 50 ns paper timestep.
+    const auto model = ladder_model(20, 1e-3);
+    const auto states = model.state_symbols();
+    ASSERT_FALSE(states.empty());
+
+    // Zero input, per-lane initial charge on every capacitor: pure decay,
+    // lanes with smaller initial amplitude settle (to tolerance) sooner.
+    constexpr int kLanes = 6;
+    std::vector<SweepLane> lanes(kLanes);
+    for (int l = 0; l < kLanes; ++l) {
+        const double amplitude = 1e-3 * std::pow(10.0, l);
+        for (const expr::Symbol& s : states) {
+            lanes[static_cast<std::size_t>(l)].overrides[s] = amplitude;
+        }
+    }
+    const std::map<std::string, numeric::SourceFunction> stimuli{
+        {"u0", [](double) { return 0.0; }}};
+    const double duration = 1500 * model.timestep;
+
+    SweepOptions options;
+    options.steady_tolerance = 1e-6;
+    options.steady_window = 16;
+    const SweepResult detected =
+        simulate_sweep(model, stimuli, lanes, duration, options);
+    const SweepResult full = simulate_sweep(model, stimuli, lanes, duration);
+
+    ASSERT_EQ(detected.steps, full.steps);
+    ASSERT_EQ(detected.settled_at.size(), static_cast<std::size_t>(kLanes));
+    ASSERT_EQ(full.settled_at, std::vector<std::size_t>(kLanes, full.steps));
+
+    // Decay settles every lane well before the full duration, and lanes
+    // with less initial charge must not settle later than hotter ones.
+    for (int l = 0; l < kLanes; ++l) {
+        EXPECT_LT(detected.settled_at[static_cast<std::size_t>(l)], detected.steps)
+            << "lane " << l << " never settled";
+    }
+    EXPECT_LE(detected.settled_at.front(), detected.settled_at.back());
+
+    // Early exit must not disturb results: samples match the full run
+    // exactly while a lane is live, and hold within the steady band after.
+    for (std::size_t o = 0; o < full.outputs.size(); ++o) {
+        for (int l = 0; l < kLanes; ++l) {
+            const std::size_t retired = detected.settled_at[static_cast<std::size_t>(l)];
+            for (std::size_t k = 0; k < full.steps; ++k) {
+                const double expected = full.outputs[o].value(static_cast<std::size_t>(l), k);
+                const double actual =
+                    detected.outputs[o].value(static_cast<std::size_t>(l), k);
+                if (k < retired) {
+                    ASSERT_EQ(actual, expected) << "lane " << l << " step " << k;
+                } else {
+                    // The held value sits inside the steady band of the
+                    // still-decaying reference.
+                    ASSERT_NEAR(actual, expected, 1e-3) << "lane " << l << " step " << k;
+                }
+            }
+        }
+    }
+}
+
+TEST(SweepSteadyState, PeriodicStimulusNeverRetiresLanes) {
+    const auto model = ladder_model(1);
+    std::vector<SweepLane> lanes(3);
+    const std::map<std::string, numeric::SourceFunction> stimuli{
+        {"u0", numeric::sine_wave(1000.0)}};
+    SweepOptions options;
+    options.steady_tolerance = 1e-9;
+    const SweepResult result =
+        simulate_sweep(model, stimuli, lanes, 2000 * model.timestep, options);
+    for (const std::size_t settled : result.settled_at) {
+        EXPECT_EQ(settled, result.steps);
+    }
+}
+
+}  // namespace
+}  // namespace amsvp::runtime
