@@ -10,7 +10,12 @@ and enforces two floors:
   * batch-execution speedup: at every measured batch width >=
     `--batch-floor-lanes` (default 8), BatchCompiledModel's per-lane
     ns/step must be at least `--min-batch-speedup` (default 2.0) times
-    better than N independent CompiledModel instances.
+    better than N independent CompiledModel instances;
+  * worker-pool sweep speedup: at batch widths >= `--threads-floor-lanes`
+    (default 32) the sharded simulate_sweep must deliver at least
+    `--min-threads-speedup` (default 2.0) times the single-threaded
+    aggregate throughput — enforced only when the recorded host has >= 4
+    hardware threads (informational otherwise, e.g. on a 1-core CI box).
 
 With `--history <path>` every run is appended to a JSONL file and each
 metric is compared against the best value ever recorded there: regressions
@@ -65,11 +70,28 @@ def batch_sweep_table(results):
     return table
 
 
+def threaded_sweep_table(results):
+    """(lanes, mode) -> per-lane ns/step of the whole sweep."""
+    table = {}
+    for entry in results:
+        if entry.get("name") != "batch_sweep_threads":
+            continue
+        table[(int(entry["lanes"]), entry["mode"])] = float(entry["ns_per_step_per_lane"])
+    return table
+
+
+def hardware_threads(results):
+    for entry in results:
+        if entry.get("name") == "host_info":
+            return int(entry.get("hardware_threads", 1))
+    return 1
+
+
 def metric_key(entry):
     """Stable identity of one measured series: its string labels."""
     labels = sorted((k, v) for k, v in entry.items() if isinstance(v, str))
-    # lanes / n are parameters, not measurements — part of the identity.
-    for param in ("lanes", "n"):
+    # lanes / n / threads are parameters, not measurements — part of the identity.
+    for param in ("lanes", "n", "threads"):
         if param in entry:
             labels.append((param, str(int(entry[param]))))
     return json.dumps(labels)
@@ -143,6 +165,10 @@ def main():
                         help="required batch-vs-scalar per-lane speedup (default: 2.0)")
     parser.add_argument("--batch-floor-lanes", type=int, default=8,
                         help="enforce the batch floor at widths >= this (default: 8)")
+    parser.add_argument("--min-threads-speedup", type=float, default=2.0,
+                        help="required worker-pool-vs-single sweep speedup (default: 2.0)")
+    parser.add_argument("--threads-floor-lanes", type=int, default=32,
+                        help="enforce the worker-pool floor at widths >= this (default: 32)")
     parser.add_argument("--extra-json", action="append", default=[],
                         help="additional bench JSON (e.g. BENCH_table1.json) folded into "
                              "the history tracking; no single-run thresholds applied")
@@ -194,6 +220,31 @@ def main():
         print(f"batch x{lanes}: scalar {scalar:.1f} ns/step/lane, "
               f"batch {batched:.1f} ns/step/lane, speedup {speedup:.2f}x ({floor}) [{status}]")
         if enforced and speedup < args.min_batch_speedup:
+            failures += 1
+
+    threaded = threaded_sweep_table(results)
+    cores = hardware_threads(results)
+    for lanes in sorted({lanes for lanes, _ in threaded}):
+        single = threaded.get((lanes, "single"))
+        pool = threaded.get((lanes, "pool"))
+        if single is None:
+            print(f"error: missing batch_sweep_threads single result at x{lanes}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        if pool is None:
+            # A 1-core host never measures the pool arm; nothing to gate.
+            print(f"threads x{lanes}: single {single:.1f} ns/step/lane, "
+                  f"no pool measurement ({cores} hardware thread(s)) [skipped]")
+            continue
+        speedup = single / pool
+        enforced = lanes >= args.threads_floor_lanes and cores >= 4
+        status = "ok" if (not enforced or speedup >= args.min_threads_speedup) else "FAIL"
+        floor = (f"required >= {args.min_threads_speedup:.2f}x" if enforced
+                 else f"informational, {cores} hardware thread(s)")
+        print(f"threads x{lanes}: single {single:.1f} ns/step/lane, "
+              f"pool {pool:.1f} ns/step/lane, speedup {speedup:.2f}x ({floor}) [{status}]")
+        if enforced and speedup < args.min_threads_speedup:
             failures += 1
 
     tracked = list(results)

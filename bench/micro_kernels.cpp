@@ -30,6 +30,8 @@
 #include "numeric/lu.hpp"
 #include "runtime/batch_model.hpp"
 #include "runtime/compiled_model.hpp"
+#include "runtime/simulate.hpp"
+#include "support/thread_pool.hpp"
 #include "vp/timer.hpp"
 
 namespace {
@@ -105,6 +107,25 @@ void check_strategies_agree(const bench::BenchCircuit& c) {
             }
         }
     }
+}
+
+/// ns per call for whole-sweep-sized workloads: calibrated towards ~0.3 s
+/// of wall time but with a floor of only 3 calls — one call here is a full
+/// multi-millisecond sweep, not a nanosecond kernel.
+double time_whole_ns(const std::function<void()>& fn) {
+    fn();  // warm-up
+    auto probe_start = Clock::now();
+    fn();
+    const double per_call =
+        std::chrono::duration<double, std::nano>(Clock::now() - probe_start).count();
+    const long reps = std::max<long>(3, static_cast<long>(0.3e9 / std::max(per_call, 1.0)));
+    auto start = Clock::now();
+    for (long i = 0; i < reps; ++i) {
+        fn();
+    }
+    const double total =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+    return total / static_cast<double>(reps);
 }
 
 numeric::Matrix random_spd(std::size_t n, unsigned seed) {
@@ -213,6 +234,75 @@ int main(int argc, char** argv) {
             report.add({{"name", "batch_sweep"}, {"circuit", "RC20"}, {"mode", "batch"}},
                        {{"lanes", static_cast<double>(lanes)},
                         {"ns_per_step_per_lane", batch_ns}});
+        }
+        std::printf("\n");
+    }
+
+    // Worker-pool sharded sweeps: aggregate throughput of a full
+    // simulate_sweep (inputs, stepping, waveform capture, shard merge) at
+    // wide batches, single-thread vs the worker pool. Results are
+    // bit-identical at any thread count (tests/threaded_sweep_test.cpp),
+    // so this is a pure scaling number; compare.py enforces a >= 2x floor
+    // at batch >= 32 when the host has >= 4 hardware threads.
+    {
+        const int hw = support::ThreadPool::hardware_threads();
+        const int pool_threads = std::min(4, hw);
+        std::printf("%-22s %6s %8s %18s %10s\n", "batch_sweep_threads", "lanes", "threads",
+                    "sweep ns/st/lane", "speedup");
+        report.add({{"name", "host_info"}}, {{"hardware_threads", static_cast<double>(hw)}});
+
+        const auto circuits = bench::paper_circuits();
+        const bench::BenchCircuit* rc20 = nullptr;
+        for (const bench::BenchCircuit& c : circuits) {
+            if (c.name == "RC20") {
+                rc20 = &c;
+            }
+        }
+        if (rc20 == nullptr) {
+            std::fprintf(stderr, "batch_sweep_threads: RC20 missing from paper_circuits()\n");
+            return 1;
+        }
+        const double dt = rc20->model.timestep;
+        constexpr std::size_t kSteps = 2000;
+        const double duration = static_cast<double>(kSteps) * dt;
+        const auto layout = runtime::ModelLayout::compile(rc20->model);
+
+        for (const int lanes : {32, 64}) {
+            std::vector<runtime::SweepLane> sweep_lanes(static_cast<std::size_t>(lanes));
+            for (int l = 0; l < lanes; ++l) {
+                sweep_lanes[static_cast<std::size_t>(l)].stimuli["u0"] =
+                    numeric::square_wave(1e-3, 0.0, 0.5 + 0.05 * static_cast<double>(l));
+            }
+            runtime::BatchCompiledModel batch(layout, lanes);
+            double single_ns = 0.0;
+            for (const int threads : {1, pool_threads}) {
+                runtime::SweepOptions options;
+                options.threads = threads;
+                const double sweep_ns = time_whole_ns([&] {
+                    const auto result = runtime::simulate_sweep(
+                        batch, rc20->model.inputs, {}, sweep_lanes, duration, options);
+                    if (result.steps != kSteps) {
+                        std::fprintf(stderr, "batch_sweep_threads: bad step count\n");
+                        std::exit(1);
+                    }
+                });
+                const double per_lane_step =
+                    sweep_ns / static_cast<double>(kSteps) / static_cast<double>(lanes);
+                if (threads == 1) {
+                    single_ns = per_lane_step;
+                }
+                std::printf("%-22s %6d %8d %18.1f %9.2fx\n", "", lanes, threads,
+                            per_lane_step, single_ns / per_lane_step);
+                report.add({{"name", "batch_sweep_threads"},
+                            {"circuit", "RC20"},
+                            {"mode", threads == 1 ? "single" : "pool"}},
+                           {{"lanes", static_cast<double>(lanes)},
+                            {"threads", static_cast<double>(threads)},
+                            {"ns_per_step_per_lane", per_lane_step}});
+                if (pool_threads == 1) {
+                    break;  // no point measuring the pool path twice
+                }
+            }
         }
         std::printf("\n");
     }

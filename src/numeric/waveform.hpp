@@ -76,6 +76,13 @@ public:
     /// Extract one lane as a standalone Waveform (copies).
     [[nodiscard]] Waveform waveform(std::size_t lane) const;
 
+    /// One frame's `lanes()` samples, lane-contiguous — the zero-copy read
+    /// counterpart of append_frame (sharded sweeps merge per-shard rows
+    /// with one copy per frame instead of a per-sample scatter).
+    [[nodiscard]] const double* frame_data(std::size_t frame) const {
+        return data_.data() + frame * lanes_;
+    }
+
 private:
     std::size_t lanes_ = 0;
     double step_ = 0.0;

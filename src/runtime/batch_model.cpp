@@ -7,8 +7,29 @@
 
 namespace amsvp::runtime {
 
+std::vector<BatchCompiledModel::LaneRange> BatchCompiledModel::shard_lanes(int lanes,
+                                                                           int max_shards) {
+    AMSVP_CHECK(lanes >= 1, "shard_lanes needs at least one lane");
+    AMSVP_CHECK(max_shards >= 1, "shard_lanes needs at least one shard");
+    // Distribute whole lane chunks as evenly as possible; the last shard
+    // absorbs the sub-chunk tail.
+    const int chunks = (lanes + kLaneChunk - 1) / kLaneChunk;
+    const int shards = std::min(max_shards, chunks);
+    std::vector<LaneRange> ranges;
+    ranges.reserve(static_cast<std::size_t>(shards));
+    int chunk_begin = 0;
+    for (int s = 0; s < shards; ++s) {
+        const int chunk_count = chunks / shards + (s < chunks % shards ? 1 : 0);
+        const int begin = chunk_begin * kLaneChunk;
+        const int end = std::min((chunk_begin + chunk_count) * kLaneChunk, lanes);
+        ranges.push_back(LaneRange{begin, end - begin});
+        chunk_begin += chunk_count;
+    }
+    return ranges;
+}
+
 BatchCompiledModel::BatchCompiledModel(std::shared_ptr<const ModelLayout> layout, int batch)
-    : layout_(std::move(layout)), batch_(batch) {
+    : layout_(std::move(layout)), batch_(batch), constructed_batch_(batch) {
     AMSVP_CHECK(layout_ != nullptr, "BatchCompiledModel needs a layout");
     AMSVP_CHECK(batch_ >= 1, "batch needs at least one lane");
     AMSVP_CHECK(layout_->strategy() == EvalStrategy::kFused,
@@ -21,6 +42,13 @@ BatchCompiledModel::BatchCompiledModel(const abstraction::SignalFlowModel& model
     : BatchCompiledModel(ModelLayout::compile(model, EvalStrategy::kFused), batch) {}
 
 void BatchCompiledModel::reset() {
+    // Undo any compact_lanes narrowing: a reused batch object must run the
+    // width it was constructed with, not whatever the previous sweep
+    // happened to retire down to.
+    if (batch_ != constructed_batch_) {
+        batch_ = constructed_batch_;
+        slots_.resize(layout_->slot_count() * static_cast<std::size_t>(batch_));
+    }
     std::fill(slots_.begin(), slots_.end(), 0.0);
     for (const auto& [slot, value] : layout_->initial_values()) {
         double* lane = slots_.data() + at(slot, 0);

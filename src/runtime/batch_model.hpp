@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "abstraction/signal_flow_model.hpp"
 #include "runtime/model_layout.hpp"
@@ -24,6 +25,27 @@ namespace amsvp::runtime {
 
 class BatchCompiledModel {
 public:
+    /// One contiguous chunk of sweep lanes, [begin, begin + count). The
+    /// worker-pool sweep builds one BatchCompiledModel per range — its own
+    /// slot file over the shared layout — so shards never share mutable
+    /// state and each keeps the lane-contiguous SIMD stride.
+    struct LaneRange {
+        int begin = 0;
+        int count = 0;
+    };
+
+    /// The interpreter's widest always-pinned batch width: shard boundaries
+    /// land on multiples of it so every shard except possibly the last
+    /// dispatches through a pinned-width kernel instead of the dynamic
+    /// chunk loop.
+    static constexpr int kLaneChunk = 8;
+
+    /// Partition `lanes` into at most `max_shards` contiguous LaneRanges
+    /// split only at kLaneChunk boundaries, as evenly as the chunk
+    /// granularity allows. Fewer ranges come back when the lane count
+    /// cannot feed that many shards (never an empty range).
+    [[nodiscard]] static std::vector<LaneRange> shard_lanes(int lanes, int max_shards);
+
     /// `batch` instances over a pre-compiled (kFused) layout.
     BatchCompiledModel(std::shared_ptr<const ModelLayout> layout, int batch);
 
@@ -38,7 +60,10 @@ public:
         return layout_->input_index(name);
     }
 
-    /// Reset every lane to the model's initial values.
+    /// Reset every lane to the model's initial values. A batch narrowed by
+    /// compact_lanes() is re-grown to its constructed width first, so a
+    /// reused object always starts the next run with every lane it was
+    /// built with.
     void reset();
 
     void set_input(int lane, std::size_t index, double value);
@@ -79,7 +104,8 @@ private:
     }
 
     std::shared_ptr<const ModelLayout> layout_;
-    int batch_ = 1;
+    int batch_ = 1;              ///< current width (<= constructed_batch_ after compaction)
+    int constructed_batch_ = 1;  ///< width at construction; reset() restores it
     std::vector<double> slots_;  ///< slot-major, lane-contiguous (SoA)
 };
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "support/check.hpp"
+#include "support/step_count.hpp"
+#include "support/thread_pool.hpp"
 
 namespace amsvp::runtime {
 
@@ -30,7 +33,7 @@ TransientResult simulate_transient(ModelExecutor& compiled,
         sources.push_back(&it->second);
     }
 
-    const auto steps = static_cast<std::size_t>(duration_seconds / dt);
+    const std::size_t steps = support::step_count(duration_seconds, dt);
     TransientResult result;
     result.steps = steps;
     // All backends in this library sample at t = dt, 2dt, ... so traces are
@@ -64,84 +67,66 @@ SweepResult simulate_sweep(const abstraction::SignalFlowModel& model,
 
 namespace {
 
-/// True when the move from `prev` to `value` is within the steady band. A
+/// True when the move from `anchor` to `value` is within the steady band. A
 /// diverged (non-finite) value is never steady: |inf - x| <= inf would
-/// otherwise retire a blown-up lane as "settled".
-bool within_steady_band(double value, double prev, double tolerance) {
+/// otherwise retire a blown-up lane as "settled". The relative tolerance
+/// scales with the *larger* endpoint magnitude: a lane decaying toward zero
+/// from a large anchor keeps the band of the magnitude it is leaving,
+/// instead of the band collapsing with |value| and judging the tail of the
+/// decay ever more strictly than its start.
+bool within_steady_band(double value, double anchor, double tolerance) {
     return std::isfinite(value) &&
-           std::fabs(value - prev) <= tolerance * std::max(1.0, std::fabs(value));
+           std::fabs(value - anchor) <=
+               tolerance * std::max({1.0, std::fabs(value), std::fabs(anchor)});
 }
 
-}  // namespace
-
-SweepResult simulate_sweep(BatchCompiledModel& batch,
-                           const std::vector<expr::Symbol>& input_symbols,
-                           const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
-                           const std::vector<SweepLane>& lanes, double duration_seconds,
-                           const SweepOptions& options) {
-    AMSVP_CHECK(!lanes.empty(), "sweep needs at least one lane");
-    AMSVP_CHECK(batch.batch() == static_cast<int>(lanes.size()),
-                "batch width must match the lane count");
-    batch.reset();
-    const double dt = batch.timestep();
-    AMSVP_CHECK(dt > 0.0, "model has no timestep");
-
-    // Per (input, lane) stimulus: the lane's own override or the shared one.
-    std::vector<const numeric::SourceFunction*> sources;
-    sources.reserve(input_symbols.size() * lanes.size());
-    for (const expr::Symbol& in : input_symbols) {
-        for (const SweepLane& lane : lanes) {
-            auto it = lane.stimuli.find(in.name);
-            if (it == lane.stimuli.end()) {
-                it = shared_stimuli.find(in.name);
-                AMSVP_CHECK(it != shared_stimuli.end(), "missing stimulus for model input");
-            }
-            sources.push_back(&it->second);
-        }
-    }
-    for (std::size_t l = 0; l < lanes.size(); ++l) {
-        for (const auto& [symbol, value] : lanes[l].overrides) {
-            batch.set_value(static_cast<int>(l), symbol, value);
-        }
-    }
-
-    const auto steps = static_cast<std::size_t>(duration_seconds / dt);
-    const std::size_t n_lanes = lanes.size();
-    const std::size_t n_outputs = batch.output_count();
-    SweepResult result;
-    result.steps = steps;
-    result.settled_at.assign(n_lanes, steps);
-    result.outputs.assign(n_outputs, numeric::WaveformBatch(n_lanes, dt, dt));
-    for (auto& w : result.outputs) {
-        w.reserve(steps);
-    }
-
+/// Step one contiguous shard of sweep lanes to completion. This is the
+/// whole sweep engine — the single-threaded path runs it once over all
+/// lanes, the worker-pool path runs it once per shard — so both paths are
+/// the same code and bit-identical by construction (lane results do not
+/// depend on batch width; see batch_model_test).
+///
+///  - `batch` is the shard's own slot file (width == the shard's lane
+///    count), already reset with per-lane overrides applied.
+///  - `sources` are the input-major stimulus rows over ALL sweep lanes
+///    (row stride `source_stride`); the shard reads the columns
+///    [lane_begin, lane_begin + batch.batch()).
+///  - `outputs` holds one WaveformBatch per model output, sized to the
+///    shard's lane count; `settled_at` points at the shard's slice of the
+///    result (batch.batch() entries, pre-filled with `steps`).
+void run_sweep_shard(BatchCompiledModel& batch,
+                     const numeric::SourceFunction* const* sources,
+                     std::size_t source_stride, std::size_t lane_begin,
+                     std::size_t n_inputs, std::size_t steps, double dt,
+                     const SweepOptions& options,
+                     std::vector<numeric::WaveformBatch>& outputs,
+                     std::size_t* settled_at) {
+    const std::size_t n_outputs = outputs.size();
     const bool detect = options.steady_tolerance > 0.0;
-    if (detect) {
-        AMSVP_CHECK(options.steady_window >= 1, "steady_window must be at least one step");
-    }
     if (!detect) {
         const int nlanes = batch.batch();
         for (std::size_t k = 0; k < steps; ++k) {
             const double t = static_cast<double>(k + 1) * dt;
-            const numeric::SourceFunction* const* src = sources.data();
-            for (std::size_t i = 0; i < input_symbols.size(); ++i) {
+            for (std::size_t i = 0; i < n_inputs; ++i) {
+                const numeric::SourceFunction* const* row =
+                    sources + i * source_stride + lane_begin;
                 for (int l = 0; l < nlanes; ++l) {
-                    batch.set_input(l, i, (**src++)(t));
+                    batch.set_input(l, i, (*row[l])(t));
                 }
             }
             batch.step(t);
             for (std::size_t o = 0; o < n_outputs; ++o) {
-                result.outputs[o].append_frame(batch.output_lanes(o));
+                outputs[o].append_frame(batch.output_lanes(o));
             }
         }
-        return result;
+        return;
     }
 
-    // Steady-state detection: lanes that settle are retired and the batch
+    // Steady-state detection: lanes that settle are retired and the shard
     // compacts in place, so the per-step cost tracks the *surviving* lane
-    // count. `origin[pos]` maps a current batch position back to its sweep
-    // lane; retired lanes' frames hold the settled value.
+    // count. `origin[pos]` maps a current batch position back to its
+    // shard-local lane; retired lanes' frames hold the settled value.
+    const std::size_t n_lanes = static_cast<std::size_t>(batch.batch());
     std::vector<int> origin(n_lanes);
     for (std::size_t l = 0; l < n_lanes; ++l) {
         origin[l] = static_cast<int>(l);
@@ -153,14 +138,15 @@ SweepResult simulate_sweep(BatchCompiledModel& batch,
     /// band — a merely slow transient (per-step move below tolerance but
     /// steadily accumulating) cannot false-settle.
     std::vector<std::vector<double>> anchor(n_outputs, std::vector<double>(n_lanes, 0.0));
-    std::vector<int> quiet_steps(n_lanes, 0);  ///< consecutive in-band steps per sweep lane
+    std::vector<int> quiet_steps(n_lanes, 0);  ///< consecutive in-band steps per lane
     std::vector<int> keep;                     ///< scratch for compact_lanes
 
     for (std::size_t k = 0; k < steps; ++k) {
         const double t = static_cast<double>(k + 1) * dt;
         const int active = batch.batch();
-        for (std::size_t i = 0; i < input_symbols.size(); ++i) {
-            const numeric::SourceFunction* const* row = sources.data() + i * n_lanes;
+        for (std::size_t i = 0; i < n_inputs; ++i) {
+            const numeric::SourceFunction* const* row =
+                sources + i * source_stride + lane_begin;
             for (int pos = 0; pos < active; ++pos) {
                 batch.set_input(pos, i, (*row[origin[static_cast<std::size_t>(pos)]])(t));
             }
@@ -172,7 +158,7 @@ SweepResult simulate_sweep(BatchCompiledModel& batch,
                 frame[o][static_cast<std::size_t>(origin[static_cast<std::size_t>(pos)])] =
                     values[pos];
             }
-            result.outputs[o].append_frame(frame[o].data());
+            outputs[o].append_frame(frame[o].data());
         }
 
         // Settle check against the streak anchor (first step only seeds it).
@@ -193,7 +179,7 @@ SweepResult simulate_sweep(BatchCompiledModel& batch,
                 }
             }
             if (quiet_steps[lane] >= options.steady_window) {
-                result.settled_at[lane] = k + 1;
+                settled_at[lane] = k + 1;
                 any_settled = true;
             }
         }
@@ -202,8 +188,8 @@ SweepResult simulate_sweep(BatchCompiledModel& batch,
         }
         keep.clear();
         for (int pos = 0; pos < active; ++pos) {
-            if (result.settled_at[static_cast<std::size_t>(
-                    origin[static_cast<std::size_t>(pos)])] == steps) {
+            if (settled_at[static_cast<std::size_t>(origin[static_cast<std::size_t>(pos)])] ==
+                steps) {
                 keep.push_back(pos);
             }
         }
@@ -212,7 +198,7 @@ SweepResult simulate_sweep(BatchCompiledModel& batch,
             // frames so waveform lengths stay uniform, and stop stepping.
             for (std::size_t pad = k + 1; pad < steps; ++pad) {
                 for (std::size_t o = 0; o < n_outputs; ++o) {
-                    result.outputs[o].append_frame(frame[o].data());
+                    outputs[o].append_frame(frame[o].data());
                 }
             }
             break;
@@ -223,6 +209,130 @@ SweepResult simulate_sweep(BatchCompiledModel& batch,
                 origin[j] = origin[static_cast<std::size_t>(keep[j])];
             }
             origin.resize(keep.size());
+        }
+    }
+}
+
+/// Resolve SweepOptions::threads: 0 means "all hardware threads".
+int resolve_threads(int requested) {
+    AMSVP_CHECK(requested >= 0, "SweepOptions::threads must be >= 0");
+    return requested == 0 ? support::ThreadPool::hardware_threads() : requested;
+}
+
+}  // namespace
+
+SweepResult simulate_sweep(BatchCompiledModel& batch,
+                           const std::vector<expr::Symbol>& input_symbols,
+                           const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
+                           const std::vector<SweepLane>& lanes, double duration_seconds,
+                           const SweepOptions& options) {
+    AMSVP_CHECK(!lanes.empty(), "sweep needs at least one lane");
+    // reset() first: it restores the constructed width if a previous sweep's
+    // steady-state retirement compacted the batch, so reuse just works.
+    batch.reset();
+    AMSVP_CHECK(batch.batch() == static_cast<int>(lanes.size()),
+                "batch width must match the lane count");
+    const double dt = batch.timestep();
+    AMSVP_CHECK(dt > 0.0, "model has no timestep");
+
+    // Per (input, lane) stimulus: the lane's own override or the shared one.
+    std::vector<const numeric::SourceFunction*> sources;
+    sources.reserve(input_symbols.size() * lanes.size());
+    for (const expr::Symbol& in : input_symbols) {
+        for (const SweepLane& lane : lanes) {
+            auto it = lane.stimuli.find(in.name);
+            if (it == lane.stimuli.end()) {
+                it = shared_stimuli.find(in.name);
+                AMSVP_CHECK(it != shared_stimuli.end(), "missing stimulus for model input");
+            }
+            sources.push_back(&it->second);
+        }
+    }
+
+    const std::size_t steps = support::step_count(duration_seconds, dt);
+    const std::size_t n_lanes = lanes.size();
+    const std::size_t n_outputs = batch.output_count();
+    SweepResult result;
+    result.steps = steps;
+    result.settled_at.assign(n_lanes, steps);
+
+    if (options.steady_tolerance > 0.0) {
+        AMSVP_CHECK(options.steady_window >= 1, "steady_window must be at least one step");
+    }
+
+    const int threads = resolve_threads(options.threads);
+    const std::vector<BatchCompiledModel::LaneRange> shards =
+        threads > 1 ? BatchCompiledModel::shard_lanes(static_cast<int>(n_lanes), threads)
+                    : std::vector<BatchCompiledModel::LaneRange>{
+                          {0, static_cast<int>(n_lanes)}};
+
+    if (shards.size() == 1) {
+        // Single-threaded: the caller's batch *is* the one shard.
+        for (std::size_t l = 0; l < n_lanes; ++l) {
+            for (const auto& [symbol, value] : lanes[l].overrides) {
+                batch.set_value(static_cast<int>(l), symbol, value);
+            }
+        }
+        result.outputs.assign(n_outputs, numeric::WaveformBatch(n_lanes, dt, dt));
+        for (auto& w : result.outputs) {
+            w.reserve(steps);
+        }
+        run_sweep_shard(batch, sources.data(), n_lanes, 0, input_symbols.size(), steps, dt,
+                        options, result.outputs, result.settled_at.data());
+        return result;
+    }
+
+    // Worker-pool mode: each shard is its own contiguous slot file over the
+    // shared immutable layout, stepped by one worker; no mutable state is
+    // shared between shards, so the only synchronization is the join. The
+    // caller's full-width batch is left reset and untouched.
+    struct Shard {
+        BatchCompiledModel model;
+        std::vector<numeric::WaveformBatch> outputs;
+        BatchCompiledModel::LaneRange range;
+    };
+    std::vector<Shard> work;
+    work.reserve(shards.size());
+    for (const BatchCompiledModel::LaneRange& range : shards) {
+        work.push_back(Shard{BatchCompiledModel(batch.layout(), range.count),
+                             std::vector<numeric::WaveformBatch>(
+                                 n_outputs, numeric::WaveformBatch(
+                                                static_cast<std::size_t>(range.count), dt, dt)),
+                             range});
+        Shard& shard = work.back();
+        for (auto& w : shard.outputs) {
+            w.reserve(steps);
+        }
+        for (int j = 0; j < range.count; ++j) {
+            const auto lane = static_cast<std::size_t>(range.begin + j);
+            for (const auto& [symbol, value] : lanes[lane].overrides) {
+                shard.model.set_value(j, symbol, value);
+            }
+        }
+    }
+
+    support::ThreadPool pool(static_cast<int>(work.size()));
+    pool.run(static_cast<int>(work.size()), [&](int s) {
+        Shard& shard = work[static_cast<std::size_t>(s)];
+        run_sweep_shard(shard.model, sources.data(), n_lanes,
+                        static_cast<std::size_t>(shard.range.begin), input_symbols.size(),
+                        steps, dt, options, shard.outputs,
+                        result.settled_at.data() + shard.range.begin);
+    });
+
+    // Merge the per-shard captures in lane order: global frame k is the
+    // concatenation of every shard's frame k, one row copy per shard.
+    result.outputs.assign(n_outputs, numeric::WaveformBatch(n_lanes, dt, dt));
+    std::vector<double> frame(n_lanes, 0.0);
+    for (std::size_t o = 0; o < n_outputs; ++o) {
+        result.outputs[o].reserve(steps);
+        for (std::size_t k = 0; k < steps; ++k) {
+            for (const Shard& shard : work) {
+                std::memcpy(frame.data() + shard.range.begin,
+                            shard.outputs[o].frame_data(k),
+                            static_cast<std::size_t>(shard.range.count) * sizeof(double));
+            }
+            result.outputs[o].append_frame(frame.data());
         }
     }
     return result;

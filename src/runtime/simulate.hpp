@@ -68,6 +68,22 @@ struct SweepOptions {
     /// trigger it.
     double steady_tolerance = 0.0;
     int steady_window = 8;
+    /// Worker threads for the sweep. 1 (default) is the classic
+    /// single-threaded path; 0 means "all hardware threads"; n > 1 shards
+    /// the batch into per-thread contiguous slot files over the shared
+    /// ModelLayout (split at BatchCompiledModel::kLaneChunk boundaries) and
+    /// runs one shard per worker, with per-shard steady-state retirement
+    /// and compaction. Results — outputs and settled_at — are bit-identical
+    /// to the single-threaded path at any thread count: lanes never
+    /// interact, and both paths run the same shard loop.
+    ///
+    /// With more than one shard, stimulus callables are invoked
+    /// concurrently from multiple workers: every SourceFunction in the
+    /// shared and per-lane stimulus maps must be safe to call concurrently
+    /// (pure functions of time — everything in numeric/sources.hpp — are;
+    /// a callable mutating shared state, e.g. a memoizing interpolator, is
+    /// not and needs its own synchronization).
+    int threads = 1;
 };
 
 /// Run all `lanes` for `duration_seconds` through one BatchCompiledModel:
@@ -81,9 +97,14 @@ struct SweepOptions {
     const std::vector<SweepLane>& lanes, double duration_seconds,
     const SweepOptions& options = {});
 
-/// Same, reusing an existing batch instance (state is reset first; the
-/// batch width must equal lanes.size()). Note: steady-state detection may
-/// compact `batch` in place — re-create or re-compile it before reuse.
+/// Same, reusing an existing batch instance (state is reset first, which
+/// also restores the constructed width after a previous sweep's
+/// steady-state compaction; the constructed batch width must equal
+/// lanes.size()). When `options.threads` yields more than one shard the
+/// sweep steps per-shard slot files built from batch.layout() and `batch`
+/// itself is left reset; with a single shard (few lanes or threads <= 1)
+/// `batch` is the slot file that gets stepped — and possibly compacted by
+/// steady-state retirement — exactly as before.
 [[nodiscard]] SweepResult simulate_sweep(
     BatchCompiledModel& batch, const std::vector<expr::Symbol>& input_symbols,
     const std::map<std::string, numeric::SourceFunction>& shared_stimuli,

@@ -8,6 +8,7 @@
 #include "expr/traversal.hpp"
 #include "numeric/lu.hpp"
 #include "support/check.hpp"
+#include "support/step_count.hpp"
 
 namespace amsvp::spice {
 
@@ -405,7 +406,7 @@ numeric::Waveform SpiceEngine::run_transient(
     }
     const double h = options_.timestep;
     const double h_sub = h / static_cast<double>(options_.internal_substeps);
-    const auto steps = static_cast<std::size_t>(duration / h);
+    const std::size_t steps = support::step_count(duration, h);
     numeric::Waveform trace(h, h);
     trace.reserve(steps);
     std::vector<double> inputs(sources.size());

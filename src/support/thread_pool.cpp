@@ -1,0 +1,89 @@
+#include "support/thread_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace amsvp::support {
+
+ThreadPool::ThreadPool(int workers) {
+    AMSVP_CHECK(workers >= 1, "a pool needs at least one worker (the caller)");
+    threads_.reserve(static_cast<std::size_t>(workers - 1));
+    for (int i = 0; i < workers - 1; ++i) {
+        threads_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : threads_) {
+        t.join();
+    }
+}
+
+int ThreadPool::hardware_threads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::run(int count, const std::function<void(int)>& task) {
+    if (count <= 0) {
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        AMSVP_CHECK(task_ == nullptr, "ThreadPool::run does not nest");
+        task_ = &task;
+        count_ = count;
+        next_ = 0;
+        pending_ = count;
+    }
+    wake_.notify_all();
+
+    // The caller claims indices alongside the workers, then waits for the
+    // stragglers the workers are still running.
+    for (;;) {
+        int index;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (next_ >= count_) {
+                break;
+            }
+            index = next_++;
+        }
+        task(index);
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) {
+            done_.notify_all();
+        }
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    task_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        const std::function<void(int)>* task = nullptr;
+        int index = -1;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stop_ || (task_ != nullptr && next_ < count_); });
+            if (stop_) {
+                return;
+            }
+            task = task_;
+            index = next_++;
+        }
+        (*task)(index);
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) {
+            done_.notify_all();
+        }
+    }
+}
+
+}  // namespace amsvp::support

@@ -1,0 +1,61 @@
+// A small fixed-size worker pool for data-parallel jobs.
+//
+// The batch runtime shards wide sweeps into per-thread slot files (each
+// lane-chunk shard is an independent BatchCompiledModel over the shared,
+// immutable ModelLayout), so all the pool has to provide is "run task(i)
+// for i in [0, count) across the workers and wait". Workers are spawned
+// once and reused across run() calls — a sweep driver can dispatch many
+// jobs without paying thread creation per call. The calling thread
+// participates in the job, so a pool constructed with `workers == 1` adds
+// zero threads and degenerates to a plain loop.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amsvp::support {
+
+class ThreadPool {
+public:
+    /// A pool that runs jobs on `workers` threads total: `workers - 1`
+    /// spawned helpers plus the thread calling run().
+    explicit ThreadPool(int workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Total threads a job runs on (helpers + the caller).
+    [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()) + 1; }
+
+    /// Run task(0) .. task(count - 1) across the pool. Indices are claimed
+    /// dynamically, each runs exactly once, and the call returns only when
+    /// every index has completed. The calling thread participates. Tasks
+    /// must not call run() on the same pool (jobs do not nest) and must
+    /// not throw — this library reports failure via AMSVP_CHECK/abort, and
+    /// an exception escaping a task leaves the job's bookkeeping undrained
+    /// (worker-side throws terminate outright).
+    void run(int count, const std::function<void(int)>& task);
+
+    /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+    /// legally report 0).
+    [[nodiscard]] static int hardware_threads();
+
+private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable wake_;  ///< workers: a job arrived / shutdown
+    std::condition_variable done_;  ///< run(): all indices completed
+    const std::function<void(int)>* task_ = nullptr;
+    int count_ = 0;    ///< indices in the current job
+    int next_ = 0;     ///< next index to claim
+    int pending_ = 0;  ///< indices claimed-or-unclaimed but not yet completed
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
+};
+
+}  // namespace amsvp::support

@@ -4,6 +4,8 @@
 #include <map>
 #include <numeric>
 
+#include "support/step_count.hpp"
+
 namespace amsvp::tdf {
 
 TdfIn::TdfIn(TdfModule& owner, std::string name, int rate)
@@ -212,7 +214,7 @@ void TdfCluster::step() {
 }
 
 void TdfCluster::run(double duration) {
-    const auto periods = static_cast<std::size_t>(duration / cluster_period_);
+    const std::size_t periods = support::step_count(duration, cluster_period_);
     for (std::size_t i = 0; i < periods; ++i) {
         step();
     }

@@ -65,6 +65,87 @@ TEST(BatchCompaction, KeptLanesContinueBitForBit) {
     }
 }
 
+TEST(BatchCompaction, ResetRestoresConstructedWidth) {
+    // compact_lanes narrows the batch in place; reset() must re-grow it to
+    // the constructed width so a reused object runs every lane again.
+    const auto model = ladder_model(3);
+    const auto layout = ModelLayout::compile(model, EvalStrategy::kFused);
+    BatchCompiledModel batch(layout, 6);
+    for (int l = 0; l < 6; ++l) {
+        batch.set_input(l, 0, 0.1 * (l + 1));
+    }
+    for (int k = 1; k <= 20; ++k) {
+        batch.step(k * model.timestep);
+    }
+    batch.compact_lanes({1, 4});
+    ASSERT_EQ(batch.batch(), 2);
+
+    batch.reset();
+    ASSERT_EQ(batch.batch(), 6);
+    // Restored lanes start from the model's initial values, exactly like a
+    // freshly constructed batch.
+    BatchCompiledModel fresh(layout, 6);
+    for (int l = 0; l < 6; ++l) {
+        batch.set_input(l, 0, 0.5);
+        fresh.set_input(l, 0, 0.5);
+    }
+    for (int k = 1; k <= 50; ++k) {
+        const double t = k * model.timestep;
+        batch.step(t);
+        fresh.step(t);
+        for (int l = 0; l < 6; ++l) {
+            ASSERT_EQ(batch.output(l, 0), fresh.output(l, 0)) << "lane " << l << " step " << k;
+        }
+    }
+}
+
+TEST(BatchCompaction, SweepReusesBatchAfterSteadyCompaction) {
+    // A sweep with steady-state retirement compacts the batch; running a
+    // second sweep with the same object must cover all constructed lanes
+    // again and reproduce a fresh run exactly.
+    const auto model = ladder_model(20, 1e-3);
+    const auto states = model.state_symbols();
+    ASSERT_FALSE(states.empty());
+
+    constexpr int kLanes = 4;
+    std::vector<SweepLane> lanes(kLanes);
+    for (int l = 0; l < kLanes; ++l) {
+        for (const expr::Symbol& s : states) {
+            lanes[static_cast<std::size_t>(l)].overrides[s] = 0.01 * (l + 1);
+        }
+    }
+    const std::map<std::string, numeric::SourceFunction> stimuli{
+        {"u0", [](double) { return 0.0; }}};
+    const double duration = 800 * model.timestep;
+    SweepOptions options;
+    options.steady_tolerance = 1e-6;
+    options.steady_window = 16;
+
+    BatchCompiledModel batch(ModelLayout::compile(model, EvalStrategy::kFused), kLanes);
+    const SweepResult first =
+        simulate_sweep(batch, model.inputs, stimuli, lanes, duration, options);
+    bool any_retired = false;
+    for (const std::size_t settled : first.settled_at) {
+        any_retired = any_retired || settled < first.steps;
+    }
+    ASSERT_TRUE(any_retired);  // the first sweep really compacted the batch
+
+    const SweepResult second =
+        simulate_sweep(batch, model.inputs, stimuli, lanes, duration, options);
+    ASSERT_EQ(second.steps, first.steps);
+    ASSERT_EQ(second.settled_at, first.settled_at);
+    for (std::size_t o = 0; o < first.outputs.size(); ++o) {
+        ASSERT_EQ(second.outputs[o].lanes(), first.outputs[o].lanes());
+        ASSERT_EQ(second.outputs[o].size(), first.outputs[o].size());
+        for (std::size_t l = 0; l < first.outputs[o].lanes(); ++l) {
+            for (std::size_t k = 0; k < first.outputs[o].size(); ++k) {
+                ASSERT_EQ(second.outputs[o].value(l, k), first.outputs[o].value(l, k))
+                    << "lane " << l << " step " << k;
+            }
+        }
+    }
+}
+
 TEST(BatchCompaction, RejectsUnorderedLanes) {
     const auto model = ladder_model(1);
     BatchCompiledModel batch(model, 3);
@@ -130,6 +211,39 @@ TEST(SweepSteadyState, Rc20DecayRetiresLanesEarly) {
                 }
             }
         }
+    }
+}
+
+TEST(SweepSteadyState, DecayTowardZeroUsesTheAnchorMagnitudeBand) {
+    // Geometric decay toward zero from a large anchor: v := 0.9 * v@1 from
+    // 1e9. With a 20% tolerance and a 2-step window the drift over a window
+    // (19% of the anchor) is inside the band — but only if the band scales
+    // with max(|value|, |anchor|). Scaling by |value| alone (the old bug)
+    // collapses the band as the lane decays, judging the tail of the decay
+    // ever more strictly: the lane then never settles until the value
+    // drops below the absolute 1.0 floor, ~200 steps in.
+    abstraction::SignalFlowModel m;
+    m.name = "decay";
+    m.timestep = 1e-3;
+    const expr::Symbol v = expr::variable_symbol("v");
+    m.assignments.push_back(abstraction::Assignment{
+        v, expr::Expr::mul(expr::Expr::constant(0.9), expr::Expr::delayed(v, 1))});
+    m.outputs = {v};
+
+    std::vector<SweepLane> lanes(1);
+    lanes[0].overrides[v] = 1e9;
+    SweepOptions options;
+    options.steady_tolerance = 0.2;
+    options.steady_window = 2;
+    const SweepResult result = simulate_sweep(m, {}, lanes, 50 * m.timestep, options);
+    ASSERT_EQ(result.steps, 50u);
+    // In-band from the very first comparison: quiet at k=1 and k=2 against
+    // the k=0 anchor, so the lane settles at step 3 — not at step 50.
+    EXPECT_LT(result.settled_at[0], result.steps);
+    EXPECT_EQ(result.settled_at[0], 3u);
+    // Retired samples hold the settled value.
+    for (std::size_t k = result.settled_at[0]; k < result.steps; ++k) {
+        EXPECT_EQ(result.outputs[0].value(0, k), result.outputs[0].value(0, 2u));
     }
 }
 

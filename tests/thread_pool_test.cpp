@@ -1,0 +1,76 @@
+// support::ThreadPool: every index runs exactly once, the pool is reusable
+// across jobs, and the caller participates (a 1-worker pool spawns nothing
+// and still completes jobs).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace amsvp::support {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4);
+    constexpr int kCount = 137;  // deliberately not a multiple of the worker count
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.run(kCount, [&](int i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+    for (int i = 0; i < kCount; ++i) {
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, SingleWorkerPoolIsAPlainLoop) {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.workers(), 1);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<int> order;
+    pool.run(8, [&](int i) {
+        // No helper threads exist, so the job runs inline on the caller —
+        // in order, no synchronization needed to record it.
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    std::vector<int> expected(8);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+    ThreadPool pool(3);
+    std::atomic<long> sum{0};
+    for (int job = 0; job < 50; ++job) {
+        pool.run(job % 7, [&](int i) { sum.fetch_add(i + 1); });
+    }
+    long expected = 0;
+    for (int job = 0; job < 50; ++job) {
+        for (int i = 0; i < job % 7; ++i) {
+            expected += i + 1;
+        }
+    }
+    EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+    ThreadPool pool(2);
+    pool.run(0, [](int) { FAIL() << "task must not run"; });
+}
+
+TEST(ThreadPool, MoreTasksThanWorkersAllComplete) {
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    pool.run(64, [&](int) { done.fetch_add(1); });
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, HardwareThreadsHasAFloorOfOne) {
+    EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+}  // namespace
+}  // namespace amsvp::support
