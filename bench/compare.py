@@ -15,7 +15,14 @@ and enforces two floors:
     (default 32) the sharded simulate_sweep must deliver at least
     `--min-threads-speedup` (default 2.0) times the single-threaded
     aggregate throughput — enforced only when the recorded host has >= 4
-    hardware threads (informational otherwise, e.g. on a 1-core CI box).
+    hardware threads (informational otherwise, e.g. on a 1-core CI box);
+  * batched native execution: at every measured width >=
+    `--native-floor-lanes` (default 8), the dlopen'ed step_batch kernel's
+    per-lane ns/step must be at least `--min-native-speedup` (default 1.5)
+    times better than N independent scalar NativeModel instances. These
+    entries come from BENCH_native_batch.json (bench_native_batch_sweep,
+    folded in via --extra-json); the check is skipped when no entries are
+    present — e.g. a CI box without a C++ compiler on PATH.
 
 With `--history <path>` every run is appended to a JSONL file and each
 metric is compared against the best value ever recorded there: regressions
@@ -75,6 +82,16 @@ def threaded_sweep_table(results):
     table = {}
     for entry in results:
         if entry.get("name") != "batch_sweep_threads":
+            continue
+        table[(int(entry["lanes"]), entry["mode"])] = float(entry["ns_per_step_per_lane"])
+    return table
+
+
+def native_batch_table(results):
+    """(lanes, mode) -> per-lane ns/step of the native batch bench."""
+    table = {}
+    for entry in results:
+        if entry.get("name") != "native_batch_sweep":
             continue
         table[(int(entry["lanes"]), entry["mode"])] = float(entry["ns_per_step_per_lane"])
     return table
@@ -169,6 +186,11 @@ def main():
                         help="required worker-pool-vs-single sweep speedup (default: 2.0)")
     parser.add_argument("--threads-floor-lanes", type=int, default=32,
                         help="enforce the worker-pool floor at widths >= this (default: 32)")
+    parser.add_argument("--min-native-speedup", type=float, default=1.5,
+                        help="required native-batch-vs-scalar-native per-lane speedup "
+                             "(default: 1.5)")
+    parser.add_argument("--native-floor-lanes", type=int, default=8,
+                        help="enforce the native batch floor at widths >= this (default: 8)")
     parser.add_argument("--extra-json", action="append", default=[],
                         help="additional bench JSON (e.g. BENCH_table1.json) folded into "
                              "the history tracking; no single-run thresholds applied")
@@ -258,6 +280,29 @@ def main():
         if not extra:
             print(f"WARN: no results in extra json {path}")
         tracked.extend(extra)
+
+    # Batched native execution floor. The entries arrive through
+    # --extra-json (BENCH_native_batch.json); an empty table means the
+    # bench had nothing to measure (no compiler) — skip, don't fail.
+    native = native_batch_table(tracked)
+    for lanes in sorted({lanes for lanes, _ in native}):
+        try:
+            scalar = native[(lanes, "scalar")]
+            batched = native[(lanes, "batch")]
+        except KeyError as missing:
+            print(f"error: missing native_batch_sweep result {missing}", file=sys.stderr)
+            failures += 1
+            continue
+        speedup = scalar / batched
+        enforced = lanes >= args.native_floor_lanes
+        status = "ok" if (not enforced or speedup >= args.min_native_speedup) else "FAIL"
+        floor = (f"required >= {args.min_native_speedup:.2f}x" if enforced
+                 else "informational")
+        print(f"native x{lanes}: scalar-native {scalar:.1f} ns/step/lane, "
+              f"batch-native {batched:.1f} ns/step/lane, speedup {speedup:.2f}x "
+              f"({floor}) [{status}]")
+        if enforced and speedup < args.min_native_speedup:
+            failures += 1
 
     if args.history:
         failures += check_history(tracked, args.history, args.history_tolerance,

@@ -1,0 +1,151 @@
+// Batched native execution: per-lane step cost of the dlopen'ed step_batch
+// kernel (codegen::NativeBatchModel — one strided slot file, machine code,
+// SIMD across lanes) against the floor the issue names: N independent
+// scalar NativeModel instances stepped in a loop, i.e. what running N
+// native instances costs without the batched entry point. The batch
+// interpreter rides along as a reference arm.
+//
+// Lane results are bit-identical across all three arms (enforced by
+// tests/native_batch_test.cpp), so every number is a pure
+// locality/SIMD/dispatch measurement. `--json <path>` emits results for
+// bench/compare.py, which enforces a scalar-native / batch-native per-lane
+// floor and folds everything into the BENCH_history.jsonl trajectory gate.
+// When no compiler is on PATH the bench (and the floor) degrade gracefully:
+// a note is printed, an empty result set is written, and compare.py skips.
+#include <chrono>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "codegen/native_batch.hpp"
+#include "codegen/native_model.hpp"
+#include "runtime/batch_model.hpp"
+
+namespace {
+
+using namespace amsvp;
+using Clock = std::chrono::steady_clock;
+
+/// ns per call of `fn` (calibrated towards ~0.2 s, min 10^4 calls).
+double time_ns(const std::function<void()>& fn) {
+    constexpr long kProbe = 10000;
+    for (long i = 0; i < kProbe; ++i) {
+        fn();
+    }
+    auto probe_start = Clock::now();
+    for (long i = 0; i < kProbe; ++i) {
+        fn();
+    }
+    const double probe_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - probe_start).count();
+    const double per_call = probe_ns / kProbe;
+    const long reps = std::max<long>(kProbe, static_cast<long>(0.2e9 / std::max(per_call, 0.1)));
+    auto start = Clock::now();
+    for (long i = 0; i < reps; ++i) {
+        fn();
+    }
+    const double total =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+    return total / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string json_path = bench::json_path_from_args(argc, argv);
+    bench::JsonReport report("native_batch_sweep");
+
+    std::printf("NATIVE BATCH SWEEP — dlopen'ed step_batch vs N scalar native models\n\n");
+    if (!codegen::native_compilation_available()) {
+        std::printf("# no C++ compiler on PATH: nothing to measure (results empty).\n");
+        return report.write(json_path) ? 0 : 1;
+    }
+
+    const auto circuits = bench::paper_circuits();
+    const bench::BenchCircuit* rc20 = nullptr;
+    for (const bench::BenchCircuit& c : circuits) {
+        if (c.name == "RC20") {
+            rc20 = &c;
+        }
+    }
+    if (rc20 == nullptr) {
+        std::fprintf(stderr, "native_batch_sweep: RC20 missing from paper_circuits()\n");
+        return 1;
+    }
+    const double dt = rc20->model.timestep;
+
+    std::string error;
+    const auto program = codegen::NativeBatchProgram::compile(rc20->model, &error);
+    if (program == nullptr) {
+        std::fprintf(stderr, "native_batch_sweep: kernel compilation failed: %s\n",
+                     error.c_str());
+        return 1;
+    }
+
+    std::printf("%-24s %6s %18s %18s %18s %10s\n", "native_batch (RC20)", "lanes",
+                "scalar ns/st/lane", "batch ns/st/lane", "interp ns/st/lane", "speedup");
+    for (const int lanes : {1, 4, 8, 16, 32}) {
+        // Floor arm: N independent native compiles (one .so each), stepped
+        // in a loop — batched native must beat this per lane.
+        std::vector<std::unique_ptr<codegen::NativeModel>> scalars;
+        scalars.reserve(static_cast<std::size_t>(lanes));
+        for (int l = 0; l < lanes; ++l) {
+            auto scalar = codegen::NativeModel::compile(rc20->model, &error);
+            if (scalar == nullptr) {
+                std::fprintf(stderr, "native_batch_sweep: scalar compile failed: %s\n",
+                             error.c_str());
+                return 1;
+            }
+            scalar->set_input(0, 1.0);
+            scalars.push_back(std::move(scalar));
+        }
+        double t_scalar = 0.0;
+        const double scalar_ns = time_ns([&] {
+                          t_scalar += dt;
+                          for (auto& m : scalars) {
+                              m->step(t_scalar);
+                          }
+                      }) /
+                      static_cast<double>(lanes);
+
+        codegen::NativeBatchModel batch(program, lanes);
+        for (int l = 0; l < lanes; ++l) {
+            batch.set_input(l, 0, 1.0);
+        }
+        double t_batch = 0.0;
+        const double batch_ns = time_ns([&] {
+                         t_batch += dt;
+                         batch.step(t_batch);
+                     }) /
+                     static_cast<double>(lanes);
+
+        runtime::BatchCompiledModel interp(program->layout(), lanes);
+        for (int l = 0; l < lanes; ++l) {
+            interp.set_input(l, 0, 1.0);
+        }
+        double t_interp = 0.0;
+        const double interp_ns = time_ns([&] {
+                          t_interp += dt;
+                          interp.step(t_interp);
+                      }) /
+                      static_cast<double>(lanes);
+
+        std::printf("%-24s %6d %18.1f %18.1f %18.1f %9.2fx\n", "", lanes, scalar_ns,
+                    batch_ns, interp_ns, scalar_ns / batch_ns);
+        report.add({{"name", "native_batch_sweep"}, {"circuit", "RC20"}, {"mode", "scalar"}},
+                   {{"lanes", static_cast<double>(lanes)},
+                    {"ns_per_step_per_lane", scalar_ns}});
+        report.add({{"name", "native_batch_sweep"}, {"circuit", "RC20"}, {"mode", "batch"}},
+                   {{"lanes", static_cast<double>(lanes)},
+                    {"ns_per_step_per_lane", batch_ns}});
+        report.add(
+            {{"name", "native_batch_sweep"}, {"circuit", "RC20"}, {"mode", "interpreter"}},
+            {{"lanes", static_cast<double>(lanes)},
+             {"ns_per_step_per_lane", interp_ns}});
+    }
+    std::printf("\n");
+
+    if (!report.write(json_path)) {
+        return 1;
+    }
+    return 0;
+}

@@ -2,7 +2,8 @@
 # JSON output, then enforce the speedup thresholds via bench/compare.py.
 # Invoked as:
 #   cmake -DBENCH_EXE=... -DPYTHON_EXE=... -DCOMPARE_PY=... -DJSON_OUT=...
-#         [-DTABLE1_EXE=... -DTABLE1_JSON=...] -P run_perf_check.cmake
+#         [-DTABLE1_EXE=... -DTABLE1_JSON=...]
+#         [-DNATIVE_EXE=... -DNATIVE_JSON=...] -P run_perf_check.cmake
 execute_process(COMMAND ${BENCH_EXE} --json ${JSON_OUT} RESULT_VARIABLE bench_rc)
 if(NOT bench_rc EQUAL 0)
   message(FATAL_ERROR "bench_micro_kernels failed (rc=${bench_rc})")
@@ -17,6 +18,17 @@ if(TABLE1_EXE)
     message(FATAL_ERROR "bench_table1_isolation failed (rc=${table1_rc})")
   endif()
   set(extra_args --extra-json ${TABLE1_JSON})
+endif()
+
+# Optionally run the batched-native bench: compare.py enforces the
+# batch-native vs scalar-native per-lane floor from its entries (and skips
+# it when the bench found no compiler and emitted an empty result set).
+if(NATIVE_EXE)
+  execute_process(COMMAND ${NATIVE_EXE} --json ${NATIVE_JSON} RESULT_VARIABLE native_rc)
+  if(NOT native_rc EQUAL 0)
+    message(FATAL_ERROR "bench_native_batch_sweep failed (rc=${native_rc})")
+  endif()
+  list(APPEND extra_args --extra-json ${NATIVE_JSON})
 endif()
 
 # The history file accumulates one JSONL line per run next to the JSON

@@ -3,10 +3,14 @@
 // the paper's abstract promises, as a usable utility.
 //
 // Usage:
-//   codegen_tool [--target cpp|sc-de|sc-tdf] [--output V(pos,neg)] [file.vams]
+//   codegen_tool [--target cpp|sc-de|sc-tdf] [--output V(pos,neg)] [--batch]
+//                [file.vams]
 //   codegen_tool --builtin rc1|rc20|2in|oa        # bundled paper circuits
 //
-// Reading from stdin is the default when no file is given.
+// --batch (C++ target) also emits the step_batch(double*, int) kernel that
+// steps N instances in one strided slot file — the entry point the native
+// sweep backend compiles and dlopens. Reading from stdin is the default
+// when no file is given.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,7 +30,7 @@ namespace {
 void usage() {
     std::fprintf(stderr,
                  "usage: codegen_tool [--target cpp|sc-de|sc-tdf] [--output pos,neg]\n"
-                 "                    [--builtin rc<N>|2in|oa|sf] [file.vams]\n");
+                 "                    [--batch] [--builtin rc<N>|2in|oa|sf] [file.vams]\n");
 }
 
 }  // namespace
@@ -35,6 +39,7 @@ int main(int argc, char** argv) {
     using namespace amsvp;
 
     codegen::Target target = codegen::Target::kCpp;
+    codegen::CodegenOptions codegen_options;
     std::string output_pos = "out";
     std::string output_neg = "gnd";
     std::string source;
@@ -77,6 +82,8 @@ int main(int argc, char** argv) {
                 usage();
                 return 2;
             }
+        } else if (arg == "--batch") {
+            codegen_options.batch_kernel = true;
         } else if (arg == "--help") {
             usage();
             return 0;
@@ -133,6 +140,6 @@ int main(int argc, char** argv) {
         }
     }
 
-    std::fputs(codegen::generate(*model, target).c_str(), stdout);
+    std::fputs(codegen::generate(*model, target, codegen_options).c_str(), stdout);
     return 0;
 }

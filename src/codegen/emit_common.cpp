@@ -39,17 +39,27 @@ std::string literal(double value) {
     return s;
 }
 
-/// Renders fused instructions as C++ statements over named variables.
+/// Renders fused instructions as C++ statements — over named variables
+/// (the scalar step() body) or over a strided batch slot file (the
+/// step_batch kernel: slot i of lane l at `s[i * B + l]`, statements meant
+/// to sit inside a per-instruction lane loop).
 ///
 /// Every statement performs exactly the arithmetic of the corresponding
 /// interpreter case in FusedProgram::execute_impl — same operations, same
 /// order, each rounding separately — so a generated model compiled with
-/// -ffp-contract=off matches the fused interpreter bit-for-bit.
+/// -ffp-contract=off matches the fused interpreter bit-for-bit (lane by
+/// lane, in the batch form).
 class ProgramRenderer {
 public:
+    enum class Addressing {
+        kNamed,    ///< model slots as named members, scratch as `_t<n>` locals
+        kStrided,  ///< every slot as `s[<slot> * B + l]` (batch kernel)
+    };
+
     ProgramRenderer(const FusedProgram& program, const std::vector<std::string>& slot_names,
-                    int time_slot)
-        : program_(program), slot_names_(slot_names), time_slot_(time_slot) {
+                    int time_slot, Addressing addressing = Addressing::kNamed)
+        : program_(program), slot_names_(slot_names), time_slot_(time_slot),
+          addressing_(addressing) {
         for (const auto& [slot, value] : program.constants()) {
             const_values_.emplace(slot, value);
         }
@@ -172,12 +182,17 @@ private:
         if (slot == time_slot_) {
             time_read_ = true;
         }
-        if (slot < static_cast<std::int32_t>(slot_names_.size())) {
-            return slot_names_[static_cast<std::size_t>(slot)];
-        }
+        // Pooled constants inline as literals in both addressing modes (the
+        // batch kernel never materializes the constant-pool rows).
         const auto it = const_values_.find(slot);
         if (it != const_values_.end()) {
             return literal(it->second);
+        }
+        if (addressing_ == Addressing::kStrided) {
+            return "s[" + std::to_string(slot) + " * B + l]";
+        }
+        if (slot < static_cast<std::int32_t>(slot_names_.size())) {
+            return slot_names_[static_cast<std::size_t>(slot)];
         }
         return "_t" + std::to_string(slot - static_cast<std::int32_t>(slot_names_.size()));
     }
@@ -213,6 +228,7 @@ private:
     const FusedProgram& program_;
     const std::vector<std::string>& slot_names_;
     int time_slot_;
+    Addressing addressing_;
     std::unordered_map<std::int32_t, double> const_values_;
     bool time_read_ = false;
 };
@@ -253,8 +269,14 @@ EmitPlan build_plan(const SignalFlowModel& model, const CodegenOptions& options)
         }
     }
 
-    // Single mid-level IR: the same fused compile the interpreter executes.
-    const auto layout = runtime::ModelLayout::compile(model, runtime::EvalStrategy::kFused);
+    // Single mid-level IR: the same fused compile the interpreter executes
+    // (reused when the caller already holds it — the native batch path).
+    const auto layout = options.layout != nullptr
+                            ? options.layout
+                            : runtime::ModelLayout::compile(model,
+                                                            runtime::EvalStrategy::kFused);
+    AMSVP_CHECK(layout->strategy() == runtime::EvalStrategy::kFused,
+                "codegen renders the fused compile");
 
     // Model slot -> variable name ($abstime last, overriding its identifier).
     plan.slot_names.assign(layout->model_slot_count(), {});
@@ -273,6 +295,8 @@ EmitPlan build_plan(const SignalFlowModel& model, const CodegenOptions& options)
     }
     plan.scratch_locals = renderer.scratch_declarations();
     plan.uses_time = renderer.time_was_read() || options.slot_accessor;
+    plan.total_slot_count = static_cast<int>(layout->slot_count());
+    plan.time_slot = layout->time_slot();
 
     // History rotation straight from the runtime layout, deepest first —
     // the same order CompiledModel::step rotates in.
@@ -281,6 +305,28 @@ EmitPlan build_plan(const SignalFlowModel& model, const CodegenOptions& options)
             const std::string to = history_name(s.id, k);
             const std::string from = (k == 1) ? s.id : history_name(s.id, k - 1);
             plan.rotations.push_back(to + " = " + from + ";");
+        }
+    }
+
+    if (options.batch_kernel) {
+        // The strided form of the same program: each statement re-renders
+        // with slot-file addressing and gets its own lane loop, exactly the
+        // shape of FusedProgram::execute_impl's per-instruction loops.
+        ProgramRenderer strided(layout->fused_program(), plan.slot_names,
+                                layout->time_slot(),
+                                ProgramRenderer::Addressing::kStrided);
+        for (const FusedInstr& instr : layout->fused_program().instructions()) {
+            plan.batch_statements.push_back("for (int l = 0; l < B; ++l) " +
+                                            strided.statement(instr));
+        }
+        // Rotation rows from the runtime layout (lane loops instead of the
+        // interpreter's row memcpy — same elements, same order).
+        for (const runtime::ModelLayout::SymbolSlots& r : layout->rotations()) {
+            for (int k = r.depth; k >= 1; --k) {
+                plan.batch_rotations.push_back(
+                    "for (int l = 0; l < B; ++l) s[" + std::to_string(r.base + k) +
+                    " * B + l] = s[" + std::to_string(r.base + k - 1) + " * B + l];");
+            }
         }
     }
     return plan;

@@ -62,6 +62,22 @@ struct EmitPlan {
     /// the optional slot_value() accessor used for slot-for-slot
     /// differentials against the in-process runtime.
     std::vector<std::string> slot_names;
+
+    /// Slots one instance occupies in the strided batch slot file: model
+    /// slots plus fused scratch (== runtime ModelLayout::slot_count()).
+    int total_slot_count = 0;
+    /// Slot of $abstime (the batch kernel's caller writes the time row).
+    int time_slot = -1;
+    /// Batched form of the program, filled only when
+    /// CodegenOptions::batch_kernel is set: one `for (int l = 0; l < B;
+    /// ++l) ...` statement per fused instruction over a strided slot file
+    /// `double* s` with lane count `B` (slot i of lane l at s[i * B + l]).
+    /// Scratch registers address their strided slot-file rows, pooled
+    /// constants inline as literals — the per-lane arithmetic is exactly
+    /// the scalar statement stream's.
+    std::vector<std::string> batch_statements;
+    /// Strided history rotation loops, deepest first per symbol.
+    std::vector<std::string> batch_rotations;
 };
 
 [[nodiscard]] EmitPlan build_plan(const abstraction::SignalFlowModel& model,

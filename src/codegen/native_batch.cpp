@@ -1,0 +1,89 @@
+#include "codegen/native_batch.hpp"
+
+#include "codegen/codegen.hpp"
+#include "support/check.hpp"
+
+namespace amsvp::codegen {
+
+namespace {
+
+/// The generated struct + step_batch kernel plus the C ABI the loader
+/// binds to. Unlike the scalar wrapper there is no global model instance:
+/// the kernel is a pure function of the caller's slot file.
+std::string wrapper_source(const abstraction::SignalFlowModel& model,
+                           std::shared_ptr<const runtime::ModelLayout> layout) {
+    CodegenOptions options;
+    options.type_name = "amsvp_native_model";
+    options.batch_kernel = true;
+    options.layout = std::move(layout);
+    std::string src = emit_cpp(model, options);
+    src += "\nextern \"C\" void amsvp_step_batch(double* slots, int batch) {\n";
+    src += "    amsvp_native_model_step_batch(slots, batch);\n";
+    src += "}\n";
+    src += "\nextern \"C\" int amsvp_batch_slot_count() {\n";
+    src += "    return amsvp_native_model_batch_slot_count;\n";
+    src += "}\n";
+    return src;
+}
+
+}  // namespace
+
+std::shared_ptr<const NativeBatchProgram> NativeBatchProgram::compile(
+    const abstraction::SignalFlowModel& model, std::string* error) {
+    // One fused compile serves both sides: the emitter renders this
+    // layout's slot indices and the executing batch allocates its slot
+    // file from the same object.
+    auto layout = runtime::ModelLayout::compile(model, runtime::EvalStrategy::kFused);
+    auto library = detail::JitLibrary::compile(
+        wrapper_source(model, layout), {"amsvp_step_batch", "amsvp_batch_slot_count"},
+        error);
+    if (library == nullptr) {
+        return nullptr;
+    }
+    auto program = std::shared_ptr<NativeBatchProgram>(new NativeBatchProgram());
+    program->step_batch_fn_ = reinterpret_cast<StepBatchFn>(library->symbols()[0]);
+    const auto slot_count_fn = reinterpret_cast<int (*)()>(library->symbols()[1]);
+    program->library_ = std::move(library);
+    program->layout_ = std::move(layout);
+    // Load-time sanity guard: the loaded kernel's emitted slot count must
+    // be this layout's — a mismatch means the wrong .so got bound.
+    if (slot_count_fn() != static_cast<int>(program->layout_->slot_count())) {
+        if (error != nullptr) {
+            *error = "generated batch kernel disagrees with the runtime layout (" +
+                     std::to_string(slot_count_fn()) + " vs " +
+                     std::to_string(program->layout_->slot_count()) + " slots per lane)";
+        }
+        return nullptr;
+    }
+    return program;
+}
+
+NativeBatchModel::NativeBatchModel(std::shared_ptr<const NativeBatchProgram> program,
+                                   int batch)
+    : BatchCompiledModel(program->layout(), batch), program_(std::move(program)) {}
+
+std::unique_ptr<NativeBatchModel> NativeBatchModel::compile(
+    const abstraction::SignalFlowModel& model, int batch, std::string* error) {
+    auto program = NativeBatchProgram::compile(model, error);
+    if (program == nullptr) {
+        return nullptr;
+    }
+    return std::make_unique<NativeBatchModel>(std::move(program), batch);
+}
+
+void NativeBatchModel::step(double time_seconds) {
+    double* slots = slot_data();
+    const int lanes = batch();
+    double* time_lane =
+        slots + static_cast<std::size_t>(layout()->time_slot()) * static_cast<std::size_t>(lanes);
+    for (int l = 0; l < lanes; ++l) {
+        time_lane[l] = time_seconds;
+    }
+    program_->step_batch(slots, lanes);
+}
+
+std::unique_ptr<runtime::BatchExecutor> NativeBatchModel::make_shard(int lane_count) const {
+    return std::make_unique<NativeBatchModel>(program_, lane_count);
+}
+
+}  // namespace amsvp::codegen

@@ -1,0 +1,89 @@
+// Batched native execution: the whole sweep engine running as dlopen'ed
+// machine code.
+//
+// The C++ emitter renders a `step_batch(double* slots, int batch)` entry
+// point beside the scalar struct (CodegenOptions::batch_kernel): the same
+// fused instruction stream, one inner lane loop per instruction over the
+// strided BatchCompiledModel slot file, pinned widths 1/4/8/16/32
+// dispatched exactly like FusedProgram::execute_batch. NativeBatchProgram
+// compiles and loads that kernel once per model; NativeBatchModel is a
+// BatchCompiledModel whose step() drives the native kernel instead of the
+// interpreter — same slot file, same reset / set_input / set_value /
+// compact_lanes semantics, bit-identical results lane for lane (both sides
+// build with -ffp-contract=off).
+//
+// The kernel is a pure function of the slot file — no per-instance globals
+// in the shared object — so one dlopen'ed program serves any number of
+// shards concurrently: a worker-pool simulate_sweep with
+// SweepOptions::backend == kNative steps every shard through the same
+// machine code.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codegen/native_jit.hpp"
+#include "runtime/batch_model.hpp"
+
+namespace amsvp::codegen {
+
+/// The shared, immutable compile artifact of the native batch path: the
+/// dlopen'ed step_batch kernel plus the runtime layout it was emitted
+/// against. Thread-safe — the kernel touches only caller-provided memory.
+class NativeBatchProgram {
+public:
+    /// Emit, compile and load the batch kernel for `model`. Returns nullptr
+    /// (with `error` set) when no compiler is available, compilation fails,
+    /// or the generated kernel disagrees with the runtime layout.
+    [[nodiscard]] static std::shared_ptr<const NativeBatchProgram> compile(
+        const abstraction::SignalFlowModel& model, std::string* error = nullptr);
+
+    /// Step `batch` lanes of a strided slot file (layout()->slot_count()
+    /// rows). The caller writes inputs and the $abstime row first; history
+    /// rotates inside the kernel.
+    void step_batch(double* slots, int batch) const { step_batch_fn_(slots, batch); }
+
+    [[nodiscard]] const std::shared_ptr<const runtime::ModelLayout>& layout() const {
+        return layout_;
+    }
+
+private:
+    NativeBatchProgram() = default;
+
+    using StepBatchFn = void (*)(double*, int);
+
+    std::unique_ptr<detail::JitLibrary> library_;
+    StepBatchFn step_batch_fn_ = nullptr;
+    std::shared_ptr<const runtime::ModelLayout> layout_;
+};
+
+/// A BatchCompiledModel stepped by the native kernel: the slot-file API —
+/// reset, set_input, set_value, output_lanes, compact_lanes, shard_lanes —
+/// is inherited unchanged; only step() differs. Odd widths (including
+/// batches narrowed mid-sweep by steady-state compaction) go through the
+/// kernel's dynamic-width path, mirroring the interpreter.
+class NativeBatchModel final : public runtime::BatchCompiledModel {
+public:
+    /// Convenience: compile the kernel and batch it. Returns nullptr (with
+    /// `error` set) when native compilation is unavailable or fails.
+    [[nodiscard]] static std::unique_ptr<NativeBatchModel> compile(
+        const abstraction::SignalFlowModel& model, int batch, std::string* error = nullptr);
+
+    /// `batch` lanes over an already-compiled kernel (shards share one).
+    NativeBatchModel(std::shared_ptr<const NativeBatchProgram> program, int batch);
+
+    void step(double time_seconds) override;
+
+    /// A fresh native batch over the same dlopen'ed kernel.
+    [[nodiscard]] std::unique_ptr<runtime::BatchExecutor> make_shard(
+        int lane_count) const override;
+
+    [[nodiscard]] const std::shared_ptr<const NativeBatchProgram>& program() const {
+        return program_;
+    }
+
+private:
+    std::shared_ptr<const NativeBatchProgram> program_;
+};
+
+}  // namespace amsvp::codegen

@@ -1,0 +1,158 @@
+#include "codegen/native_jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace amsvp::codegen::detail {
+
+namespace {
+
+/// Owns every temp path of one compile attempt until success: any early
+/// return removes whatever still stands. release() hands a path over (the
+/// .so transfers into the JitLibrary; the .log survives a compiler error).
+class TempFileGuard {
+public:
+    ~TempFileGuard() {
+        for (const std::string& path : paths_) {
+            if (!path.empty()) {
+                std::remove(path.c_str());
+            }
+        }
+    }
+
+    std::size_t add(std::string path) {
+        paths_.push_back(std::move(path));
+        return paths_.size() - 1;
+    }
+
+    /// Stop owning paths_[index]; returns it.
+    std::string release(std::size_t index) {
+        std::string path = std::move(paths_[index]);
+        paths_[index].clear();
+        return path;
+    }
+
+private:
+    std::vector<std::string> paths_;
+};
+
+}  // namespace
+
+std::string unique_stem() {
+    static std::atomic<int> counter{0};
+    // Read $TMPDIR on every call (not cached): tests redirect it to verify
+    // the temp-file lifecycle, and respecting the live environment is what
+    // the variable means.
+    const char* tmpdir = std::getenv("TMPDIR");
+    std::string dir = (tmpdir != nullptr && tmpdir[0] != '\0') ? tmpdir : "/tmp";
+    if (dir.back() == '/') {
+        dir.pop_back();
+    }
+    return dir + "/amsvp_native_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1));
+}
+
+std::string shell_quote(const std::string& path) {
+    std::string quoted = "'";
+    for (const char c : path) {
+        if (c == '\'') {
+            quoted += "'\\''";
+        } else {
+            quoted += c;
+        }
+    }
+    quoted += "'";
+    return quoted;
+}
+
+bool jit_available() {
+    static const bool available = [] {
+        return std::system("c++ --version > /dev/null 2>&1") == 0;
+    }();
+    return available;
+}
+
+std::unique_ptr<JitLibrary> JitLibrary::compile(
+    const std::string& source, const std::vector<const char*>& required_symbols,
+    std::string* error) {
+    if (!jit_available()) {
+        if (error != nullptr) {
+            *error = "no C++ compiler available on PATH";
+        }
+        return nullptr;
+    }
+    const std::string stem = unique_stem();
+    TempFileGuard guard;
+    const std::size_t src_index = guard.add(stem + ".cpp");
+    const std::size_t so_index = guard.add(stem + ".so");
+    const std::size_t log_index = guard.add(stem + ".log");
+    const std::string src_path = stem + ".cpp";
+    const std::string so_path = stem + ".so";
+    {
+        std::ofstream out(src_path);
+        if (!out) {
+            if (error != nullptr) {
+                *error = "cannot write " + src_path;
+            }
+            return nullptr;
+        }
+        out << source;
+    }
+    // -ffp-contract=off keeps the native arithmetic bit-identical to the
+    // in-process interpreters (each operation rounds separately; the amsvp
+    // library itself builds with the same flag).
+    const std::string cmd = "c++ -std=c++17 -O2 -ffp-contract=off -shared -fPIC -o " +
+                            shell_quote(so_path) + " " + shell_quote(src_path) + " 2> " +
+                            shell_quote(stem + ".log");
+    if (std::system(cmd.c_str()) != 0) {
+        if (error != nullptr) {
+            *error = "compilation of generated model failed (see " + stem + ".log)";
+        }
+        guard.release(log_index);  // the error message references it
+        return nullptr;
+    }
+
+    void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (handle == nullptr) {
+        if (error != nullptr) {
+            *error = std::string("dlopen failed: ") + ::dlerror();
+        }
+        return nullptr;
+    }
+
+    std::vector<void*> symbols;
+    symbols.reserve(required_symbols.size());
+    for (const char* name : required_symbols) {
+        void* address = ::dlsym(handle, name);
+        if (address == nullptr) {
+            if (error != nullptr) {
+                *error = std::string("generated shared object lacks entry point ") + name;
+            }
+            ::dlclose(handle);
+            return nullptr;
+        }
+        symbols.push_back(address);
+    }
+
+    auto library = std::unique_ptr<JitLibrary>(new JitLibrary());
+    library->handle_ = handle;
+    library->so_path_ = guard.release(so_index);  // owned until ~JitLibrary now
+    library->symbols_ = std::move(symbols);
+    return library;
+}
+
+JitLibrary::~JitLibrary() {
+    if (handle_ != nullptr) {
+        ::dlclose(handle_);
+    }
+    if (!so_path_.empty()) {
+        std::remove(so_path_.c_str());
+    }
+}
+
+}  // namespace amsvp::codegen::detail

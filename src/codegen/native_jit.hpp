@@ -1,0 +1,62 @@
+// Shared plumbing for runtime-compiled models: write generated C++ to a
+// temp file, compile it with the system compiler into a shared object,
+// dlopen it and resolve the entry points. Both native executors — the
+// scalar NativeModel and the batched NativeBatchModel — go through this one
+// path, so the temp-file lifecycle (including every failure path) and the
+// compile command live in exactly one place.
+//
+// Temp-file contract: a compile attempt creates up to three files next to
+// each other (<stem>.cpp, <stem>.so, <stem>.log). On success only the .so
+// survives, owned by the returned JitLibrary and removed by its destructor.
+// On any failure *after* the compiler ran successfully (dlopen error,
+// missing entry point) all three are removed before returning. When the
+// compiler itself fails, the .log survives — the error message points at it
+// — and the other two are removed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace amsvp::codegen::detail {
+
+/// Temp-file stem for one compile attempt: "<tmpdir>/amsvp_native_<pid>_<n>".
+/// Honors $TMPDIR (falling back to /tmp) and is unique per process and per
+/// call, so concurrent compiles — even across threads — never collide.
+[[nodiscard]] std::string unique_stem();
+
+/// POSIX-shell single-quoting, so temp paths (which inherit $TMPDIR
+/// verbatim) can be embedded in the std::system compile command safely.
+[[nodiscard]] std::string shell_quote(const std::string& path);
+
+/// True when a usable `c++` compiler is on PATH (cached after first call).
+[[nodiscard]] bool jit_available();
+
+/// A successfully compiled and loaded shared object. Owns the dlopen handle
+/// and the .so file: destruction dlcloses and removes it.
+class JitLibrary {
+public:
+    /// Compile `source` and resolve `required_symbols` (all of them). On
+    /// failure returns nullptr with `error` set, leaving no temp files
+    /// behind except the compiler log on a compilation error (the message
+    /// references it).
+    [[nodiscard]] static std::unique_ptr<JitLibrary> compile(
+        const std::string& source, const std::vector<const char*>& required_symbols,
+        std::string* error);
+
+    ~JitLibrary();
+    JitLibrary(const JitLibrary&) = delete;
+    JitLibrary& operator=(const JitLibrary&) = delete;
+
+    /// Resolved addresses, in required_symbols order.
+    [[nodiscard]] const std::vector<void*>& symbols() const { return symbols_; }
+
+private:
+    JitLibrary() = default;
+
+    void* handle_ = nullptr;
+    std::string so_path_;
+    std::vector<void*> symbols_;
+};
+
+}  // namespace amsvp::codegen::detail

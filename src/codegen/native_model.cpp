@@ -1,12 +1,7 @@
 #include "codegen/native_model.hpp"
 
-#include <dlfcn.h>
-#include <unistd.h>
-
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 
 #include "codegen/codegen.hpp"
 #include "runtime/compiled_model.hpp"
@@ -16,12 +11,6 @@ namespace amsvp::codegen {
 
 namespace {
 
-std::string unique_stem() {
-    static std::atomic<int> counter{0};
-    return "/tmp/amsvp_native_" + std::to_string(::getpid()) + "_" +
-           std::to_string(counter.fetch_add(1));
-}
-
 /// The generated struct plus a C ABI wrapper the loader binds to.
 std::string wrapper_source(const abstraction::SignalFlowModel& model) {
     CodegenOptions options;
@@ -30,16 +19,22 @@ std::string wrapper_source(const abstraction::SignalFlowModel& model) {
     std::string src = emit_cpp(model, options);
     src += "\nnamespace { amsvp_native_model g_model; }\n";
     src += "\nextern \"C\" void amsvp_reset() { g_model = amsvp_native_model(); }\n";
+    src += "\n// Current output values without stepping — the loader refreshes its\n";
+    src += "// cached outputs after a reset so reads before the next step see the\n";
+    src += "// re-initialized model, like the interpreter does.\n";
+    src += "extern \"C\" void amsvp_outputs(double* outputs) {\n";
+    for (std::size_t i = 0; i < model.outputs.size(); ++i) {
+        src += "    outputs[" + std::to_string(i) + "] = g_model.output" + std::to_string(i) +
+               "();\n";
+    }
+    src += "}\n";
     src += "\nextern \"C\" void amsvp_step(const double* inputs, double t, double* outputs) {\n";
     for (std::size_t i = 0; i < model.inputs.size(); ++i) {
         src += "    g_model." + model.inputs[i].identifier() + " = inputs[" +
                std::to_string(i) + "];\n";
     }
     src += "    g_model.step(t);\n";
-    for (std::size_t i = 0; i < model.outputs.size(); ++i) {
-        src += "    outputs[" + std::to_string(i) + "] = g_model.output" + std::to_string(i) +
-               "();\n";
-    }
+    src += "    amsvp_outputs(outputs);\n";
     src += "}\n";
     src += "\nextern \"C\" double amsvp_slot(int i) { return g_model.slot_value(i); }\n";
     src += "\nextern \"C\" int amsvp_slot_count() { return amsvp_native_model::slot_count; }\n";
@@ -49,88 +44,33 @@ std::string wrapper_source(const abstraction::SignalFlowModel& model) {
 }  // namespace
 
 bool native_compilation_available() {
-    static const bool available = [] {
-        return std::system("c++ --version > /dev/null 2>&1") == 0;
-    }();
-    return available;
+    return detail::jit_available();
 }
 
 std::unique_ptr<NativeModel> NativeModel::compile(const abstraction::SignalFlowModel& model,
                                                   std::string* error) {
-    if (!native_compilation_available()) {
-        if (error != nullptr) {
-            *error = "no C++ compiler available on PATH";
-        }
+    auto library = detail::JitLibrary::compile(
+        wrapper_source(model),
+        {"amsvp_reset", "amsvp_step", "amsvp_outputs", "amsvp_slot", "amsvp_slot_count"},
+        error);
+    if (library == nullptr) {
         return nullptr;
     }
-    const std::string stem = unique_stem();
-    const std::string src_path = stem + ".cpp";
-    const std::string so_path = stem + ".so";
-    {
-        std::ofstream out(src_path);
-        if (!out) {
-            if (error != nullptr) {
-                *error = "cannot write " + src_path;
-            }
-            return nullptr;
-        }
-        out << wrapper_source(model);
-    }
-    // -ffp-contract=off keeps the native arithmetic bit-identical to the
-    // in-process interpreters (each operation rounds separately; the amsvp
-    // library itself builds with the same flag).
-    const std::string cmd = "c++ -std=c++17 -O2 -ffp-contract=off -shared -fPIC -o " +
-                            so_path + " " + src_path + " 2> " + stem + ".log";
-    if (std::system(cmd.c_str()) != 0) {
-        if (error != nullptr) {
-            *error = "compilation of generated model failed (see " + stem + ".log)";
-        }
-        std::remove(src_path.c_str());
-        return nullptr;
-    }
-
-    void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
-    if (handle == nullptr) {
-        if (error != nullptr) {
-            *error = std::string("dlopen failed: ") + ::dlerror();
-        }
-        std::remove(src_path.c_str());
-        std::remove(so_path.c_str());
-        return nullptr;
-    }
-
     auto native = std::unique_ptr<NativeModel>(new NativeModel());
-    native->handle_ = handle;
-    native->reset_fn_ = reinterpret_cast<ResetFn>(::dlsym(handle, "amsvp_reset"));
-    native->step_fn_ = reinterpret_cast<StepFn>(::dlsym(handle, "amsvp_step"));
-    native->slot_fn_ = reinterpret_cast<SlotFn>(::dlsym(handle, "amsvp_slot"));
-    native->slot_count_fn_ =
-        reinterpret_cast<SlotCountFn>(::dlsym(handle, "amsvp_slot_count"));
-    if (native->reset_fn_ == nullptr || native->step_fn_ == nullptr ||
-        native->slot_fn_ == nullptr || native->slot_count_fn_ == nullptr) {
-        if (error != nullptr) {
-            *error = "generated shared object lacks the expected entry points";
-        }
-        return nullptr;  // destructor cleans up
-    }
+    native->reset_fn_ = reinterpret_cast<ResetFn>(library->symbols()[0]);
+    native->step_fn_ = reinterpret_cast<StepFn>(library->symbols()[1]);
+    native->outputs_fn_ = reinterpret_cast<OutputsFn>(library->symbols()[2]);
+    native->slot_fn_ = reinterpret_cast<SlotFn>(library->symbols()[3]);
+    native->slot_count_fn_ = reinterpret_cast<SlotCountFn>(library->symbols()[4]);
+    native->library_ = std::move(library);
     native->inputs_.assign(model.inputs.size(), 0.0);
     native->outputs_.assign(model.outputs.size(), 0.0);
     native->timestep_ = model.timestep;
-    native->so_path_ = so_path;
-    std::remove(src_path.c_str());
-    std::remove((stem + ".log").c_str());
     native->reset();
     return native;
 }
 
-NativeModel::~NativeModel() {
-    if (handle_ != nullptr) {
-        ::dlclose(handle_);
-    }
-    if (!so_path_.empty()) {
-        std::remove(so_path_.c_str());
-    }
-}
+NativeModel::~NativeModel() = default;
 
 runtime::ExecutorFactory native_executor_factory() {
     return [](const abstraction::SignalFlowModel& model)
@@ -139,9 +79,9 @@ runtime::ExecutorFactory native_executor_factory() {
         if (auto native = NativeModel::compile(model, &error)) {
             return native;
         }
-        static bool warned = false;
-        if (!warned) {
-            warned = true;
+        // atomic: executor factories run from worker threads too.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
             std::fprintf(stderr,
                          "amsvp: native model execution unavailable (%s); "
                          "falling back to the bytecode interpreter\n",

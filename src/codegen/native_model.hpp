@@ -5,10 +5,12 @@
 // or simulation kernel in the loop.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "codegen/native_jit.hpp"
 #include "runtime/executor.hpp"
 
 namespace amsvp::codegen {
@@ -24,7 +26,17 @@ public:
     NativeModel(const NativeModel&) = delete;
     NativeModel& operator=(const NativeModel&) = delete;
 
-    void reset() override { reset_fn_(); }
+    /// Reset the generated model to its initial values, matching
+    /// CompiledModel::reset() observably: the cached input vector is
+    /// cleared (the interpreter zeroes input slots, so the next step must
+    /// not re-apply stale inputs) and the cached outputs are refreshed
+    /// from the re-initialized model (so output() before the next step
+    /// reads initial values, not the last pre-reset step).
+    void reset() override {
+        reset_fn_();
+        std::fill(inputs_.begin(), inputs_.end(), 0.0);
+        outputs_fn_(outputs_.data());
+    }
     void set_input(std::size_t index, double value) override { inputs_.at(index) = value; }
     void step(double time_seconds) override {
         step_fn_(inputs_.data(), time_seconds, outputs_.data());
@@ -49,18 +61,19 @@ private:
 
     using ResetFn = void (*)();
     using StepFn = void (*)(const double*, double, double*);
+    using OutputsFn = void (*)(double*);
     using SlotFn = double (*)(int);
     using SlotCountFn = int (*)();
 
-    void* handle_ = nullptr;
+    std::unique_ptr<detail::JitLibrary> library_;
     ResetFn reset_fn_ = nullptr;
     StepFn step_fn_ = nullptr;
+    OutputsFn outputs_fn_ = nullptr;
     SlotFn slot_fn_ = nullptr;
     SlotCountFn slot_count_fn_ = nullptr;
     std::vector<double> inputs_;
     std::vector<double> outputs_;
     double timestep_ = 0.0;
-    std::string so_path_;
 };
 
 /// True when a usable `c++` compiler is on PATH (cached after first call).

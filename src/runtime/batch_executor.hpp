@@ -1,0 +1,63 @@
+// The abstract surface a batched sweep needs from its execution engine.
+//
+// simulate_sweep's shard loop — per-lane stimuli, stepping, waveform
+// capture, steady-state retirement with in-place lane compaction — is
+// backend-agnostic: it drives this interface, and the backend decides what
+// a step costs. Two implementations exist: BatchCompiledModel (the fused
+// batch interpreter) and codegen::NativeBatchModel (the same strided slot
+// file stepped by a dlopen'ed, runtime-compiled step_batch kernel). Both
+// are bit-identical lane for lane, so SweepOptions::backend is a pure
+// performance choice.
+//
+// make_shard() is the dependency inversion that keeps the worker-pool path
+// backend-agnostic too: a shard is "a narrower sibling of this executor"
+// (same compile artifact, its own slot file), and only the backend knows
+// how to build one.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "expr/symbol.hpp"
+
+namespace amsvp::runtime {
+
+class BatchExecutor {
+public:
+    virtual ~BatchExecutor() = default;
+
+    /// Current lane count (shrinks under compact_lanes, reset restores it).
+    [[nodiscard]] virtual int batch() const = 0;
+    [[nodiscard]] virtual std::size_t input_count() const = 0;
+    [[nodiscard]] virtual std::size_t output_count() const = 0;
+    [[nodiscard]] virtual double timestep() const = 0;
+
+    /// Reset every lane to the model's initial values (and restore the
+    /// constructed width after a previous compact_lanes).
+    virtual void reset() = 0;
+
+    virtual void set_input(int lane, std::size_t index, double value) = 0;
+
+    /// Override a symbol's value — current slot and all history slots — on
+    /// one lane (per-lane parameters / initial conditions after reset).
+    virtual void set_value(int lane, const expr::Symbol& symbol, double value) = 0;
+
+    /// Evaluate one step at absolute time `time_seconds` on every lane,
+    /// then rotate each lane's history.
+    virtual void step(double time_seconds) = 0;
+
+    /// Lane-contiguous values of output `index` (batch() doubles).
+    [[nodiscard]] virtual const double* output_lanes(std::size_t index) const = 0;
+
+    /// Shrink the batch in place to the lanes in `keep` (strictly
+    /// ascending), preserving every kept lane's state exactly.
+    virtual void compact_lanes(const std::vector<int>& keep) = 0;
+
+    /// A fresh `lane_count`-wide executor of the same backend over the same
+    /// compile artifact — the worker-pool sweep builds one per shard so
+    /// shards never share mutable state.
+    [[nodiscard]] virtual std::unique_ptr<BatchExecutor> make_shard(int lane_count) const = 0;
+};
+
+}  // namespace amsvp::runtime

@@ -135,6 +135,10 @@ void BatchCompiledModel::compact_lanes(const std::vector<int>& keep) {
     slots_.resize(slot_count * static_cast<std::size_t>(new_batch));
 }
 
+std::unique_ptr<BatchExecutor> BatchCompiledModel::make_shard(int lane_count) const {
+    return std::make_unique<BatchCompiledModel>(layout_, lane_count);
+}
+
 double BatchCompiledModel::value_of(int lane, const expr::Symbol& symbol) const {
     AMSVP_CHECK(lane >= 0 && lane < batch_, "lane out of range");
     return slots_[at(layout_->slot_for(symbol, 0), lane)];

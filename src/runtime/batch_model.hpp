@@ -19,11 +19,12 @@
 #include <vector>
 
 #include "abstraction/signal_flow_model.hpp"
+#include "runtime/batch_executor.hpp"
 #include "runtime/model_layout.hpp"
 
 namespace amsvp::runtime {
 
-class BatchCompiledModel {
+class BatchCompiledModel : public BatchExecutor {
 public:
     /// One contiguous chunk of sweep lanes, [begin, begin + count). The
     /// worker-pool sweep builds one BatchCompiledModel per range — its own
@@ -52,10 +53,12 @@ public:
     /// Convenience: compile the model (fused) and batch it.
     BatchCompiledModel(const abstraction::SignalFlowModel& model, int batch);
 
-    [[nodiscard]] int batch() const { return batch_; }
-    [[nodiscard]] std::size_t input_count() const { return layout_->input_count(); }
-    [[nodiscard]] std::size_t output_count() const { return layout_->output_count(); }
-    [[nodiscard]] double timestep() const { return layout_->timestep(); }
+    [[nodiscard]] int batch() const override { return batch_; }
+    [[nodiscard]] std::size_t input_count() const override { return layout_->input_count(); }
+    [[nodiscard]] std::size_t output_count() const override {
+        return layout_->output_count();
+    }
+    [[nodiscard]] double timestep() const override { return layout_->timestep(); }
     [[nodiscard]] std::size_t input_index(const std::string& name) const {
         return layout_->input_index(name);
     }
@@ -64,28 +67,35 @@ public:
     /// compact_lanes() is re-grown to its constructed width first, so a
     /// reused object always starts the next run with every lane it was
     /// built with.
-    void reset();
+    void reset() override;
 
-    void set_input(int lane, std::size_t index, double value);
+    void set_input(int lane, std::size_t index, double value) override;
     /// Same input value on every lane (shared stimulus).
     void broadcast_input(std::size_t index, double value);
 
     /// Override a symbol's value — current slot and all history slots — on
     /// one lane. This is how sweeps apply per-lane parameter overrides and
     /// initial conditions after reset().
-    void set_value(int lane, const expr::Symbol& symbol, double value);
+    void set_value(int lane, const expr::Symbol& symbol, double value) override;
 
     /// Evaluate one step at absolute time `time_seconds` on every lane,
     /// then rotate each lane's history.
-    void step(double time_seconds);
+    void step(double time_seconds) override;
 
     [[nodiscard]] double output(int lane, std::size_t index) const;
     /// Lane-contiguous values of output `index` (batch() doubles) — the
     /// zero-copy row batched waveform capture appends per step.
-    [[nodiscard]] const double* output_lanes(std::size_t index) const;
+    [[nodiscard]] const double* output_lanes(std::size_t index) const override;
 
     /// Value of an arbitrary model symbol on one lane (testing).
     [[nodiscard]] double value_of(int lane, const expr::Symbol& symbol) const;
+
+    /// Raw slot value of one lane (testing: slot-for-slot differentials
+    /// between the interpreter and the native step_batch kernel, which
+    /// share the strided layout).
+    [[nodiscard]] double slot_value(int lane, int slot) const {
+        return slots_.at(at(slot, lane));
+    }
 
     /// Shrink the batch in place to the lanes in `keep` (strictly
     /// ascending current lane indices). Every kept lane's state is
@@ -93,9 +103,17 @@ public:
     /// pass, no reallocation — so stepping continues bit-for-bit for the
     /// survivors. This is how sweeps retire lanes that reached steady
     /// state without paying for them on every subsequent step.
-    void compact_lanes(const std::vector<int>& keep);
+    void compact_lanes(const std::vector<int>& keep) override;
+
+    /// A fresh interpreter batch over the same shared layout.
+    [[nodiscard]] std::unique_ptr<BatchExecutor> make_shard(int lane_count) const override;
 
     [[nodiscard]] const std::shared_ptr<const ModelLayout>& layout() const { return layout_; }
+
+protected:
+    /// The strided slot file (derived backends step it with their own
+    /// kernel; layout()->slot_count() rows of batch() lanes).
+    [[nodiscard]] double* slot_data() { return slots_.data(); }
 
 private:
     [[nodiscard]] std::size_t at(int slot, int lane) const {

@@ -1,9 +1,16 @@
 #include "runtime/simulate.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 
+// The native sweep backend lives in codegen (it owns the emitters and the
+// dlopen plumbing); this .cpp-level dependency is one-way — no codegen
+// header includes runtime/simulate.hpp — and keeps backend selection a
+// plain SweepOptions field instead of a registration scheme.
+#include "codegen/native_batch.hpp"
 #include "support/check.hpp"
 #include "support/step_count.hpp"
 #include "support/thread_pool.hpp"
@@ -60,6 +67,22 @@ SweepResult simulate_sweep(const abstraction::SignalFlowModel& model,
                            const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
                            const std::vector<SweepLane>& lanes, double duration_seconds,
                            const SweepOptions& options) {
+    if (options.backend == SweepBackend::kNative) {
+        std::string error;
+        if (auto native = codegen::NativeBatchModel::compile(
+                model, static_cast<int>(lanes.size()), &error)) {
+            return simulate_sweep(*native, model.inputs, shared_stimuli, lanes,
+                                  duration_seconds, options);
+        }
+        // atomic: concurrent sweeps may hit the fallback simultaneously.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            std::fprintf(stderr,
+                         "amsvp: native sweep backend unavailable (%s); "
+                         "falling back to the batch interpreter\n",
+                         error.c_str());
+        }
+    }
     BatchCompiledModel batch(model, static_cast<int>(lanes.size()));
     return simulate_sweep(batch, model.inputs, shared_stimuli, lanes, duration_seconds,
                           options);
@@ -84,9 +107,11 @@ bool within_steady_band(double value, double anchor, double tolerance) {
 /// whole sweep engine — the single-threaded path runs it once over all
 /// lanes, the worker-pool path runs it once per shard — so both paths are
 /// the same code and bit-identical by construction (lane results do not
-/// depend on batch width; see batch_model_test).
+/// depend on batch width; see batch_model_test). It drives the abstract
+/// BatchExecutor surface, so the same loop serves the fused interpreter
+/// and the dlopen'ed native kernel.
 ///
-///  - `batch` is the shard's own slot file (width == the shard's lane
+///  - `batch` is the shard's own executor (width == the shard's lane
 ///    count), already reset with per-lane overrides applied.
 ///  - `sources` are the input-major stimulus rows over ALL sweep lanes
 ///    (row stride `source_stride`); the shard reads the columns
@@ -94,7 +119,7 @@ bool within_steady_band(double value, double anchor, double tolerance) {
 ///  - `outputs` holds one WaveformBatch per model output, sized to the
 ///    shard's lane count; `settled_at` points at the shard's slice of the
 ///    result (batch.batch() entries, pre-filled with `steps`).
-void run_sweep_shard(BatchCompiledModel& batch,
+void run_sweep_shard(BatchExecutor& batch,
                      const numeric::SourceFunction* const* sources,
                      std::size_t source_stride, std::size_t lane_begin,
                      std::size_t n_inputs, std::size_t steps, double dt,
@@ -221,7 +246,7 @@ int resolve_threads(int requested) {
 
 }  // namespace
 
-SweepResult simulate_sweep(BatchCompiledModel& batch,
+SweepResult simulate_sweep(BatchExecutor& batch,
                            const std::vector<expr::Symbol>& input_symbols,
                            const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
                            const std::vector<SweepLane>& lanes, double duration_seconds,
@@ -282,19 +307,21 @@ SweepResult simulate_sweep(BatchCompiledModel& batch,
         return result;
     }
 
-    // Worker-pool mode: each shard is its own contiguous slot file over the
-    // shared immutable layout, stepped by one worker; no mutable state is
-    // shared between shards, so the only synchronization is the join. The
-    // caller's full-width batch is left reset and untouched.
+    // Worker-pool mode: each shard is its own executor over the shared
+    // compile artifact — make_shard keeps the backend, so native sweeps
+    // shard through the same dlopen'ed kernel — stepped by one worker; no
+    // mutable state is shared between shards, so the only synchronization
+    // is the join. The caller's full-width batch is left reset and
+    // untouched.
     struct Shard {
-        BatchCompiledModel model;
+        std::unique_ptr<BatchExecutor> model;
         std::vector<numeric::WaveformBatch> outputs;
         BatchCompiledModel::LaneRange range;
     };
     std::vector<Shard> work;
     work.reserve(shards.size());
     for (const BatchCompiledModel::LaneRange& range : shards) {
-        work.push_back(Shard{BatchCompiledModel(batch.layout(), range.count),
+        work.push_back(Shard{batch.make_shard(range.count),
                              std::vector<numeric::WaveformBatch>(
                                  n_outputs, numeric::WaveformBatch(
                                                 static_cast<std::size_t>(range.count), dt, dt)),
@@ -306,7 +333,7 @@ SweepResult simulate_sweep(BatchCompiledModel& batch,
         for (int j = 0; j < range.count; ++j) {
             const auto lane = static_cast<std::size_t>(range.begin + j);
             for (const auto& [symbol, value] : lanes[lane].overrides) {
-                shard.model.set_value(j, symbol, value);
+                shard.model->set_value(j, symbol, value);
             }
         }
     }
@@ -314,7 +341,7 @@ SweepResult simulate_sweep(BatchCompiledModel& batch,
     support::ThreadPool pool(static_cast<int>(work.size()));
     pool.run(static_cast<int>(work.size()), [&](int s) {
         Shard& shard = work[static_cast<std::size_t>(s)];
-        run_sweep_shard(shard.model, sources.data(), n_lanes,
+        run_sweep_shard(*shard.model, sources.data(), n_lanes,
                         static_cast<std::size_t>(shard.range.begin), input_symbols.size(),
                         steps, dt, options, shard.outputs,
                         result.settled_at.data() + shard.range.begin);

@@ -54,6 +54,25 @@ struct SweepResult {
     std::vector<std::size_t> settled_at;
 };
 
+/// Execution engine for simulate_sweep.
+enum class SweepBackend {
+    /// The in-process fused batch interpreter (BatchCompiledModel).
+    kInterpreter,
+    /// Runtime-compiled machine code: the C++ emitter's step_batch kernel,
+    /// compiled with the system compiler and dlopen'ed once per model
+    /// (codegen::NativeBatchModel). Bit-identical to the interpreter lane
+    /// for lane — outputs and settled_at — at every batch width and thread
+    /// count; falls back to the interpreter (with a one-time note on
+    /// stderr) when no compiler is on PATH or compilation fails.
+    ///
+    /// Cost note: the model-compiling simulate_sweep overload pays the
+    /// system-compiler invocation (typically a few hundred ms) on *every*
+    /// call. Repeat sweeps of one model should compile a
+    /// codegen::NativeBatchModel once and use the executor-reusing
+    /// overload — the dlopen'ed kernel is a shareable per-model artifact.
+    kNative,
+};
+
 /// Convergence helpers for simulate_sweep.
 struct SweepOptions {
     /// > 0 enables per-lane steady-state detection: a lane settles once
@@ -84,6 +103,12 @@ struct SweepOptions {
     /// a callable mutating shared state, e.g. a memoizing interpolator, is
     /// not and needs its own synchronization).
     int threads = 1;
+    /// Execution engine. Honored by the model-compiling overload; the
+    /// executor-reusing overload steps whatever executor it is handed (a
+    /// BatchCompiledModel runs interpreted, a codegen::NativeBatchModel
+    /// runs native — shards always match the executor's backend via
+    /// BatchExecutor::make_shard).
+    SweepBackend backend = SweepBackend::kInterpreter;
 };
 
 /// Run all `lanes` for `duration_seconds` through one BatchCompiledModel:
@@ -97,16 +122,19 @@ struct SweepOptions {
     const std::vector<SweepLane>& lanes, double duration_seconds,
     const SweepOptions& options = {});
 
-/// Same, reusing an existing batch instance (state is reset first, which
+/// Same, reusing an existing batch executor (state is reset first, which
 /// also restores the constructed width after a previous sweep's
 /// steady-state compaction; the constructed batch width must equal
-/// lanes.size()). When `options.threads` yields more than one shard the
-/// sweep steps per-shard slot files built from batch.layout() and `batch`
-/// itself is left reset; with a single shard (few lanes or threads <= 1)
-/// `batch` is the slot file that gets stepped — and possibly compacted by
+/// lanes.size()). Any BatchExecutor works — the interpreter's
+/// BatchCompiledModel or the native codegen::NativeBatchModel — and the
+/// sweep runs entirely through it. When `options.threads` yields more than
+/// one shard the sweep steps per-shard executors built by
+/// `batch.make_shard()` (same backend, own slot file) and `batch` itself
+/// is left reset; with a single shard (few lanes or threads <= 1) `batch`
+/// is the executor that gets stepped — and possibly compacted by
 /// steady-state retirement — exactly as before.
 [[nodiscard]] SweepResult simulate_sweep(
-    BatchCompiledModel& batch, const std::vector<expr::Symbol>& input_symbols,
+    BatchExecutor& batch, const std::vector<expr::Symbol>& input_symbols,
     const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
     const std::vector<SweepLane>& lanes, double duration_seconds,
     const SweepOptions& options = {});

@@ -1,0 +1,366 @@
+// Batched native execution: the C++ emitter's step_batch kernel, compiled
+// to a shared object and loaded at runtime, must behave exactly like the
+// fused batch interpreter — same strided slot file, same per-lane
+// arithmetic, bit-for-bit at every batch width and thread count (both
+// sides build with -ffp-contract=off). Also covers the emission itself
+// (text properties, no compiler needed) and concurrent native compilation
+// (suite name ThreadedSweepNativeCompile feeds the `threads` ctest label
+// for the -DAMSVP_TSAN=ON config).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "abstraction/abstraction.hpp"
+#include "codegen/codegen.hpp"
+#include "codegen/native_batch.hpp"
+#include "codegen/native_model.hpp"
+#include "netlist/builder.hpp"
+#include "random_models.hpp"
+#include "runtime/simulate.hpp"
+#include "support/thread_pool.hpp"
+
+namespace amsvp::codegen {
+namespace {
+
+abstraction::SignalFlowModel ladder_model(int stages, double timestep = 0.0) {
+    const netlist::Circuit circuit = netlist::make_rc_ladder(stages);
+    abstraction::AbstractionOptions options;
+    if (timestep > 0.0) {
+        options.timestep = timestep;
+    }
+    std::string error;
+    auto model =
+        abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, options, &error);
+    EXPECT_TRUE(model.has_value()) << error;
+    return std::move(*model);
+}
+
+abstraction::SignalFlowModel random_model(unsigned seed) {
+    const auto random = testing_support::make_random_rc(seed);
+    std::string error;
+    auto model = abstraction::abstract_circuit(random.circuit,
+                                               {{random.observed_node, "gnd"}}, {}, &error);
+    EXPECT_TRUE(model.has_value()) << error;
+    return std::move(*model);
+}
+
+void expect_identical(const runtime::SweepResult& native,
+                      const runtime::SweepResult& reference) {
+    ASSERT_EQ(native.steps, reference.steps);
+    ASSERT_EQ(native.settled_at, reference.settled_at);
+    ASSERT_EQ(native.outputs.size(), reference.outputs.size());
+    for (std::size_t o = 0; o < reference.outputs.size(); ++o) {
+        const numeric::WaveformBatch& a = native.outputs[o];
+        const numeric::WaveformBatch& b = reference.outputs[o];
+        ASSERT_EQ(a.lanes(), b.lanes());
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t l = 0; l < b.lanes(); ++l) {
+            for (std::size_t k = 0; k < b.size(); ++k) {
+                ASSERT_EQ(a.value(l, k), b.value(l, k))
+                    << "output " << o << " lane " << l << " step " << k;
+            }
+        }
+    }
+}
+
+std::vector<runtime::SweepLane> varied_lanes(const abstraction::SignalFlowModel& model,
+                                             int n_lanes) {
+    std::vector<runtime::SweepLane> lanes(static_cast<std::size_t>(n_lanes));
+    const expr::Symbol out_node = model.outputs.front();
+    for (int l = 0; l < n_lanes; ++l) {
+        lanes[static_cast<std::size_t>(l)].stimuli["u0"] =
+            numeric::square_wave(1e-3, 0.0, 0.5 + 0.25 * static_cast<double>(l));
+        lanes[static_cast<std::size_t>(l)].overrides[out_node] =
+            0.01 * static_cast<double>(l);
+    }
+    return lanes;
+}
+
+// ---------------------------------------------------------------------------
+// Emission (pure text — runs even without a compiler on PATH).
+
+TEST(NativeBatchEmission, StepBatchKernelRendersStridedLaneLoops) {
+    const auto model = ladder_model(3);
+    CodegenOptions options;
+    options.type_name = "m";
+    options.batch_kernel = true;
+    const std::string src = emit_cpp(model, options);
+
+    // The batched entry point, its pinned-width dispatcher and the slot
+    // count constant are all present.
+    EXPECT_NE(src.find("inline void m_step_batch(double* s, int batch)"),
+              std::string::npos);
+    EXPECT_NE(src.find("template <int kStaticBatch>"), std::string::npos);
+    EXPECT_NE(src.find("m_batch_slot_count"), std::string::npos);
+    for (const char* width : {"case 1:", "case 4:", "case 8:", "case 16:", "case 32:"}) {
+        EXPECT_NE(src.find(width), std::string::npos) << width;
+    }
+    EXPECT_NE(src.find("m_step_batch_impl<0>(s, batch)"), std::string::npos);
+    // Statements are strided lane loops over the slot file.
+    EXPECT_NE(src.find("for (int l = 0; l < B; ++l) s["), std::string::npos);
+    EXPECT_NE(src.find(" * B + l]"), std::string::npos);
+
+    // The per-lane slot count matches the runtime layout the batch
+    // interpreter allocates (model slots + fused scratch).
+    const auto layout = runtime::ModelLayout::compile(model);
+    EXPECT_NE(src.find("m_batch_slot_count = " + std::to_string(layout->slot_count())),
+              std::string::npos);
+
+    // Without the flag, none of the batch machinery is emitted.
+    options.batch_kernel = false;
+    const std::string scalar_only = emit_cpp(model, options);
+    EXPECT_EQ(scalar_only.find("step_batch"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tier-1 smoke (native_batch_smoke ctest): emit -> compile -> load -> sweep.
+
+TEST(NativeBatchSmoke, EmitCompileLoadSweep) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    const auto model = ladder_model(3);
+    std::string error;
+    auto native = NativeBatchModel::compile(model, 8, &error);
+    ASSERT_NE(native, nullptr) << error;
+    EXPECT_EQ(native->batch(), 8);
+
+    const auto lanes = varied_lanes(model, 8);
+    const double duration = 200 * model.timestep;
+    const auto reference = runtime::simulate_sweep(model, {}, lanes, duration);
+    const auto swept =
+        runtime::simulate_sweep(*native, model.inputs, {}, lanes, duration);
+    expect_identical(swept, reference);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance differential: bit-identical to the interpreter at batch
+// widths {1, 4, 7, 8, 16, 33} x threads {1, 0}, outputs and settled_at.
+
+TEST(NativeSweepBackend, BitIdenticalAcrossWidthsAndThreads) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    const auto model = random_model(501u);
+    std::string error;
+    const auto program = NativeBatchProgram::compile(model, &error);
+    ASSERT_NE(program, nullptr) << error;
+
+    const double duration = 300 * model.timestep;
+    for (const int width : {1, 4, 7, 8, 16, 33}) {
+        const auto lanes = varied_lanes(model, width);
+        for (const int threads : {1, 0}) {
+            runtime::SweepOptions options;
+            options.threads = threads;
+            const auto reference =
+                runtime::simulate_sweep(model, {}, lanes, duration, options);
+            NativeBatchModel native(program, width);
+            const auto swept = runtime::simulate_sweep(native, model.inputs, {}, lanes,
+                                                       duration, options);
+            SCOPED_TRACE("width " + std::to_string(width) + " threads " +
+                         std::to_string(threads));
+            expect_identical(swept, reference);
+        }
+    }
+}
+
+TEST(NativeSweepBackend, ModelOverloadSelectsNativeBackend) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    const auto model = random_model(502u);
+    const auto lanes = varied_lanes(model, 16);
+    const double duration = 200 * model.timestep;
+
+    const auto reference = runtime::simulate_sweep(model, {}, lanes, duration);
+    runtime::SweepOptions options;
+    options.backend = runtime::SweepBackend::kNative;
+    options.threads = 2;
+    const auto native = runtime::simulate_sweep(model, {}, lanes, duration, options);
+    expect_identical(native, reference);
+}
+
+TEST(NativeSweepBackend, SteadyStateRetirementMatchesInterpreter) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    // Pure decay with per-lane initial charge: lanes settle at different
+    // steps, so the native path exercises retirement, in-place compaction
+    // and the dynamic-width kernel dispatch on the shrinking batch.
+    const auto model = ladder_model(20, 1e-3);
+    const auto states = model.state_symbols();
+    ASSERT_FALSE(states.empty());
+
+    constexpr int kLanes = 24;
+    std::vector<runtime::SweepLane> lanes(kLanes);
+    for (int l = 0; l < kLanes; ++l) {
+        const double amplitude = 1e-3 * std::pow(2.0, l % 12);
+        for (const expr::Symbol& s : states) {
+            lanes[static_cast<std::size_t>(l)].overrides[s] = amplitude;
+        }
+    }
+    const std::map<std::string, numeric::SourceFunction> stimuli{
+        {"u0", [](double) { return 0.0; }}};
+    const double duration = 1500 * model.timestep;
+
+    runtime::SweepOptions options;
+    options.steady_tolerance = 1e-6;
+    options.steady_window = 16;
+    const auto reference = runtime::simulate_sweep(model, stimuli, lanes, duration, options);
+
+    bool any_retired = false;
+    for (const std::size_t settled : reference.settled_at) {
+        any_retired = any_retired || settled < reference.steps;
+    }
+    ASSERT_TRUE(any_retired);
+
+    std::string error;
+    const auto program = NativeBatchProgram::compile(model, &error);
+    ASSERT_NE(program, nullptr) << error;
+    for (const int threads : {1, 0}) {
+        runtime::SweepOptions native_options = options;
+        native_options.threads = threads;
+        NativeBatchModel native(program, kLanes);
+        const auto swept = runtime::simulate_sweep(native, model.inputs, stimuli, lanes,
+                                                   duration, native_options);
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        expect_identical(swept, reference);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slot-file differentials and the inherited slot-file API.
+
+TEST(NativeBatchModel, SlotFileMatchesInterpreterSlotForSlot) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    const auto model = ladder_model(5);
+    // Width 5: a non-pinned width, so this also covers the kernel's
+    // dynamic-width fallback.
+    constexpr int kWidth = 5;
+    std::string error;
+    auto native = NativeBatchModel::compile(model, kWidth, &error);
+    ASSERT_NE(native, nullptr) << error;
+    runtime::BatchCompiledModel interp(model, kWidth);
+
+    const int model_slots = static_cast<int>(interp.layout()->model_slot_count());
+    const auto stimulus = numeric::sine_wave(1000.0);
+    const double dt = model.timestep;
+    for (int k = 1; k <= 300; ++k) {
+        const double t = k * dt;
+        for (int l = 0; l < kWidth; ++l) {
+            const double v = stimulus(t) * (1.0 + 0.1 * static_cast<double>(l));
+            native->set_input(l, 0, v);
+            interp.set_input(l, 0, v);
+        }
+        native->step(t);
+        interp.step(t);
+        for (int l = 0; l < kWidth; ++l) {
+            for (int s = 0; s < model_slots; ++s) {
+                ASSERT_EQ(native->slot_value(l, s), interp.slot_value(l, s))
+                    << "lane " << l << " slot " << s << " at step " << k;
+            }
+        }
+    }
+}
+
+TEST(NativeBatchModel, CompactLanesPreservesSurvivorsBitForBit) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    const auto model = ladder_model(4);
+    std::string error;
+    auto native = NativeBatchModel::compile(model, 7, &error);
+    ASSERT_NE(native, nullptr) << error;
+    runtime::BatchCompiledModel interp(model, 7);
+
+    const double dt = model.timestep;
+    auto drive = [&](runtime::BatchExecutor& m, int width, int from_step, int to_step) {
+        for (int k = from_step; k <= to_step; ++k) {
+            for (int l = 0; l < width; ++l) {
+                m.set_input(l, 0, 0.5 + 0.25 * static_cast<double>(l));
+            }
+            m.step(k * dt);
+        }
+    };
+    drive(*native, 7, 1, 50);
+    drive(interp, 7, 1, 50);
+    const std::vector<int> keep{0, 2, 5};
+    native->compact_lanes(keep);
+    interp.compact_lanes(keep);
+    ASSERT_EQ(native->batch(), 3);
+    drive(*native, 3, 51, 120);
+    drive(interp, 3, 51, 120);
+    for (int l = 0; l < 3; ++l) {
+        ASSERT_EQ(native->output(l, 0), interp.output(l, 0)) << "lane " << l;
+    }
+    // reset() restores the constructed width on both sides.
+    native->reset();
+    interp.reset();
+    EXPECT_EQ(native->batch(), 7);
+    EXPECT_EQ(interp.batch(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent native compilation (runs under `ctest -L threads` / TSan):
+// N workers compiling and running scalar and batched native models at the
+// same time — unique temp stems, no cross-talk between per-.so state.
+
+TEST(ThreadedSweepNativeCompile, ConcurrentCompilesAreIsolated) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    constexpr int kJobs = 8;
+    // Distinct stage counts per job so every .so is genuinely different
+    // and a cross-talk bug (shared temp stem, wrong handle) changes
+    // results instead of passing silently.
+    std::vector<abstraction::SignalFlowModel> models;
+    models.reserve(kJobs);
+    for (int j = 0; j < kJobs; ++j) {
+        models.push_back(ladder_model(1 + j % 4));
+    }
+    std::vector<double> scalar_out(kJobs, 0.0);
+    std::vector<double> batch_out(kJobs, 0.0);
+    std::vector<std::string> errors(kJobs);
+
+    support::ThreadPool pool(4);
+    pool.run(kJobs, [&](int j) {
+        const auto& model = models[static_cast<std::size_t>(j)];
+        auto scalar = NativeModel::compile(model, &errors[static_cast<std::size_t>(j)]);
+        auto batched =
+            NativeBatchModel::compile(model, 4, &errors[static_cast<std::size_t>(j)]);
+        if (scalar == nullptr || batched == nullptr) {
+            return;
+        }
+        for (int k = 1; k <= 100; ++k) {
+            const double t = k * model.timestep;
+            scalar->set_input(0, 1.0);
+            scalar->step(t);
+            for (int l = 0; l < 4; ++l) {
+                batched->set_input(l, 0, 1.0);
+            }
+            batched->step(t);
+        }
+        scalar_out[static_cast<std::size_t>(j)] = scalar->output(0);
+        batch_out[static_cast<std::size_t>(j)] = batched->output(0, 0);
+    });
+
+    for (int j = 0; j < kJobs; ++j) {
+        ASSERT_NE(scalar_out[static_cast<std::size_t>(j)], 0.0)
+            << "job " << j << ": " << errors[static_cast<std::size_t>(j)];
+        // Scalar native, batched native and the interpreter agree per job.
+        runtime::CompiledModel reference(models[static_cast<std::size_t>(j)]);
+        for (int k = 1; k <= 100; ++k) {
+            reference.set_input(0, 1.0);
+            reference.step(k * models[static_cast<std::size_t>(j)].timestep);
+        }
+        EXPECT_EQ(scalar_out[static_cast<std::size_t>(j)], reference.output(0)) << j;
+        EXPECT_EQ(batch_out[static_cast<std::size_t>(j)], reference.output(0)) << j;
+    }
+}
+
+}  // namespace
+}  // namespace amsvp::codegen

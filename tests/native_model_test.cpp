@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 
 #include "abstraction/abstraction.hpp"
+#include "codegen/native_jit.hpp"
 #include "codegen/native_model.hpp"
 #include "expr/fused.hpp"
 #include "netlist/builder.hpp"
@@ -17,6 +20,49 @@
 
 namespace amsvp::codegen {
 namespace {
+
+/// Redirect $TMPDIR to a fresh empty directory for one test, restoring the
+/// previous value on destruction — the native compile path creates its
+/// temp files there, so the test can assert exactly what survives.
+class ScopedTmpDir {
+public:
+    ScopedTmpDir() {
+        const char* previous = std::getenv("TMPDIR");
+        had_previous_ = previous != nullptr;
+        if (had_previous_) {
+            previous_ = previous;
+        }
+        char pattern[] = "/tmp/amsvp_test_XXXXXX";
+        const char* dir = ::mkdtemp(pattern);
+        EXPECT_NE(dir, nullptr);
+        dir_ = dir;
+        ::setenv("TMPDIR", dir, 1);
+    }
+
+    ~ScopedTmpDir() {
+        if (had_previous_) {
+            ::setenv("TMPDIR", previous_.c_str(), 1);
+        } else {
+            ::unsetenv("TMPDIR");
+        }
+        std::filesystem::remove_all(dir_);
+    }
+
+    [[nodiscard]] const std::string& path() const { return dir_; }
+
+    [[nodiscard]] std::vector<std::string> files() const {
+        std::vector<std::string> names;
+        for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+            names.push_back(entry.path().filename().string());
+        }
+        return names;
+    }
+
+private:
+    std::string dir_;
+    std::string previous_;
+    bool had_previous_ = false;
+};
 
 abstraction::SignalFlowModel ladder_model(int stages) {
     const netlist::Circuit circuit = netlist::make_rc_ladder(stages);
@@ -204,6 +250,96 @@ TEST(NativeModel, ResetRestoresInitialState) {
     native->set_input(0, 0.0);
     native->step(0.0);
     EXPECT_DOUBLE_EQ(native->output(0), 0.0);
+}
+
+// Regression (PR 5): NativeModel::reset() used to keep the cached input
+// vector, so the step after a reset re-applied stale inputs where
+// CompiledModel::reset() zeroes the input slots — the two executors
+// diverged on the reset -> step sequence. Fails before the fix.
+TEST(NativeModel, ResetClearsCachedInputs) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    const auto model = ladder_model(2);
+    auto native = NativeModel::compile(model);
+    ASSERT_NE(native, nullptr);
+    runtime::CompiledModel fused(model, runtime::EvalStrategy::kFused);
+
+    const double dt = model.timestep;
+    for (int k = 1; k <= 20; ++k) {
+        native->set_input(0, 1.0);
+        fused.set_input(0, 1.0);
+        native->step(k * dt);
+        fused.step(k * dt);
+    }
+    EXPECT_GT(native->output(0), 0.0);
+    native->reset();
+    fused.reset();
+    // Reading before the next step must see the re-initialized model, not
+    // the last pre-reset step's cached value.
+    ASSERT_EQ(native->output(0), fused.output(0));
+    // No set_input after reset: both executors must step with zeroed
+    // inputs, not whatever was cached before.
+    for (int k = 1; k <= 20; ++k) {
+        native->step(k * dt);
+        fused.step(k * dt);
+        ASSERT_EQ(native->output(0), fused.output(0)) << "step " << k;
+    }
+}
+
+// Regression (PR 5): unique_stem() hardcoded /tmp; the compile path now
+// honors $TMPDIR, keeps exactly the .so while the model is alive, and
+// removes it on destruction. Fails before the fix (files land in /tmp, the
+// redirected directory stays empty).
+TEST(NativeModel, TempFilesHonorTmpdirAndAreCleanedUp) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    const auto model = ladder_model(1);
+    ScopedTmpDir tmpdir;
+    {
+        auto native = NativeModel::compile(model);
+        ASSERT_NE(native, nullptr);
+        const auto files = tmpdir.files();
+        ASSERT_EQ(files.size(), 1u) << "expected only the .so to survive compilation";
+        EXPECT_NE(files[0].find(".so"), std::string::npos) << files[0];
+    }
+    // Destruction removes the loaded .so too.
+    EXPECT_TRUE(tmpdir.files().empty());
+}
+
+// Regression (PR 5): a shared object that compiles but lacks the expected
+// entry points used to leak all three temp files (the .so path was only
+// recorded after the dlsym check, so the "destructor cleans up" assumption
+// was wrong). The scope guard now owns every path until success.
+TEST(NativeJit, MissingEntryPointLeavesNoTempFiles) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    ScopedTmpDir tmpdir;
+    std::string error;
+    auto library = detail::JitLibrary::compile(
+        "extern \"C\" int amsvp_something_else() { return 1; }\n", {"amsvp_step"}, &error);
+    EXPECT_EQ(library, nullptr);
+    EXPECT_NE(error.find("amsvp_step"), std::string::npos) << error;
+    EXPECT_TRUE(tmpdir.files().empty()) << "dlsym failure must remove .cpp/.so/.log";
+}
+
+TEST(NativeJit, CompilerFailureKeepsOnlyTheLog) {
+    if (!native_compilation_available()) {
+        GTEST_SKIP() << "no C++ compiler in PATH";
+    }
+    ScopedTmpDir tmpdir;
+    std::string error;
+    auto library =
+        detail::JitLibrary::compile("this is not C++\n", {"amsvp_step"}, &error);
+    EXPECT_EQ(library, nullptr);
+    // The diagnostic log survives — the error message points at it — but
+    // the source and the (never produced) .so do not.
+    EXPECT_NE(error.find(".log"), std::string::npos) << error;
+    const auto files = tmpdir.files();
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_NE(files[0].find(".log"), std::string::npos) << files[0];
 }
 
 TEST(NativeModel, FactoryFallsBackGracefully) {
