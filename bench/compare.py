@@ -22,7 +22,12 @@ and enforces two floors:
     times better than N independent scalar NativeModel instances. These
     entries come from BENCH_native_batch.json (bench_native_batch_sweep,
     folded in via --extra-json); the check is skipped when no entries are
-    present — e.g. a CI box without a C++ compiler on PATH.
+    present — e.g. a CI box without a C++ compiler on PATH;
+  * lane-health scan overhead: the periodic non-finite slot-file scan
+    behind lane quarantine, amortized over its default interval, must
+    cost at most `--max-scan-pct` (default 2.0) percent of one RC20
+    batch step at width 32 — the guard that keeps quarantine cheap
+    enough to stay on by default.
 
 With `--history <path>` every run is appended to a JSONL file and each
 metric is compared against the best value ever recorded there: regressions
@@ -95,6 +100,13 @@ def native_batch_table(results):
             continue
         table[(int(entry["lanes"]), entry["mode"])] = float(entry["ns_per_step_per_lane"])
     return table
+
+
+def lane_health_scan_entry(results):
+    for entry in results:
+        if entry.get("name") == "lane_health_scan":
+            return entry
+    return None
 
 
 def hardware_threads(results):
@@ -186,6 +198,9 @@ def main():
                         help="required worker-pool-vs-single sweep speedup (default: 2.0)")
     parser.add_argument("--threads-floor-lanes", type=int, default=32,
                         help="enforce the worker-pool floor at widths >= this (default: 32)")
+    parser.add_argument("--max-scan-pct", type=float, default=2.0,
+                        help="allowed amortized lane-health-scan cost as a percentage of "
+                             "one batch step at width 32 (default: 2.0)")
     parser.add_argument("--min-native-speedup", type=float, default=1.5,
                         help="required native-batch-vs-scalar-native per-lane speedup "
                              "(default: 1.5)")
@@ -267,6 +282,25 @@ def main():
         print(f"threads x{lanes}: single {single:.1f} ns/step/lane, "
               f"pool {pool:.1f} ns/step/lane, speedup {speedup:.2f}x ({floor}) [{status}]")
         if enforced and speedup < args.min_threads_speedup:
+            failures += 1
+
+    # Lane-health scan overhead: the sweep driver pays one scan every
+    # `interval` steps, so the enforced number is scan_ns / interval as a
+    # fraction of one same-width batch step.
+    scan = lane_health_scan_entry(results)
+    if scan is None:
+        print(f"error: no lane_health_scan result in {args.json_path}", file=sys.stderr)
+        failures += 1
+    else:
+        scan_ns = float(scan["ns_per_scan"])
+        step_ns = float(scan["step_ns"])
+        interval = float(scan["interval"])
+        amortized_pct = 100.0 * scan_ns / interval / step_ns
+        status = "ok" if amortized_pct <= args.max_scan_pct else "FAIL"
+        print(f"lane_health_scan x{int(scan['lanes'])}: scan {scan_ns:.1f} ns, "
+              f"step {step_ns:.1f} ns, amortized {amortized_pct:.2f}% of a step at "
+              f"interval {interval:.0f} (allowed <= {args.max_scan_pct:.1f}%) [{status}]")
+        if amortized_pct > args.max_scan_pct:
             failures += 1
 
     tracked = list(results)

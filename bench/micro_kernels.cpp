@@ -238,6 +238,53 @@ int main(int argc, char** argv) {
         std::printf("\n");
     }
 
+    // Lane health scan: the periodic whole-slot-file non-finite sweep
+    // behind lane quarantine (SweepOptions::lane_health_interval). The
+    // number that matters is the *amortized* cost — one scan every
+    // `interval` steps — relative to a batch step at the same width;
+    // bench/compare.py keeps it under 2% on RC20 at width 32, so leaving
+    // quarantine on by default stays effectively free.
+    {
+        const auto circuits = bench::paper_circuits();
+        const bench::BenchCircuit* rc20 = nullptr;
+        for (const bench::BenchCircuit& c : circuits) {
+            if (c.name == "RC20") {
+                rc20 = &c;
+            }
+        }
+        if (rc20 == nullptr) {
+            std::fprintf(stderr, "lane_health_scan: RC20 missing from paper_circuits()\n");
+            return 1;
+        }
+        constexpr int kLanes = 32;
+        runtime::BatchCompiledModel batch(rc20->model, kLanes);
+        for (int l = 0; l < kLanes; ++l) {
+            batch.set_input(l, 0, 1.0);
+        }
+        double t = 0.0;
+        const double dt = rc20->model.timestep;
+        const double step_ns = time_ns([&] {
+            t += dt;
+            batch.step(t);
+        });
+        std::vector<runtime::LaneStatus> status;
+        const double scan_ns = time_ns([&] { batch.scan_lane_health(0.0, status); });
+        const double interval =
+            static_cast<double>(runtime::SweepOptions{}.lane_health_interval);
+        const double amortized_pct = 100.0 * scan_ns / interval / step_ns;
+        std::printf("%-22s %6s %12s %12s %10s\n", "lane_health_scan", "lanes", "scan ns",
+                    "step ns", "amortized");
+        std::printf("%-22s %6d %12.1f %12.1f %9.2f%%\n", "  (RC20, interval 32)", kLanes,
+                    scan_ns, step_ns, amortized_pct);
+        std::printf("\n");
+        report.add({{"name", "lane_health_scan"}, {"circuit", "RC20"}},
+                   {{"lanes", static_cast<double>(kLanes)},
+                    {"ns_per_scan", scan_ns},
+                    {"step_ns", step_ns},
+                    {"interval", interval},
+                    {"amortized_pct", amortized_pct}});
+    }
+
     // Worker-pool sharded sweeps: aggregate throughput of a full
     // simulate_sweep (inputs, stepping, waveform capture, shard merge) at
     // wide batches, single-thread vs the worker pool. Results are

@@ -4,13 +4,16 @@
 //
 // Usage:
 //   codegen_tool [--target cpp|sc-de|sc-tdf] [--output V(pos,neg)] [--batch]
-//                [file.vams]
+//                [--keep-temps] [file.vams]
 //   codegen_tool --builtin rc1|rc20|2in|oa        # bundled paper circuits
 //
 // --batch (C++ target) also emits the step_batch(double*, int) kernel that
 // steps N instances in one strided slot file — the entry point the native
-// sweep backend compiles and dlopens. Reading from stdin is the default
-// when no file is given.
+// sweep backend compiles and dlopens. --keep-temps (C++ target) also
+// compile-checks the emission with the in-process JIT and keeps every
+// build artifact (.cpp/.so/.log) for inspection — the debugging loop for
+// "the generated model does not compile" reports. Reading from stdin is
+// the default when no file is given.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,6 +23,7 @@
 #include "abstraction/abstraction.hpp"
 #include "abstraction/behavioral.hpp"
 #include "codegen/codegen.hpp"
+#include "codegen/native_jit.hpp"
 #include "support/diagnostics.hpp"
 #include "vams/circuits.hpp"
 #include "vams/elaborator.hpp"
@@ -30,7 +34,8 @@ namespace {
 void usage() {
     std::fprintf(stderr,
                  "usage: codegen_tool [--target cpp|sc-de|sc-tdf] [--output pos,neg]\n"
-                 "                    [--batch] [--builtin rc<N>|2in|oa|sf] [file.vams]\n");
+                 "                    [--batch] [--keep-temps] [--builtin rc<N>|2in|oa|sf]\n"
+                 "                    [file.vams]\n");
 }
 
 }  // namespace
@@ -44,6 +49,7 @@ int main(int argc, char** argv) {
     std::string output_neg = "gnd";
     std::string source;
     std::string file;
+    bool keep_temps = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -84,6 +90,8 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--batch") {
             codegen_options.batch_kernel = true;
+        } else if (arg == "--keep-temps") {
+            keep_temps = true;
         } else if (arg == "--help") {
             usage();
             return 0;
@@ -140,6 +148,33 @@ int main(int argc, char** argv) {
         }
     }
 
-    std::fputs(codegen::generate(*model, target, codegen_options).c_str(), stdout);
+    const std::string generated = codegen::generate(*model, target, codegen_options);
+    std::fputs(generated.c_str(), stdout);
+
+    if (keep_temps) {
+        if (target != codegen::Target::kCpp) {
+            std::fprintf(stderr, "--keep-temps compile-checks the cpp target only\n");
+            return 2;
+        }
+        if (!codegen::detail::jit_available()) {
+            std::fprintf(stderr, "--keep-temps: no C++ compiler in PATH\n");
+            return 1;
+        }
+        codegen::detail::JitOptions jit;
+        jit.keep_temps = true;
+        std::string jit_error;
+        const auto library =
+            codegen::detail::JitLibrary::compile(generated, {}, &jit_error, jit);
+        if (library == nullptr) {
+            // The error already names the kept source and log paths.
+            std::fprintf(stderr, "--keep-temps: compile check failed: %s\n",
+                         jit_error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "--keep-temps: compile check passed; artifacts kept at %s "
+                     "(.cpp and .log alongside)\n",
+                     library->so_path().c_str());
+    }
     return 0;
 }

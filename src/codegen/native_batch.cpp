@@ -29,14 +29,15 @@ std::string wrapper_source(const abstraction::SignalFlowModel& model,
 }  // namespace
 
 std::shared_ptr<const NativeBatchProgram> NativeBatchProgram::compile(
-    const abstraction::SignalFlowModel& model, std::string* error) {
+    const abstraction::SignalFlowModel& model, std::string* error,
+    const detail::JitOptions& jit) {
     // One fused compile serves both sides: the emitter renders this
     // layout's slot indices and the executing batch allocates its slot
     // file from the same object.
     auto layout = runtime::ModelLayout::compile(model, runtime::EvalStrategy::kFused);
     auto library = detail::JitLibrary::compile(
         wrapper_source(model, layout), {"amsvp_step_batch", "amsvp_batch_slot_count"},
-        error);
+        error, jit);
     if (library == nullptr) {
         return nullptr;
     }
@@ -63,8 +64,9 @@ NativeBatchModel::NativeBatchModel(std::shared_ptr<const NativeBatchProgram> pro
     : BatchCompiledModel(program->layout(), batch), program_(std::move(program)) {}
 
 std::unique_ptr<NativeBatchModel> NativeBatchModel::compile(
-    const abstraction::SignalFlowModel& model, int batch, std::string* error) {
-    auto program = NativeBatchProgram::compile(model, error);
+    const abstraction::SignalFlowModel& model, int batch, std::string* error,
+    const detail::JitOptions& jit) {
+    auto program = NativeBatchProgram::compile(model, error, jit);
     if (program == nullptr) {
         return nullptr;
     }
@@ -84,6 +86,13 @@ void NativeBatchModel::step(double time_seconds) {
 
 std::unique_ptr<runtime::BatchExecutor> NativeBatchModel::make_shard(int lane_count) const {
     return std::make_unique<NativeBatchModel>(program_, lane_count);
+}
+
+std::unique_ptr<runtime::BatchExecutor> NativeBatchModel::make_fallback_shard(
+    int lane_count) const {
+    // The base class builds a fused interpreter batch over the same layout:
+    // no JIT artifact involved, results bit-identical to the kernel.
+    return BatchCompiledModel::make_shard(lane_count);
 }
 
 }  // namespace amsvp::codegen

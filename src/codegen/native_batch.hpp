@@ -33,10 +33,12 @@ namespace amsvp::codegen {
 class NativeBatchProgram {
 public:
     /// Emit, compile and load the batch kernel for `model`. Returns nullptr
-    /// (with `error` set) when no compiler is available, compilation fails,
-    /// or the generated kernel disagrees with the runtime layout.
+    /// (with `error` set) when no compiler is available, compilation fails
+    /// (after detail::JitOptions::attempts guarded tries), or the generated
+    /// kernel disagrees with the runtime layout.
     [[nodiscard]] static std::shared_ptr<const NativeBatchProgram> compile(
-        const abstraction::SignalFlowModel& model, std::string* error = nullptr);
+        const abstraction::SignalFlowModel& model, std::string* error = nullptr,
+        const detail::JitOptions& jit = {});
 
     /// Step `batch` lanes of a strided slot file (layout()->slot_count()
     /// rows). The caller writes inputs and the $abstime row first; history
@@ -67,7 +69,8 @@ public:
     /// Convenience: compile the kernel and batch it. Returns nullptr (with
     /// `error` set) when native compilation is unavailable or fails.
     [[nodiscard]] static std::unique_ptr<NativeBatchModel> compile(
-        const abstraction::SignalFlowModel& model, int batch, std::string* error = nullptr);
+        const abstraction::SignalFlowModel& model, int batch, std::string* error = nullptr,
+        const detail::JitOptions& jit = {});
 
     /// `batch` lanes over an already-compiled kernel (shards share one).
     NativeBatchModel(std::shared_ptr<const NativeBatchProgram> program, int batch);
@@ -76,6 +79,14 @@ public:
 
     /// A fresh native batch over the same dlopen'ed kernel.
     [[nodiscard]] std::unique_ptr<runtime::BatchExecutor> make_shard(
+        int lane_count) const override;
+
+    /// Degraded-mode shard: a fused *interpreter* batch over the same
+    /// layout — no dependency on the dlopen'ed artifact, bit-identical
+    /// results (the native kernel's acceptance bar), just slower. The sweep
+    /// driver switches one shard to this when shard construction fails
+    /// mid-sweep rather than failing the whole job.
+    [[nodiscard]] std::unique_ptr<runtime::BatchExecutor> make_fallback_shard(
         int lane_count) const override;
 
     [[nodiscard]] const std::shared_ptr<const NativeBatchProgram>& program() const {

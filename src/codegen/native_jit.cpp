@@ -1,12 +1,19 @@
 #include "codegen/native_jit.hpp"
 
 #include <dlfcn.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
+
+#include "support/fault.hpp"
 
 namespace amsvp::codegen::detail {
 
@@ -15,9 +22,14 @@ namespace {
 /// Owns every temp path of one compile attempt until success: any early
 /// return removes whatever still stands. release() hands a path over (the
 /// .so transfers into the JitLibrary; the .log survives a compiler error).
+/// keep_everything() turns the destructor into a no-op (JitOptions::
+/// keep_temps — failed artifacts stay inspectable).
 class TempFileGuard {
 public:
     ~TempFileGuard() {
+        if (keep_) {
+            return;
+        }
         for (const std::string& path : paths_) {
             if (!path.empty()) {
                 std::remove(path.c_str());
@@ -37,9 +49,32 @@ public:
         return path;
     }
 
+    void keep_everything() { keep_ = true; }
+
 private:
     std::vector<std::string> paths_;
+    bool keep_ = false;
 };
+
+/// First `limit` bytes of `path` (the compiler log), trimmed of a trailing
+/// newline, with a truncation marker when the file goes on.
+std::string read_head(const std::string& path, std::size_t limit) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return {};
+    }
+    std::string head(limit, '\0');
+    in.read(head.data(), static_cast<std::streamsize>(limit));
+    head.resize(static_cast<std::size_t>(in.gcount()));
+    const bool truncated = in.peek() != std::ifstream::traits_type::eof();
+    while (!head.empty() && (head.back() == '\n' || head.back() == '\r')) {
+        head.pop_back();
+    }
+    if (truncated) {
+        head += "\n[... log truncated ...]";
+    }
+    return head;
+}
 
 }  // namespace
 
@@ -72,27 +107,68 @@ std::string shell_quote(const std::string& path) {
 
 bool jit_available() {
     static const bool available = [] {
-        return std::system("c++ --version > /dev/null 2>&1") == 0;
+        return run_guarded_command("c++ --version > /dev/null 2>&1", 30000).exit_code == 0;
     }();
     return available;
 }
 
-std::unique_ptr<JitLibrary> JitLibrary::compile(
-    const std::string& source, const std::vector<const char*>& required_symbols,
-    std::string* error) {
-    if (!jit_available()) {
-        if (error != nullptr) {
-            *error = "no C++ compiler available on PATH";
-        }
-        return nullptr;
+CommandResult run_guarded_command(const std::string& command, int timeout_ms) {
+    CommandResult result;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        return result;  // fork failed: exit_code stays -1, retryable
     }
+    if (pid == 0) {
+        // Child: own process group, so a timeout kill reaches the compiler
+        // driver *and* everything it spawned (cc1plus, as, ld).
+        ::setpgid(0, 0);
+        ::execl("/bin/sh", "sh", "-c", command.c_str(), static_cast<char*>(nullptr));
+        ::_exit(127);
+    }
+    // Parent mirrors the setpgid so the group exists whichever side runs
+    // first; EACCES/ESRCH just mean the child got there already (or exec'd).
+    ::setpgid(pid, pid);
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+    int poll_us = 200;  // grows to 20 ms: sub-ms latency for fast commands
+    for (;;) {
+        int status = 0;
+        const pid_t waited = ::waitpid(pid, &status, WNOHANG);
+        if (waited == pid) {
+            if (WIFEXITED(status)) {
+                result.exit_code = WEXITSTATUS(status);
+            }
+            return result;  // signalled child: exit_code stays -1
+        }
+        if (waited < 0 && errno != EINTR) {
+            return result;
+        }
+        if (timeout_ms > 0 && std::chrono::steady_clock::now() >= deadline) {
+            ::kill(-pid, SIGKILL);
+            ::waitpid(pid, &status, 0);
+            result.timed_out = true;
+            return result;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(poll_us));
+        poll_us = std::min(poll_us * 2, 20000);
+    }
+}
+
+std::unique_ptr<JitLibrary> JitLibrary::compile_once(
+    const std::string& source, const std::vector<const char*>& required_symbols,
+    std::string* error, const JitOptions& options, bool keep_failure_log) {
     const std::string stem = unique_stem();
     TempFileGuard guard;
-    const std::size_t src_index = guard.add(stem + ".cpp");
+    if (options.keep_temps) {
+        guard.keep_everything();
+    }
+    guard.add(stem + ".cpp");
     const std::size_t so_index = guard.add(stem + ".so");
     const std::size_t log_index = guard.add(stem + ".log");
     const std::string src_path = stem + ".cpp";
     const std::string so_path = stem + ".so";
+    const std::string log_path = stem + ".log";
     {
         std::ofstream out(src_path);
         if (!out) {
@@ -108,16 +184,47 @@ std::unique_ptr<JitLibrary> JitLibrary::compile(
     // library itself builds with the same flag).
     const std::string cmd = "c++ -std=c++17 -O2 -ffp-contract=off -shared -fPIC -o " +
                             shell_quote(so_path) + " " + shell_quote(src_path) + " 2> " +
-                            shell_quote(stem + ".log");
-    if (std::system(cmd.c_str()) != 0) {
+                            shell_quote(log_path);
+    CommandResult compiled;
+    if (support::fault::should_fire("jit.compile")) {
+        std::ofstream(log_path) << "injected fault: jit.compile\n";
+        compiled.exit_code = 1;
+    } else {
+        compiled = run_guarded_command(cmd, options.timeout_ms);
+    }
+    if (compiled.timed_out) {
         if (error != nullptr) {
-            *error = "compilation of generated model failed (see " + stem + ".log)";
+            *error = "compilation of generated model timed out after " +
+                     std::to_string(options.timeout_ms) + " ms";
         }
-        guard.release(log_index);  // the error message references it
+        return nullptr;
+    }
+    if (compiled.exit_code != 0) {
+        if (error != nullptr) {
+            *error = "compilation of generated model failed (exit " +
+                     std::to_string(compiled.exit_code) + ", log: " + log_path + ")";
+            const std::string stderr_head = read_head(log_path, 2048);
+            if (!stderr_head.empty()) {
+                *error += "\ncompiler stderr:\n" + stderr_head;
+            }
+            if (options.keep_temps) {
+                *error += "\ngenerated source kept at " + src_path;
+            }
+        }
+        if (keep_failure_log) {
+            guard.release(log_index);  // the final error message references it
+        }
         return nullptr;
     }
 
-    void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    void* handle = nullptr;
+    if (support::fault::should_fire("jit.dlopen")) {
+        if (error != nullptr) {
+            *error = "dlopen failed: injected fault: jit.dlopen";
+        }
+        return nullptr;
+    }
+    handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
     if (handle == nullptr) {
         if (error != nullptr) {
             *error = std::string("dlopen failed: ") + ::dlerror();
@@ -128,7 +235,8 @@ std::unique_ptr<JitLibrary> JitLibrary::compile(
     std::vector<void*> symbols;
     symbols.reserve(required_symbols.size());
     for (const char* name : required_symbols) {
-        void* address = ::dlsym(handle, name);
+        void* address =
+            support::fault::should_fire("jit.dlsym") ? nullptr : ::dlsym(handle, name);
         if (address == nullptr) {
             if (error != nullptr) {
                 *error = std::string("generated shared object lacks entry point ") + name;
@@ -142,15 +250,45 @@ std::unique_ptr<JitLibrary> JitLibrary::compile(
     auto library = std::unique_ptr<JitLibrary>(new JitLibrary());
     library->handle_ = handle;
     library->so_path_ = guard.release(so_index);  // owned until ~JitLibrary now
+    library->keep_so_ = options.keep_temps;
     library->symbols_ = std::move(symbols);
     return library;
+}
+
+std::unique_ptr<JitLibrary> JitLibrary::compile(
+    const std::string& source, const std::vector<const char*>& required_symbols,
+    std::string* error, const JitOptions& options) {
+    if (!jit_available()) {
+        if (error != nullptr) {
+            *error = "no C++ compiler available on PATH";
+        }
+        return nullptr;
+    }
+    const int attempts = options.attempts < 1 ? 1 : options.attempts;
+    std::string last_error;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0 && options.backoff_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(options.backoff_ms << (attempt - 1)));
+        }
+        if (auto library = compile_once(source, required_symbols, &last_error, options,
+                                        /*keep_failure_log=*/attempt == attempts - 1)) {
+            return library;
+        }
+    }
+    if (error != nullptr) {
+        *error = attempts > 1
+                     ? last_error + " (after " + std::to_string(attempts) + " attempts)"
+                     : last_error;
+    }
+    return nullptr;
 }
 
 JitLibrary::~JitLibrary() {
     if (handle_ != nullptr) {
         ::dlclose(handle_);
     }
-    if (!so_path_.empty()) {
+    if (!so_path_.empty() && !keep_so_) {
         std::remove(so_path_.c_str());
     }
 }

@@ -5,13 +5,25 @@
 // path, so the temp-file lifecycle (including every failure path) and the
 // compile command live in exactly one place.
 //
+// Robustness: the compiler runs under a guarded runner (its own process
+// group, wall-clock timeout, SIGKILL on expiry) instead of a bare
+// std::system, and the whole compile→dlopen→dlsym sequence retries with
+// backoff (JitOptions::attempts) so a transient failure — an OOM-killed
+// cc1plus, a full /tmp racing a cleanup — cannot permanently knock the
+// native backend out. On a final compile failure the thrown-back error
+// message carries the first ~2 KB of the compiler's stderr plus the .log
+// path. Deterministic fault sites "jit.compile", "jit.dlopen" and
+// "jit.dlsym" (support/fault.hpp) let tests exercise each failure leg.
+//
 // Temp-file contract: a compile attempt creates up to three files next to
 // each other (<stem>.cpp, <stem>.so, <stem>.log). On success only the .so
 // survives, owned by the returned JitLibrary and removed by its destructor.
 // On any failure *after* the compiler ran successfully (dlopen error,
 // missing entry point) all three are removed before returning. When the
 // compiler itself fails, the .log survives — the error message points at it
-// — and the other two are removed.
+// — and the other two are removed. JitOptions::keep_temps disables all of
+// this removal (including the destructor's) so failed or successful
+// artifacts can be inspected; the error message then names the source too.
 #pragma once
 
 #include <memory>
@@ -26,23 +38,55 @@ namespace amsvp::codegen::detail {
 [[nodiscard]] std::string unique_stem();
 
 /// POSIX-shell single-quoting, so temp paths (which inherit $TMPDIR
-/// verbatim) can be embedded in the std::system compile command safely.
+/// verbatim) can be embedded in the shell compile command safely.
 [[nodiscard]] std::string shell_quote(const std::string& path);
 
 /// True when a usable `c++` compiler is on PATH (cached after first call).
 [[nodiscard]] bool jit_available();
 
+/// Knobs for one JitLibrary::compile call. The defaults suit interactive
+/// use; long-running sweep services may want a tighter timeout and more
+/// attempts (see runtime::SweepOptions, which forwards its jit_* fields
+/// here).
+struct JitOptions {
+    /// Wall-clock limit per compiler invocation, after which its whole
+    /// process group is killed and the attempt counts as failed (and
+    /// retryable). <= 0 means no limit.
+    int timeout_ms = 60000;
+    /// Total tries of the full compile→dlopen→dlsym sequence (>= 1). Every
+    /// failure mode is retried — a deterministic one just fails identically
+    /// `attempts` times and costs `attempts - 1` extra compiler runs.
+    int attempts = 2;
+    /// Sleep before retry k is `backoff_ms << (k - 1)` (100, 200, 400, ...).
+    int backoff_ms = 100;
+    /// Keep every temp file (.cpp/.so/.log) on success and failure alike.
+    bool keep_temps = false;
+};
+
+/// Outcome of one guarded shell command run.
+struct CommandResult {
+    int exit_code = -1;     ///< process exit code, or -1 when signalled/failed
+    bool timed_out = false; ///< killed because the wall-clock limit expired
+};
+
+/// Run `command` through /bin/sh in its own process group; on timeout the
+/// whole group receives SIGKILL (a compiler driver's children die with it).
+[[nodiscard]] CommandResult run_guarded_command(const std::string& command, int timeout_ms);
+
 /// A successfully compiled and loaded shared object. Owns the dlopen handle
-/// and the .so file: destruction dlcloses and removes it.
+/// and the .so file: destruction dlcloses and removes it (removal skipped
+/// when compiled with keep_temps).
 class JitLibrary {
 public:
-    /// Compile `source` and resolve `required_symbols` (all of them). On
-    /// failure returns nullptr with `error` set, leaving no temp files
-    /// behind except the compiler log on a compilation error (the message
-    /// references it).
+    /// Compile `source` and resolve `required_symbols` (all of them),
+    /// retrying per `options`. On failure returns nullptr with `error` set
+    /// to the *last* attempt's diagnostic (including captured compiler
+    /// stderr for compile errors), leaving no temp files behind except the
+    /// compiler log on a compilation error — or everything, with
+    /// options.keep_temps.
     [[nodiscard]] static std::unique_ptr<JitLibrary> compile(
         const std::string& source, const std::vector<const char*>& required_symbols,
-        std::string* error);
+        std::string* error, const JitOptions& options = {});
 
     ~JitLibrary();
     JitLibrary(const JitLibrary&) = delete;
@@ -51,11 +95,22 @@ public:
     /// Resolved addresses, in required_symbols order.
     [[nodiscard]] const std::vector<void*>& symbols() const { return symbols_; }
 
+    /// Path of the owned shared object. With JitOptions::keep_temps the
+    /// matching <stem>.cpp and <stem>.log live alongside it and all three
+    /// survive destruction — this is how tools point users at the kept
+    /// artifacts.
+    [[nodiscard]] const std::string& so_path() const { return so_path_; }
+
 private:
     JitLibrary() = default;
 
+    [[nodiscard]] static std::unique_ptr<JitLibrary> compile_once(
+        const std::string& source, const std::vector<const char*>& required_symbols,
+        std::string* error, const JitOptions& options, bool keep_failure_log);
+
     void* handle_ = nullptr;
     std::string so_path_;
+    bool keep_so_ = false;  ///< keep_temps: leave the .so behind at destruction
     std::vector<void*> symbols_;
 };
 

@@ -23,6 +23,23 @@
 
 namespace amsvp::runtime {
 
+/// Health of one sweep lane, as judged by the periodic slot-file scan
+/// (BatchExecutor::scan_lane_health / SweepOptions::lane_health_interval).
+enum class LaneStatus {
+    kOk,         ///< every slot finite (and under the divergence limit)
+    kNonFinite,  ///< a NaN or infinity reached the lane's slot file
+    kDiverged,   ///< a finite slot magnitude exceeded the divergence limit
+};
+
+/// Per-lane health record reported in SweepResult.
+struct LaneHealth {
+    LaneStatus status = LaneStatus::kOk;
+    /// Step at which the failure was detected (a multiple of the scan
+    /// interval; the corruption happened within the preceding interval).
+    /// Equal to SweepResult::steps while the lane is healthy.
+    std::size_t failed_at = 0;
+};
+
 class BatchExecutor {
 public:
     virtual ~BatchExecutor() = default;
@@ -54,10 +71,30 @@ public:
     /// ascending), preserving every kept lane's state exactly.
     virtual void compact_lanes(const std::vector<int>& keep) = 0;
 
+    /// Scan the whole slot file for unhealthy lanes: `status` is resized to
+    /// batch() and set per lane — kNonFinite when any slot holds a NaN or
+    /// infinity, kDiverged when (with `divergence_limit > 0`) a finite slot
+    /// magnitude exceeds the limit, kOk otherwise. One pass, slot-major, so
+    /// the cost is a cache-friendly read of the slot file; the sweep driver
+    /// calls it every SweepOptions::lane_health_interval steps on every
+    /// backend (the scan inspects memory, not the stepping engine).
+    virtual void scan_lane_health(double divergence_limit,
+                                  std::vector<LaneStatus>& status) const = 0;
+
     /// A fresh `lane_count`-wide executor of the same backend over the same
     /// compile artifact — the worker-pool sweep builds one per shard so
     /// shards never share mutable state.
     [[nodiscard]] virtual std::unique_ptr<BatchExecutor> make_shard(int lane_count) const = 0;
+
+    /// A shard for degraded operation when make_shard() fails mid-sweep:
+    /// same lane semantics, but allowed to trade speed for independence
+    /// from the failing resource (the native backend hands back a fused
+    /// *interpreter* shard over the same layout — no JIT artifact needed —
+    /// which is bit-identical by construction). Defaults to make_shard().
+    [[nodiscard]] virtual std::unique_ptr<BatchExecutor> make_fallback_shard(
+        int lane_count) const {
+        return make_shard(lane_count);
+    }
 };
 
 }  // namespace amsvp::runtime

@@ -1,6 +1,7 @@
 #include "runtime/batch_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "support/check.hpp"
@@ -133,6 +134,53 @@ void BatchCompiledModel::compact_lanes(const std::vector<int>& keep) {
     }
     batch_ = new_batch;
     slots_.resize(slot_count * static_cast<std::size_t>(new_batch));
+}
+
+void BatchCompiledModel::scan_lane_health(double divergence_limit,
+                                          std::vector<LaneStatus>& status) const {
+    status.assign(static_cast<std::size_t>(batch_), LaneStatus::kOk);
+    const std::size_t slot_count = layout_->slot_count();
+    const std::size_t lanes = static_cast<std::size_t>(batch_);
+    const double* slots = slots_.data();
+    // Branch-free accumulation so the compiler vectorizes across lanes:
+    // v - v is 0 for every finite value and NaN for NaN/±inf, so nan_acc
+    // goes (and stays) NaN the moment any of the lane's slots is bad; mag
+    // tracks the lane's peak magnitude for the divergence check. The two
+    // small allocations happen once per scan (every lane_health_interval
+    // steps), noise next to the pass itself.
+    std::vector<double> nan_acc(lanes, 0.0);
+    if (divergence_limit > 0.0) {
+        std::vector<double> mag(lanes, 0.0);
+        for (std::size_t i = 0; i < slot_count; ++i) {
+            const double* row = slots + i * lanes;
+            for (std::size_t l = 0; l < lanes; ++l) {
+                const double v = row[l];
+                nan_acc[l] += v - v;
+                const double a = std::fabs(v);
+                mag[l] = mag[l] > a ? mag[l] : a;
+            }
+        }
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (nan_acc[l] != 0.0) {
+                status[l] = LaneStatus::kNonFinite;
+            } else if (mag[l] > divergence_limit) {
+                status[l] = LaneStatus::kDiverged;
+            }
+        }
+        return;
+    }
+    // Default path (non-finite only): one add and one subtract per slot.
+    for (std::size_t i = 0; i < slot_count; ++i) {
+        const double* row = slots + i * lanes;
+        for (std::size_t l = 0; l < lanes; ++l) {
+            nan_acc[l] += row[l] - row[l];
+        }
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+        if (nan_acc[l] != 0.0) {
+            status[l] = LaneStatus::kNonFinite;
+        }
+    }
 }
 
 std::unique_ptr<BatchExecutor> BatchCompiledModel::make_shard(int lane_count) const {

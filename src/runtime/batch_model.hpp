@@ -105,6 +105,13 @@ public:
     /// state without paying for them on every subsequent step.
     void compact_lanes(const std::vector<int>& keep) override;
 
+    /// One slot-major pass over the slot file classifying every lane (see
+    /// BatchExecutor::scan_lane_health). Shared by both backends — the
+    /// native NativeBatchModel inherits it, since the kernels share this
+    /// strided slot file — so quarantine decisions are identical everywhere.
+    void scan_lane_health(double divergence_limit,
+                          std::vector<LaneStatus>& status) const override;
+
     /// A fresh interpreter batch over the same shared layout.
     [[nodiscard]] std::unique_ptr<BatchExecutor> make_shard(int lane_count) const override;
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
+#include <stdexcept>
 
 // The native sweep backend lives in codegen (it owns the emitters and the
 // dlopen plumbing); this .cpp-level dependency is one-way — no codegen
@@ -12,6 +14,7 @@
 // plain SweepOptions field instead of a registration scheme.
 #include "codegen/native_batch.hpp"
 #include "support/check.hpp"
+#include "support/fault.hpp"
 #include "support/step_count.hpp"
 #include "support/thread_pool.hpp"
 
@@ -67,10 +70,14 @@ SweepResult simulate_sweep(const abstraction::SignalFlowModel& model,
                            const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
                            const std::vector<SweepLane>& lanes, double duration_seconds,
                            const SweepOptions& options) {
+    std::string native_error;
     if (options.backend == SweepBackend::kNative) {
-        std::string error;
+        codegen::detail::JitOptions jit;
+        jit.timeout_ms = options.jit_timeout_ms;
+        jit.attempts = options.jit_attempts;
+        jit.backoff_ms = options.jit_backoff_ms;
         if (auto native = codegen::NativeBatchModel::compile(
-                model, static_cast<int>(lanes.size()), &error)) {
+                model, static_cast<int>(lanes.size()), &native_error, jit)) {
             return simulate_sweep(*native, model.inputs, shared_stimuli, lanes,
                                   duration_seconds, options);
         }
@@ -80,12 +87,18 @@ SweepResult simulate_sweep(const abstraction::SignalFlowModel& model,
             std::fprintf(stderr,
                          "amsvp: native sweep backend unavailable (%s); "
                          "falling back to the batch interpreter\n",
-                         error.c_str());
+                         native_error.c_str());
         }
     }
     BatchCompiledModel batch(model, static_cast<int>(lanes.size()));
-    return simulate_sweep(batch, model.inputs, shared_stimuli, lanes, duration_seconds,
-                          options);
+    SweepResult result = simulate_sweep(batch, model.inputs, shared_stimuli, lanes,
+                                        duration_seconds, options);
+    if (!native_error.empty()) {
+        result.diagnostics.insert(result.diagnostics.begin(),
+                                  "native sweep backend unavailable (" + native_error +
+                                      "); ran on the batch interpreter");
+    }
+    return result;
 }
 
 namespace {
@@ -109,7 +122,9 @@ bool within_steady_band(double value, double anchor, double tolerance) {
 /// the same code and bit-identical by construction (lane results do not
 /// depend on batch width; see batch_model_test). It drives the abstract
 /// BatchExecutor surface, so the same loop serves the fused interpreter
-/// and the dlopen'ed native kernel.
+/// and the dlopen'ed native kernel — including the lane-health scan and
+/// quarantine, which read the slot file and so behave identically on both
+/// backends.
 ///
 ///  - `batch` is the shard's own executor (width == the shard's lane
 ///    count), already reset with per-lane overrides applied.
@@ -117,41 +132,39 @@ bool within_steady_band(double value, double anchor, double tolerance) {
 ///    (row stride `source_stride`); the shard reads the columns
 ///    [lane_begin, lane_begin + batch.batch()).
 ///  - `outputs` holds one WaveformBatch per model output, sized to the
-///    shard's lane count; `settled_at` points at the shard's slice of the
-///    result (batch.batch() entries, pre-filled with `steps`).
+///    shard's lane count; `settled_at` and `lane_health` point at the
+///    shard's slices of the result (batch.batch() entries, pre-filled with
+///    `steps` / healthy).
+///  - `cancel`, when non-null, is polled once per step: a raised flag
+///    aborts the shard early (the worker pool raises it when another shard
+///    failed — this shard's results are about to be discarded anyway).
+///
+/// Lanes leave the batch two ways, through the same compaction machinery:
+/// steady-state *retirement* (the lane finished early, samples hold the
+/// settled value) and health *quarantine* (the lane went non-finite or
+/// diverged — samples hold the last captured frame, the verdict lands in
+/// `lane_health`). Lanes never interact arithmetically, so the surviving
+/// lanes' outputs are bit-identical to a sweep that never contained the
+/// removed ones.
 void run_sweep_shard(BatchExecutor& batch,
                      const numeric::SourceFunction* const* sources,
                      std::size_t source_stride, std::size_t lane_begin,
                      std::size_t n_inputs, std::size_t steps, double dt,
                      const SweepOptions& options,
                      std::vector<numeric::WaveformBatch>& outputs,
-                     std::size_t* settled_at) {
+                     std::size_t* settled_at, LaneHealth* lane_health,
+                     const std::atomic<bool>* cancel) {
     const std::size_t n_outputs = outputs.size();
     const bool detect = options.steady_tolerance > 0.0;
-    if (!detect) {
-        const int nlanes = batch.batch();
-        for (std::size_t k = 0; k < steps; ++k) {
-            const double t = static_cast<double>(k + 1) * dt;
-            for (std::size_t i = 0; i < n_inputs; ++i) {
-                const numeric::SourceFunction* const* row =
-                    sources + i * source_stride + lane_begin;
-                for (int l = 0; l < nlanes; ++l) {
-                    batch.set_input(l, i, (*row[l])(t));
-                }
-            }
-            batch.step(t);
-            for (std::size_t o = 0; o < n_outputs; ++o) {
-                outputs[o].append_frame(batch.output_lanes(o));
-            }
-        }
-        return;
-    }
-
-    // Steady-state detection: lanes that settle are retired and the shard
-    // compacts in place, so the per-step cost tracks the *surviving* lane
-    // count. `origin[pos]` maps a current batch position back to its
-    // shard-local lane; retired lanes' frames hold the settled value.
+    const std::size_t scan_every = options.lane_health_interval;
     const std::size_t n_lanes = static_cast<std::size_t>(batch.batch());
+
+    // `origin[pos]` maps a current batch position back to its shard-local
+    // lane; removed (retired/quarantined) lanes' frames hold their last
+    // value. While no lane has been removed and steady detection is off,
+    // frames are appended straight from the executor's output rows
+    // (`direct`); the first removal switches to scatter-capture through
+    // `frame`, seeded from the rows so no sample is lost.
     std::vector<int> origin(n_lanes);
     for (std::size_t l = 0; l < n_lanes; ++l) {
         origin[l] = static_cast<int>(l);
@@ -162,11 +175,20 @@ void run_sweep_shard(BatchExecutor& batch,
     /// step) bounds the total drift over the whole window by the steady
     /// band — a merely slow transient (per-step move below tolerance but
     /// steadily accumulating) cannot false-settle.
-    std::vector<std::vector<double>> anchor(n_outputs, std::vector<double>(n_lanes, 0.0));
-    std::vector<int> quiet_steps(n_lanes, 0);  ///< consecutive in-band steps per lane
-    std::vector<int> keep;                     ///< scratch for compact_lanes
+    std::vector<std::vector<double>> anchor;
+    std::vector<int> quiet_steps;  ///< consecutive in-band steps per lane
+    if (detect) {
+        anchor.assign(n_outputs, std::vector<double>(n_lanes, 0.0));
+        quiet_steps.assign(n_lanes, 0);
+    }
+    std::vector<LaneStatus> health;  ///< scan scratch, sized by the scan
+    std::vector<int> keep;           ///< scratch for compact_lanes
+    bool direct = !detect;
 
     for (std::size_t k = 0; k < steps; ++k) {
+        if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+            return;  // another shard failed; these results get discarded
+        }
         const double t = static_cast<double>(k + 1) * dt;
         const int active = batch.batch();
         for (std::size_t i = 0; i < n_inputs; ++i) {
@@ -176,51 +198,103 @@ void run_sweep_shard(BatchExecutor& batch,
                 batch.set_input(pos, i, (*row[origin[static_cast<std::size_t>(pos)]])(t));
             }
         }
-        batch.step(t);
-        for (std::size_t o = 0; o < n_outputs; ++o) {
-            const double* values = batch.output_lanes(o);
+        // Fault site sweep.lane_nan (context = global lane index): poison
+        // the lane's first input with NaN before the step, exactly like a
+        // bad parameter set or a diverging upstream model would. One
+        // relaxed load when unarmed; the per-lane checks only run armed.
+        if (support::fault::any_armed() && n_inputs > 0) {
             for (int pos = 0; pos < active; ++pos) {
-                frame[o][static_cast<std::size_t>(origin[static_cast<std::size_t>(pos)])] =
-                    values[pos];
+                const int global_lane = static_cast<int>(lane_begin) +
+                                        origin[static_cast<std::size_t>(pos)];
+                if (support::fault::should_fire("sweep.lane_nan", global_lane)) {
+                    batch.set_input(pos, 0, std::numeric_limits<double>::quiet_NaN());
+                }
             }
-            outputs[o].append_frame(frame[o].data());
+        }
+        batch.step(t);
+        if (direct) {
+            for (std::size_t o = 0; o < n_outputs; ++o) {
+                outputs[o].append_frame(batch.output_lanes(o));
+            }
+        } else {
+            for (std::size_t o = 0; o < n_outputs; ++o) {
+                const double* values = batch.output_lanes(o);
+                for (int pos = 0; pos < active; ++pos) {
+                    frame[o][static_cast<std::size_t>(
+                        origin[static_cast<std::size_t>(pos)])] = values[pos];
+                }
+                outputs[o].append_frame(frame[o].data());
+            }
         }
 
         // Settle check against the streak anchor (first step only seeds it).
         bool any_settled = false;
-        for (int pos = 0; pos < active; ++pos) {
-            const auto lane = static_cast<std::size_t>(origin[static_cast<std::size_t>(pos)]);
-            bool quiet = k > 0;
-            for (std::size_t o = 0; quiet && o < n_outputs; ++o) {
-                quiet = within_steady_band(frame[o][lane], anchor[o][lane],
-                                           options.steady_tolerance);
-            }
-            if (quiet) {
-                ++quiet_steps[lane];
-            } else {
-                quiet_steps[lane] = 0;
-                for (std::size_t o = 0; o < n_outputs; ++o) {
-                    anchor[o][lane] = frame[o][lane];
+        if (detect) {
+            for (int pos = 0; pos < active; ++pos) {
+                const auto lane =
+                    static_cast<std::size_t>(origin[static_cast<std::size_t>(pos)]);
+                bool quiet = k > 0;
+                for (std::size_t o = 0; quiet && o < n_outputs; ++o) {
+                    quiet = within_steady_band(frame[o][lane], anchor[o][lane],
+                                               options.steady_tolerance);
+                }
+                if (quiet) {
+                    ++quiet_steps[lane];
+                } else {
+                    quiet_steps[lane] = 0;
+                    for (std::size_t o = 0; o < n_outputs; ++o) {
+                        anchor[o][lane] = frame[o][lane];
+                    }
+                }
+                if (quiet_steps[lane] >= options.steady_window) {
+                    settled_at[lane] = k + 1;
+                    any_settled = true;
                 }
             }
-            if (quiet_steps[lane] >= options.steady_window) {
-                settled_at[lane] = k + 1;
-                any_settled = true;
+        }
+
+        // Periodic health scan: classify every lane from its slot file and
+        // mark failures for quarantine.
+        bool any_failed = false;
+        if (scan_every > 0 && (k + 1) % scan_every == 0) {
+            batch.scan_lane_health(options.divergence_limit, health);
+            for (int pos = 0; pos < active; ++pos) {
+                if (health[static_cast<std::size_t>(pos)] != LaneStatus::kOk) {
+                    const auto lane =
+                        static_cast<std::size_t>(origin[static_cast<std::size_t>(pos)]);
+                    lane_health[lane].status = health[static_cast<std::size_t>(pos)];
+                    lane_health[lane].failed_at = k + 1;
+                    any_failed = true;
+                }
             }
         }
-        if (!any_settled) {
+        if (!any_settled && !any_failed) {
             continue;
+        }
+
+        if (direct) {
+            // Entering scatter-capture: seed the held frames from the rows
+            // just appended, so removed lanes keep their last sample.
+            for (std::size_t o = 0; o < n_outputs; ++o) {
+                const double* values = batch.output_lanes(o);
+                for (int pos = 0; pos < active; ++pos) {
+                    frame[o][static_cast<std::size_t>(
+                        origin[static_cast<std::size_t>(pos)])] = values[pos];
+                }
+            }
+            direct = false;
         }
         keep.clear();
         for (int pos = 0; pos < active; ++pos) {
-            if (settled_at[static_cast<std::size_t>(origin[static_cast<std::size_t>(pos)])] ==
-                steps) {
+            const auto lane = static_cast<std::size_t>(origin[static_cast<std::size_t>(pos)]);
+            if (settled_at[lane] == steps && lane_health[lane].status == LaneStatus::kOk) {
                 keep.push_back(pos);
             }
         }
         if (keep.empty()) {
-            // Everything settled: pad the remaining samples with the held
-            // frames so waveform lengths stay uniform, and stop stepping.
+            // Everything retired or quarantined: pad the remaining samples
+            // with the held frames so waveform lengths stay uniform, and
+            // stop stepping.
             for (std::size_t pad = k + 1; pad < steps; ++pad) {
                 for (std::size_t o = 0; o < n_outputs; ++o) {
                     outputs[o].append_frame(frame[o].data());
@@ -280,19 +354,16 @@ SweepResult simulate_sweep(BatchExecutor& batch,
     SweepResult result;
     result.steps = steps;
     result.settled_at.assign(n_lanes, steps);
+    result.lane_health.assign(n_lanes, LaneHealth{});
 
     if (options.steady_tolerance > 0.0) {
         AMSVP_CHECK(options.steady_window >= 1, "steady_window must be at least one step");
     }
 
-    const int threads = resolve_threads(options.threads);
-    const std::vector<BatchCompiledModel::LaneRange> shards =
-        threads > 1 ? BatchCompiledModel::shard_lanes(static_cast<int>(n_lanes), threads)
-                    : std::vector<BatchCompiledModel::LaneRange>{
-                          {0, static_cast<int>(n_lanes)}};
-
-    if (shards.size() == 1) {
-        // Single-threaded: the caller's batch *is* the one shard.
+    // Apply per-lane overrides to the caller's (already reset) full-width
+    // batch and run the whole sweep on it, single-threaded. Used by the
+    // one-shard path and as the recovery path after a worker-pool failure.
+    const auto run_single_threaded = [&] {
         for (std::size_t l = 0; l < n_lanes; ++l) {
             for (const auto& [symbol, value] : lanes[l].overrides) {
                 batch.set_value(static_cast<int>(l), symbol, value);
@@ -303,7 +374,19 @@ SweepResult simulate_sweep(BatchExecutor& batch,
             w.reserve(steps);
         }
         run_sweep_shard(batch, sources.data(), n_lanes, 0, input_symbols.size(), steps, dt,
-                        options, result.outputs, result.settled_at.data());
+                        options, result.outputs, result.settled_at.data(),
+                        result.lane_health.data(), nullptr);
+    };
+
+    const int threads = resolve_threads(options.threads);
+    const std::vector<BatchCompiledModel::LaneRange> shards =
+        threads > 1 ? BatchCompiledModel::shard_lanes(static_cast<int>(n_lanes), threads)
+                    : std::vector<BatchCompiledModel::LaneRange>{
+                          {0, static_cast<int>(n_lanes)}};
+
+    if (shards.size() == 1) {
+        // Single-threaded: the caller's batch *is* the one shard.
+        run_single_threaded();
         return result;
     }
 
@@ -312,7 +395,8 @@ SweepResult simulate_sweep(BatchExecutor& batch,
     // shard through the same dlopen'ed kernel — stepped by one worker; no
     // mutable state is shared between shards, so the only synchronization
     // is the join. The caller's full-width batch is left reset and
-    // untouched.
+    // untouched — which is what makes the single-threaded retry below a
+    // clean re-run rather than a resume.
     struct Shard {
         std::unique_ptr<BatchExecutor> model;
         std::vector<numeric::WaveformBatch> outputs;
@@ -321,7 +405,27 @@ SweepResult simulate_sweep(BatchExecutor& batch,
     std::vector<Shard> work;
     work.reserve(shards.size());
     for (const BatchCompiledModel::LaneRange& range : shards) {
-        work.push_back(Shard{batch.make_shard(range.count),
+        const int shard_index = static_cast<int>(work.size());
+        std::unique_ptr<BatchExecutor> model;
+        try {
+            // Fault site sweep.shard_alloc (context = shard index): models a
+            // shard executor failing to come up (allocation failure, a
+            // backend resource giving out) without needing a real one.
+            if (support::fault::should_fire("sweep.shard_alloc", shard_index)) {
+                throw std::runtime_error("injected fault: sweep.shard_alloc (shard " +
+                                         std::to_string(shard_index) + ")");
+            }
+            model = batch.make_shard(range.count);
+        } catch (const std::exception& e) {
+            // Degrade this shard instead of failing the sweep: the fallback
+            // executor (interpreter for the native backend) is bit-identical,
+            // so only this shard's throughput suffers.
+            model = batch.make_fallback_shard(range.count);
+            result.diagnostics.push_back("shard " + std::to_string(shard_index) +
+                                         " executor construction failed (" + e.what() +
+                                         "); using the fallback executor");
+        }
+        work.push_back(Shard{std::move(model),
                              std::vector<numeric::WaveformBatch>(
                                  n_outputs, numeric::WaveformBatch(
                                                 static_cast<std::size_t>(range.count), dt, dt)),
@@ -339,13 +443,32 @@ SweepResult simulate_sweep(BatchExecutor& batch,
     }
 
     support::ThreadPool pool(static_cast<int>(work.size()));
-    pool.run(static_cast<int>(work.size()), [&](int s) {
-        Shard& shard = work[static_cast<std::size_t>(s)];
-        run_sweep_shard(*shard.model, sources.data(), n_lanes,
-                        static_cast<std::size_t>(shard.range.begin), input_symbols.size(),
-                        steps, dt, options, shard.outputs,
-                        result.settled_at.data() + shard.range.begin);
-    });
+    try {
+        pool.run(static_cast<int>(work.size()), [&](int s) {
+            Shard& shard = work[static_cast<std::size_t>(s)];
+            run_sweep_shard(*shard.model, sources.data(), n_lanes,
+                            static_cast<std::size_t>(shard.range.begin), input_symbols.size(),
+                            steps, dt, options, shard.outputs,
+                            result.settled_at.data() + shard.range.begin,
+                            result.lane_health.data() + shard.range.begin,
+                            &pool.cancel_flag());
+        });
+    } catch (const std::exception& e) {
+        // A worker threw (a stimulus callable, an executor invariant, an
+        // injected pool.worker fault). The pool has cancelled the job and
+        // every started shard has stopped; per-shard results are partial
+        // garbage, but the caller's batch was never touched — so re-run the
+        // whole sweep on the calling thread. A deterministic failure then
+        // propagates to the caller from this single-threaded run instead of
+        // from a worker; a transient one is healed.
+        result.diagnostics.push_back(std::string("worker pool sweep failed (") + e.what() +
+                                     "); re-ran single-threaded on the calling thread");
+        result.settled_at.assign(n_lanes, steps);
+        result.lane_health.assign(n_lanes, LaneHealth{});
+        batch.reset();
+        run_single_threaded();
+        return result;
+    }
 
     // Merge the per-shard captures in lane order: global frame k is the
     // concatenation of every shard's frame k, one row copy per shard.

@@ -52,6 +52,18 @@ struct SweepResult {
     /// (`steps` when the lane ran to the end or detection was off). A
     /// retired lane's remaining samples hold its settled value.
     std::vector<std::size_t> settled_at;
+    /// Per-lane health verdict from the periodic slot-file scan
+    /// (SweepOptions::lane_health_interval). A lane that goes non-finite or
+    /// diverges is *quarantined*: it is compacted out of the batch so it
+    /// stops consuming step time and cannot leak into any shared decision;
+    /// its remaining samples hold the last captured frame, its status and
+    /// detection step land here, and every healthy lane finishes
+    /// bit-identically to a sweep that never contained the poisoned lane.
+    std::vector<LaneHealth> lane_health;
+    /// Human-readable notes about degraded-mode recoveries the sweep took
+    /// (native→interpreter backend fallback, per-shard fallback executors,
+    /// worker-failure single-threaded retry). Empty on an untroubled run.
+    std::vector<std::string> diagnostics;
 };
 
 /// Execution engine for simulate_sweep.
@@ -109,6 +121,29 @@ struct SweepOptions {
     /// runs native — shards always match the executor's backend via
     /// BatchExecutor::make_shard).
     SweepBackend backend = SweepBackend::kInterpreter;
+
+    /// Lane health: every `lane_health_interval` steps the driver scans the
+    /// shard's whole slot file for non-finite values (both backends share
+    /// the scan — it reads memory, not the stepping engine) and quarantines
+    /// failing lanes via compact_lanes. Healthy lanes are unaffected
+    /// bit-for-bit; the failure is reported in SweepResult::lane_health
+    /// instead of shipping NaN frames to the end. 0 disables scanning.
+    /// The scan costs well under 2% of a step at the default interval
+    /// (enforced by bench/compare.py), so leaving it on is the default.
+    std::size_t lane_health_interval = 32;
+    /// > 0 also quarantines lanes whose finite slot magnitude exceeds this
+    /// limit (status kDiverged) — catches blow-ups on their way to
+    /// infinity. 0 checks non-finiteness only.
+    double divergence_limit = 0.0;
+
+    /// Native-backend JIT guards, forwarded to codegen::detail::JitOptions
+    /// by the model-compiling overload: wall-clock timeout per compiler
+    /// invocation, total attempts of the compile→load sequence, and the
+    /// base backoff between attempts (doubling). On final failure the sweep
+    /// falls back to the interpreter and records a diagnostic.
+    int jit_timeout_ms = 60000;
+    int jit_attempts = 2;
+    int jit_backoff_ms = 100;
 };
 
 /// Run all `lanes` for `duration_seconds` through one BatchCompiledModel:
@@ -132,7 +167,15 @@ struct SweepOptions {
 /// `batch.make_shard()` (same backend, own slot file) and `batch` itself
 /// is left reset; with a single shard (few lanes or threads <= 1) `batch`
 /// is the executor that gets stepped — and possibly compacted by
-/// steady-state retirement — exactly as before.
+/// steady-state retirement or lane quarantine — exactly as before.
+///
+/// Fault tolerance: a shard whose construction fails is rebuilt via
+/// `make_fallback_shard()` (the native backend degrades that shard to the
+/// bit-identical interpreter); if a worker thread throws, the pool cancels
+/// the job and the whole sweep is re-run once on the calling thread using
+/// `batch` itself — a deterministic failure then propagates to the caller
+/// from that single-threaded run. Every recovery is recorded in
+/// SweepResult::diagnostics.
 [[nodiscard]] SweepResult simulate_sweep(
     BatchExecutor& batch, const std::vector<expr::Symbol>& input_symbols,
     const std::map<std::string, numeric::SourceFunction>& shared_stimuli,

@@ -1,0 +1,107 @@
+#include "support/fault.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace amsvp::support::fault {
+
+namespace detail {
+
+std::atomic<int> g_armed_sites{0};
+
+namespace {
+
+struct Site {
+    bool armed = false;
+    Trigger trigger = Trigger::kOnce;
+    int countdown = 0;  ///< kAfterN: matching checks left before the firing one
+    int context = kAnyContext;
+    int fired = 0;
+};
+
+std::mutex g_mutex;
+// std::map keeps iterators/references stable and needs no hashing of the
+// site string on the (already slow) armed path.
+std::map<std::string, Site>& registry() {
+    static std::map<std::string, Site> sites;
+    return sites;
+}
+
+}  // namespace
+
+bool should_fire_slow(const char* site, int context) {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    auto& sites = registry();
+    const auto it = sites.find(site);
+    if (it == sites.end() || !it->second.armed) {
+        return false;
+    }
+    Site& s = it->second;
+    if (s.context != kAnyContext && context != s.context) {
+        return false;
+    }
+    switch (s.trigger) {
+        case Trigger::kAlways:
+            ++s.fired;
+            return true;
+        case Trigger::kOnce:
+            s.armed = false;
+            g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+            ++s.fired;
+            return true;
+        case Trigger::kAfterN:
+            if (s.countdown > 0) {
+                --s.countdown;
+                return false;
+            }
+            s.armed = false;
+            g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+            ++s.fired;
+            return true;
+    }
+    return false;
+}
+
+}  // namespace detail
+
+void arm(const std::string& site, Trigger trigger, int after, int context) {
+    const std::lock_guard<std::mutex> lock(detail::g_mutex);
+    detail::Site& s = detail::registry()[site];
+    if (!s.armed) {
+        detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+    }
+    s.armed = true;
+    s.trigger = trigger;
+    s.countdown = after;
+    s.context = context;
+}
+
+void disarm(const std::string& site) {
+    const std::lock_guard<std::mutex> lock(detail::g_mutex);
+    auto& sites = detail::registry();
+    const auto it = sites.find(site);
+    if (it != sites.end() && it->second.armed) {
+        it->second.armed = false;
+        detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+void reset() {
+    const std::lock_guard<std::mutex> lock(detail::g_mutex);
+    auto& sites = detail::registry();
+    for (auto& [name, site] : sites) {
+        if (site.armed) {
+            detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+        }
+    }
+    sites.clear();
+}
+
+int fire_count(const std::string& site) {
+    const std::lock_guard<std::mutex> lock(detail::g_mutex);
+    const auto& sites = detail::registry();
+    const auto it = sites.find(site);
+    return it == sites.end() ? 0 : it->second.fired;
+}
+
+}  // namespace amsvp::support::fault

@@ -1,6 +1,10 @@
 #include "support/thread_pool.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "support/check.hpp"
+#include "support/fault.hpp"
 
 namespace amsvp::support {
 
@@ -28,6 +32,34 @@ int ThreadPool::hardware_threads() {
     return n == 0 ? 1 : static_cast<int>(n);
 }
 
+void ThreadPool::run_one(const std::function<void(int)>& task, int index) {
+    try {
+        if (fault::should_fire("pool.worker", index)) {
+            throw std::runtime_error("injected fault: pool.worker (task " +
+                                     std::to_string(index) + ")");
+        }
+        task(index);
+    } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (error_ == nullptr) {
+            error_ = std::current_exception();
+            cancel_.store(true, std::memory_order_relaxed);
+        }
+        // Abandon the unclaimed tail of the job: nobody will run those
+        // indices, so they must not be waited for.
+        pending_ -= count_ - next_;
+        next_ = count_;
+        if (--pending_ == 0) {
+            done_.notify_all();
+        }
+        return;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_ == 0) {
+        done_.notify_all();
+    }
+}
+
 void ThreadPool::run(int count, const std::function<void(int)>& task) {
     if (count <= 0) {
         return;
@@ -39,6 +71,8 @@ void ThreadPool::run(int count, const std::function<void(int)>& task) {
         count_ = count;
         next_ = 0;
         pending_ = count;
+        error_ = nullptr;
+        cancel_.store(false, std::memory_order_relaxed);
     }
     wake_.notify_all();
 
@@ -53,16 +87,22 @@ void ThreadPool::run(int count, const std::function<void(int)>& task) {
             }
             index = next_++;
         }
-        task(index);
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (--pending_ == 0) {
-            done_.notify_all();
-        }
+        run_one(task, index);
     }
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [this] { return pending_ == 0; });
-    task_ = nullptr;
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return pending_ == 0; });
+        task_ = nullptr;
+        error = error_;
+        error_ = nullptr;
+    }
+    // cancel_ stays true until the next job starts: a task that captured
+    // the flag pointer must never observe a stale "false" while unwinding.
+    if (error != nullptr) {
+        std::rethrow_exception(error);
+    }
 }
 
 void ThreadPool::worker_loop() {
@@ -78,11 +118,7 @@ void ThreadPool::worker_loop() {
             task = task_;
             index = next_++;
         }
-        (*task)(index);
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (--pending_ == 0) {
-            done_.notify_all();
-        }
+        run_one(*task, index);
     }
 }
 

@@ -10,7 +10,9 @@
 // zero threads and degenerates to a plain loop.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -32,13 +34,30 @@ public:
     [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()) + 1; }
 
     /// Run task(0) .. task(count - 1) across the pool. Indices are claimed
-    /// dynamically, each runs exactly once, and the call returns only when
-    /// every index has completed. The calling thread participates. Tasks
-    /// must not call run() on the same pool (jobs do not nest) and must
-    /// not throw — this library reports failure via AMSVP_CHECK/abort, and
-    /// an exception escaping a task leaves the job's bookkeeping undrained
-    /// (worker-side throws terminate outright).
+    /// dynamically and the call returns only when the job is over; the
+    /// calling thread participates. Tasks must not call run() on the same
+    /// pool (jobs do not nest).
+    ///
+    /// Failure contract: a task may throw. The first exception (by
+    /// completion order) is captured, the job's cancel flag is raised so
+    /// unclaimed indices are abandoned and cooperative tasks can bail early
+    /// (see cancelled()), already-running tasks drain, and the exception is
+    /// rethrown here on the calling thread once every started task has
+    /// finished. Later exceptions from the same job are swallowed. On a
+    /// clean job every index runs exactly once; after a failure each index
+    /// ran at most once. The pool itself stays usable for further jobs.
     void run(int count, const std::function<void(int)>& task);
+
+    /// True while the current job has captured a failure: long-running
+    /// tasks may poll this (one relaxed load) and return early — their
+    /// results are going to be discarded by the rethrow anyway. Outside a
+    /// failing job it reads false.
+    [[nodiscard]] bool cancelled() const { return cancel_.load(std::memory_order_relaxed); }
+
+    /// The job's shared cancel flag, for tasks that outlive a reference to
+    /// the pool object only through the flag (e.g. a shard loop handed a
+    /// `const std::atomic<bool>*`).
+    [[nodiscard]] const std::atomic<bool>& cancel_flag() const { return cancel_; }
 
     /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
     /// legally report 0).
@@ -46,6 +65,9 @@ public:
 
 private:
     void worker_loop();
+    /// Run one claimed index, routing an escaping exception into the job's
+    /// first-error slot and cancelling the remaining unclaimed indices.
+    void run_one(const std::function<void(int)>& task, int index);
 
     std::mutex mutex_;
     std::condition_variable wake_;  ///< workers: a job arrived / shutdown
@@ -53,7 +75,9 @@ private:
     const std::function<void(int)>* task_ = nullptr;
     int count_ = 0;    ///< indices in the current job
     int next_ = 0;     ///< next index to claim
-    int pending_ = 0;  ///< indices claimed-or-unclaimed but not yet completed
+    int pending_ = 0;  ///< claimed-or-unclaimed indices not yet completed/abandoned
+    std::exception_ptr error_;      ///< first task failure of the current job
+    std::atomic<bool> cancel_{false};  ///< raised when error_ is set
     bool stop_ = false;
     std::vector<std::thread> threads_;
 };

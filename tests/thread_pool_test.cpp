@@ -6,6 +6,8 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -70,6 +72,109 @@ TEST(ThreadPool, MoreTasksThanWorkersAllComplete) {
 
 TEST(ThreadPool, HardwareThreadsHasAFloorOfOne) {
     EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+// --- Failure contract --------------------------------------------------------
+// Regression guard: a throwing task used to escape a worker's thread entry
+// and call std::terminate, taking the whole process down. run() must
+// capture the exception and rethrow it on the calling thread instead.
+
+TEST(ThreadPool, WorkerExceptionRethrownOnCaller) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    try {
+        pool.run(64, [&](int i) {
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+            if (i == 13) {
+                throw std::runtime_error("lane 13 is poisoned");
+            }
+        });
+        FAIL() << "run() must rethrow the task's exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "lane 13 is poisoned");
+    }
+    // After a failure each index ran at most once (unclaimed ones were
+    // abandoned; none ran twice).
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_LE(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+    }
+    EXPECT_EQ(hits[13].load(), 1);
+}
+
+TEST(ThreadPool, ExceptionOnCallerThreadInSingleWorkerPool) {
+    // With no helper threads the task throws inline on the caller — the
+    // contract (rethrow, abandon the tail) must hold on that path too.
+    ThreadPool pool(1);
+    std::vector<int> ran;
+    EXPECT_THROW(pool.run(8, [&](int i) {
+        ran.push_back(i);
+        if (i == 2) {
+            throw std::logic_error("boom");
+        }
+    }),
+                 std::logic_error);
+    EXPECT_EQ(ran, (std::vector<int>{0, 1, 2}));  // indices after the throw abandoned
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterAFailedJob) {
+    ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        EXPECT_THROW(pool.run(32, [&](int i) {
+            if (i == 0) {
+                throw std::runtime_error("first index fails");
+            }
+        }),
+                     std::runtime_error);
+        EXPECT_TRUE(pool.cancelled());  // failure flag visible until the next job
+        std::atomic<int> done{0};
+        pool.run(32, [&](int) { done.fetch_add(1); });
+        EXPECT_EQ(done.load(), 32);
+        EXPECT_FALSE(pool.cancelled());
+    }
+}
+
+TEST(ThreadPool, CancelFlagLetsCooperativeTasksBailEarly) {
+    ThreadPool pool(2);
+    std::atomic<bool> spinner_started{false};
+    std::atomic<int> bailed{0};
+    const std::atomic<bool>& cancel = pool.cancel_flag();
+    EXPECT_THROW(pool.run(2, [&](int i) {
+        if (i == 0) {
+            // Only throw once the cooperative task is definitely running,
+            // so its bail-out below is deterministic rather than a race
+            // against task claiming.
+            while (!spinner_started.load()) {
+                std::this_thread::yield();
+            }
+            throw std::runtime_error("cancel the rest");
+        }
+        // Cooperative long-running task: poll the shared flag the way
+        // run_sweep_shard does and return early once the job failed.
+        spinner_started.store(true);
+        while (!cancel.load(std::memory_order_relaxed)) {
+            std::this_thread::yield();
+        }
+        bailed.fetch_add(1);
+    }),
+                 std::runtime_error);
+    EXPECT_EQ(bailed.load(), 1);
+}
+
+TEST(ThreadPool, FirstExceptionWinsLaterOnesSwallowed) {
+    ThreadPool pool(4);
+    std::atomic<int> threw{0};
+    // Every task throws; exactly one exception must surface and the job
+    // must still terminate cleanly.
+    try {
+        pool.run(16, [&](int i) {
+            threw.fetch_add(1);
+            throw std::runtime_error("task " + std::to_string(i));
+        });
+        FAIL() << "run() must rethrow";
+    } catch (const std::runtime_error& e) {
+        EXPECT_EQ(std::string(e.what()).rfind("task ", 0), 0u) << e.what();
+    }
+    EXPECT_GE(threw.load(), 1);
 }
 
 }  // namespace
