@@ -27,7 +27,19 @@ and enforces two floors:
     behind lane quarantine, amortized over its default interval, must
     cost at most `--max-scan-pct` (default 2.0) percent of one RC20
     batch step at width 32 — the guard that keeps quarantine cheap
-    enough to stay on by default.
+    enough to stay on by default;
+  * sweep-service warm path (entries from BENCH_service.json /
+    bench_sweep_service_load via --extra-json; all skipped when absent):
+    a warm interpreter job on the persistent service must be at least
+    `--min-service-warm-speedup` (default 0.9) times as fast as calling
+    simulate_sweep per job (i.e. beat the per-call executor rebuild,
+    within measurement tolerance); a warm native job must beat the cold
+    first job (which pays the external kernel compile) by at least
+    `--min-service-native-speedup` (default 2.0) — the cheap proxy for
+    "warm repeats skip the compiler and shard construction"; and job
+    latency must stay stable: p99 <= `--max-service-p99-ratio`
+    (default 6.0) times p50 for both the single-client warm series and
+    the N-client concurrent series.
 
 With `--history <path>` every run is appended to a JSONL file and each
 metric is compared against the best value ever recorded there: regressions
@@ -99,6 +111,18 @@ def native_batch_table(results):
         if entry.get("name") != "native_batch_sweep":
             continue
         table[(int(entry["lanes"]), entry["mode"])] = float(entry["ns_per_step_per_lane"])
+    return table
+
+
+def sweep_service_table(results):
+    """(mode, stat) -> measured value of the service load bench."""
+    table = {}
+    for entry in results:
+        if entry.get("name") != "sweep_service_load":
+            continue
+        value = entry.get("ns_per_job", entry.get("cold_job_ns"))
+        if value is not None:
+            table[(entry["mode"], entry["stat"])] = float(value)
     return table
 
 
@@ -206,6 +230,15 @@ def main():
                              "(default: 1.5)")
     parser.add_argument("--native-floor-lanes", type=int, default=8,
                         help="enforce the native batch floor at widths >= this (default: 8)")
+    parser.add_argument("--min-service-warm-speedup", type=float, default=0.9,
+                        help="required warm-service vs per-call-rebuild interpreter job "
+                             "speedup (default: 0.9 — beat the rebuild within tolerance)")
+    parser.add_argument("--min-service-native-speedup", type=float, default=2.0,
+                        help="required warm vs cold native service job speedup "
+                             "(default: 2.0; the cold job pays the kernel compile)")
+    parser.add_argument("--max-service-p99-ratio", type=float, default=6.0,
+                        help="allowed p99/p50 job-latency ratio for the service load "
+                             "series (default: 6.0)")
     parser.add_argument("--extra-json", action="append", default=[],
                         help="additional bench JSON (e.g. BENCH_table1.json) folded into "
                              "the history tracking; no single-run thresholds applied")
@@ -337,6 +370,49 @@ def main():
               f"({floor}) [{status}]")
         if enforced and speedup < args.min_native_speedup:
             failures += 1
+
+    # Sweep-service warm-path floors and latency stability. Entries arrive
+    # through --extra-json (BENCH_service.json); an empty table means the
+    # load bench did not run — skip. Native arms are additionally absent on
+    # compiler-less hosts, so each sub-check guards its own entries.
+    service = sweep_service_table(tracked)
+    if service:
+        percall = service.get(("percall_interp", "p50"))
+        warm = service.get(("warm_interp", "p50"))
+        if percall is None or warm is None:
+            print("error: sweep_service_load missing percall/warm p50 entries",
+                  file=sys.stderr)
+            failures += 1
+        else:
+            speedup = percall / warm
+            status = "ok" if speedup >= args.min_service_warm_speedup else "FAIL"
+            print(f"service warm interp: per-call {percall / 1e3:.1f} us/job, "
+                  f"warm {warm / 1e3:.1f} us/job, speedup {speedup:.2f}x "
+                  f"(required >= {args.min_service_warm_speedup:.2f}x) [{status}]")
+            if speedup < args.min_service_warm_speedup:
+                failures += 1
+        cold = service.get(("native_cold", "first"))
+        native_warm = service.get(("native_warm", "p50"))
+        if cold is not None and native_warm is not None:
+            speedup = cold / native_warm
+            status = "ok" if speedup >= args.min_service_native_speedup else "FAIL"
+            print(f"service warm native: cold {cold / 1e6:.1f} ms/job, "
+                  f"warm {native_warm / 1e6:.3f} ms/job, speedup {speedup:.1f}x "
+                  f"(required >= {args.min_service_native_speedup:.2f}x) [{status}]")
+            if speedup < args.min_service_native_speedup:
+                failures += 1
+        for series in ("warm_interp", "concurrent_interp", "native_warm"):
+            p50 = service.get((series, "p50"))
+            p99 = service.get((series, "p99"))
+            if p50 is None or p99 is None or p50 <= 0.0:
+                continue
+            ratio = p99 / p50
+            status = "ok" if ratio <= args.max_service_p99_ratio else "FAIL"
+            print(f"service {series}: p50 {p50 / 1e3:.1f} us, p99 {p99 / 1e3:.1f} us, "
+                  f"ratio {ratio:.2f} (allowed <= {args.max_service_p99_ratio:.1f}) "
+                  f"[{status}]")
+            if ratio > args.max_service_p99_ratio:
+                failures += 1
 
     if args.history:
         failures += check_history(tracked, args.history, args.history_tolerance,

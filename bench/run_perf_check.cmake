@@ -31,6 +31,18 @@ if(NATIVE_EXE)
   list(APPEND extra_args --extra-json ${NATIVE_JSON})
 endif()
 
+# Optionally run the sweep-service load bench: compare.py enforces the
+# warm-path floors (warm-vs-per-call interpreter, warm-vs-cold native) and
+# the p99/p50 latency-stability gate from its entries (native arms are
+# skipped by the bench itself on compiler-less hosts).
+if(SERVICE_EXE)
+  execute_process(COMMAND ${SERVICE_EXE} --json ${SERVICE_JSON} RESULT_VARIABLE service_rc)
+  if(NOT service_rc EQUAL 0)
+    message(FATAL_ERROR "bench_sweep_service_load failed (rc=${service_rc})")
+  endif()
+  list(APPEND extra_args --extra-json ${SERVICE_JSON})
+endif()
+
 # The history file accumulates one JSONL line per run next to the JSON
 # output, so gradual regressions against the best recorded run get flagged.
 cmake_path(GET JSON_OUT PARENT_PATH json_dir)

@@ -14,6 +14,7 @@
 #include "abstraction/abstraction.hpp"
 #include "netlist/builder.hpp"
 #include "runtime/simulate.hpp"
+#include "runtime/sweep_service.hpp"
 
 int main() {
     using namespace amsvp;
@@ -117,7 +118,7 @@ int main() {
     //    and dlopen'ed once, then every shard steps through that machine
     //    code — no interpreter in the loop. Results are bit-identical to
     //    the interpreter backend; when no compiler is on PATH the sweep
-    //    quietly falls back (one note on stderr).
+    //    falls back and says so in SweepResult::diagnostics.
     options.backend = runtime::SweepBackend::kNative;
     const auto native = runtime::simulate_sweep(
         *decay_model, {{"u0", [](double) { return 0.0; }}}, wide, 1.5, options);
@@ -133,5 +134,49 @@ int main() {
                 "  %d lanes, %zu steps: %s the interpreter backend\n",
                 kWide, native.steps,
                 identical ? "bit-identical to" : "DIVERGED from");
-    return identical ? 0 : 1;
+    if (!identical) {
+        return 1;
+    }
+
+    // 5. The same workload as a served one: a long-lived SweepService owns
+    //    the compile cache, warm per-shard executors and one persistent
+    //    worker pool, and accepts jobs from any number of client threads
+    //    (submit() returns a future). Repeat jobs of a seen model skip the
+    //    recompiles and executor rebuilds — watch the stats — and stay
+    //    bit-identical to the direct simulate_sweep calls above.
+    runtime::SweepService service;
+    runtime::SweepJob job;
+    job.model = *decay_model;
+    job.stimuli = {{"u0", [](double) { return 0.0; }}};
+    job.lanes = wide;
+    job.duration_seconds = 1.5;
+    job.options = options;  // native backend, sharded, steady retirement
+    auto first_future = service.submit(job);    // cold: compiles + builds
+    const auto served_cold = first_future.get();
+    const auto served_warm = service.run(job);  // warm: caches + pools
+    bool service_identical = served_cold.settled_at == sharded.settled_at &&
+                             served_warm.settled_at == sharded.settled_at;
+    for (std::size_t o = 0; service_identical && o < served_warm.outputs.size(); ++o) {
+        for (std::size_t l = 0; service_identical && l < served_warm.outputs[o].lanes();
+             ++l) {
+            for (std::size_t k = 0; service_identical && k < served_warm.outputs[o].size();
+                 ++k) {
+                service_identical =
+                    served_warm.outputs[o].value(l, k) == sharded.outputs[o].value(l, k) &&
+                    served_cold.outputs[o].value(l, k) == sharded.outputs[o].value(l, k);
+            }
+        }
+    }
+    const runtime::ServiceStats stats = service.stats();
+    std::printf("\n--- Sweep service (persistent cache + executor pools) ------\n"
+                "  2 jobs served: %s direct simulate_sweep\n"
+                "  executors built %llu, reused %llu; layout compiles %llu; "
+                "kernel compiles %llu (%.2f s saved warm)\n",
+                service_identical ? "bit-identical to" : "DIVERGED from",
+                static_cast<unsigned long long>(stats.executors_built),
+                static_cast<unsigned long long>(stats.executors_reused),
+                static_cast<unsigned long long>(stats.cache.layout_misses),
+                static_cast<unsigned long long>(stats.cache.program_misses),
+                stats.cache.compile_seconds_saved);
+    return service_identical ? 0 : 1;
 }

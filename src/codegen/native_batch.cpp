@@ -34,7 +34,14 @@ std::shared_ptr<const NativeBatchProgram> NativeBatchProgram::compile(
     // One fused compile serves both sides: the emitter renders this
     // layout's slot indices and the executing batch allocates its slot
     // file from the same object.
-    auto layout = runtime::ModelLayout::compile(model, runtime::EvalStrategy::kFused);
+    return compile(model, runtime::ModelLayout::compile(model, runtime::EvalStrategy::kFused),
+                   error, jit);
+}
+
+std::shared_ptr<const NativeBatchProgram> NativeBatchProgram::compile(
+    const abstraction::SignalFlowModel& model,
+    std::shared_ptr<const runtime::ModelLayout> layout, std::string* error,
+    const detail::JitOptions& jit) {
     auto library = detail::JitLibrary::compile(
         wrapper_source(model, layout), {"amsvp_step_batch", "amsvp_batch_slot_count"},
         error, jit);

@@ -40,6 +40,15 @@ public:
         const abstraction::SignalFlowModel& model, std::string* error = nullptr,
         const detail::JitOptions& jit = {});
 
+    /// Same, over an already-compiled (kFused) layout of `model` — callers
+    /// holding a cached ModelLayout (runtime::ModelCache, the sweep
+    /// service) skip the redundant FusedCompiler re-run; the kernel is
+    /// emitted against exactly this layout's slot assignment.
+    [[nodiscard]] static std::shared_ptr<const NativeBatchProgram> compile(
+        const abstraction::SignalFlowModel& model,
+        std::shared_ptr<const runtime::ModelLayout> layout, std::string* error = nullptr,
+        const detail::JitOptions& jit = {});
+
     /// Step `batch` lanes of a strided slot file (layout()->slot_count()
     /// rows). The caller writes inputs and the $abstime row first; history
     /// rotates inside the kernel.

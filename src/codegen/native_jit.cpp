@@ -19,6 +19,16 @@ namespace amsvp::codegen::detail {
 
 namespace {
 
+std::atomic<std::uint64_t> g_compile_invocations{0};
+
+}  // namespace
+
+std::uint64_t compile_invocations() {
+    return g_compile_invocations.load(std::memory_order_relaxed);
+}
+
+namespace {
+
 /// Owns every temp path of one compile attempt until success: any early
 /// return removes whatever still stands. release() hands a path over (the
 /// .so transfers into the JitLibrary; the .log survives a compiler error).
@@ -186,6 +196,7 @@ std::unique_ptr<JitLibrary> JitLibrary::compile_once(
                             shell_quote(so_path) + " " + shell_quote(src_path) + " 2> " +
                             shell_quote(log_path);
     CommandResult compiled;
+    g_compile_invocations.fetch_add(1, std::memory_order_relaxed);
     if (support::fault::should_fire("jit.compile")) {
         std::ofstream(log_path) << "injected fault: jit.compile\n";
         compiled.exit_code = 1;

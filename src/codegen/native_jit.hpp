@@ -26,6 +26,7 @@
 // artifacts can be inspected; the error message then names the source too.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,6 +44,13 @@ namespace amsvp::codegen::detail {
 
 /// True when a usable `c++` compiler is on PATH (cached after first call).
 [[nodiscard]] bool jit_available();
+
+/// Process-wide count of external-compiler invocations attempted by
+/// JitLibrary::compile (each retry counts; an injected jit.compile fault
+/// counts as the invocation it models). Warm-path guarantees — "a repeat
+/// sweep of a cached model runs zero compiles" — are asserted as a zero
+/// delta of this counter across the operation under test.
+[[nodiscard]] std::uint64_t compile_invocations();
 
 /// Knobs for one JitLibrary::compile call. The defaults suit interactive
 /// use; long-running sweep services may want a tighter timeout and more

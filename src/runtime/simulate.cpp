@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <cstdio>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 // The native sweep backend lives in codegen (it owns the emitters and the
@@ -13,6 +13,7 @@
 // header includes runtime/simulate.hpp — and keeps backend selection a
 // plain SweepOptions field instead of a registration scheme.
 #include "codegen/native_batch.hpp"
+#include "runtime/sweep_service.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
 #include "support/step_count.hpp"
@@ -70,30 +71,27 @@ SweepResult simulate_sweep(const abstraction::SignalFlowModel& model,
                            const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
                            const std::vector<SweepLane>& lanes, double duration_seconds,
                            const SweepOptions& options) {
+    // Both compile artifacts come from the process-wide ModelCache: repeat
+    // sweeps of one model skip the FusedCompiler re-run and — on the native
+    // backend — the external-compiler invocation, even without a
+    // SweepService. Results are unaffected (layouts and programs are
+    // immutable); only cold-start cost changes.
+    ModelCache& cache = ModelCache::global();
     std::string native_error;
     if (options.backend == SweepBackend::kNative) {
-        codegen::detail::JitOptions jit;
-        jit.timeout_ms = options.jit_timeout_ms;
-        jit.attempts = options.jit_attempts;
-        jit.backoff_ms = options.jit_backoff_ms;
-        if (auto native = codegen::NativeBatchModel::compile(
-                model, static_cast<int>(lanes.size()), &native_error, jit)) {
-            return simulate_sweep(*native, model.inputs, shared_stimuli, lanes,
+        if (auto program = cache.program_for(model, options, &native_error)) {
+            codegen::NativeBatchModel native(std::move(program),
+                                             static_cast<int>(lanes.size()));
+            return simulate_sweep(native, model.inputs, shared_stimuli, lanes,
                                   duration_seconds, options);
         }
-        // atomic: concurrent sweeps may hit the fallback simultaneously.
-        static std::atomic<bool> warned{false};
-        if (!warned.exchange(true)) {
-            std::fprintf(stderr,
-                         "amsvp: native sweep backend unavailable (%s); "
-                         "falling back to the batch interpreter\n",
-                         native_error.c_str());
-        }
     }
-    BatchCompiledModel batch(model, static_cast<int>(lanes.size()));
+    BatchCompiledModel batch(cache.layout_for(model), static_cast<int>(lanes.size()));
     SweepResult result = simulate_sweep(batch, model.inputs, shared_stimuli, lanes,
                                         duration_seconds, options);
     if (!native_error.empty()) {
+        // No stderr note: the degradation is data, not chatter — headless
+        // and service callers read it here (and in ServiceStats).
         result.diagnostics.insert(result.diagnostics.begin(),
                                   "native sweep backend unavailable (" + native_error +
                                       "); ran on the batch interpreter");
@@ -320,11 +318,14 @@ int resolve_threads(int requested) {
 
 }  // namespace
 
-SweepResult simulate_sweep(BatchExecutor& batch,
-                           const std::vector<expr::Symbol>& input_symbols,
-                           const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
-                           const std::vector<SweepLane>& lanes, double duration_seconds,
-                           const SweepOptions& options) {
+namespace detail {
+
+SweepResult run_sweep(BatchExecutor& batch,
+                      const std::vector<expr::Symbol>& input_symbols,
+                      const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
+                      const std::vector<SweepLane>& lanes, double duration_seconds,
+                      const SweepOptions& options, SweepShardPool* shard_pool,
+                      support::ThreadPool* pool) {
     AMSVP_CHECK(!lanes.empty(), "sweep needs at least one lane");
     // reset() first: it restores the constructed width if a previous sweep's
     // steady-state retirement compacted the batch, so reuse just works.
@@ -401,12 +402,18 @@ SweepResult simulate_sweep(BatchExecutor& batch,
         std::unique_ptr<BatchExecutor> model;
         std::vector<numeric::WaveformBatch> outputs;
         BatchCompiledModel::LaneRange range;
+        /// Came from `shard_pool` and may be handed back after a clean job
+        /// (false for per-call make_shard builds and fallback executors —
+        /// a fallback must never enter the warm pool, it is the wrong
+        /// backend on purpose).
+        bool poolable = false;
     };
     std::vector<Shard> work;
     work.reserve(shards.size());
     for (const BatchCompiledModel::LaneRange& range : shards) {
         const int shard_index = static_cast<int>(work.size());
         std::unique_ptr<BatchExecutor> model;
+        bool poolable = false;
         try {
             // Fault site sweep.shard_alloc (context = shard index): models a
             // shard executor failing to come up (allocation failure, a
@@ -415,12 +422,23 @@ SweepResult simulate_sweep(BatchExecutor& batch,
                 throw std::runtime_error("injected fault: sweep.shard_alloc (shard " +
                                          std::to_string(shard_index) + ")");
             }
-            model = batch.make_shard(range.count);
+            if (shard_pool != nullptr) {
+                model = shard_pool->acquire(range.count);
+                poolable = true;
+            } else {
+                model = batch.make_shard(range.count);
+            }
+            // A pooled executor carries the previous job's state; a fresh
+            // one was just reset by construction. Resetting both keeps the
+            // two provenances on one code path (reset of a fresh executor
+            // is idempotent, so per-call sweeps are unchanged bit for bit).
+            model->reset();
         } catch (const std::exception& e) {
             // Degrade this shard instead of failing the sweep: the fallback
             // executor (interpreter for the native backend) is bit-identical,
             // so only this shard's throughput suffers.
             model = batch.make_fallback_shard(range.count);
+            poolable = false;
             result.diagnostics.push_back("shard " + std::to_string(shard_index) +
                                          " executor construction failed (" + e.what() +
                                          "); using the fallback executor");
@@ -429,7 +447,7 @@ SweepResult simulate_sweep(BatchExecutor& batch,
                              std::vector<numeric::WaveformBatch>(
                                  n_outputs, numeric::WaveformBatch(
                                                 static_cast<std::size_t>(range.count), dt, dt)),
-                             range});
+                             range, poolable});
         Shard& shard = work.back();
         for (auto& w : shard.outputs) {
             w.reserve(steps);
@@ -442,16 +460,23 @@ SweepResult simulate_sweep(BatchExecutor& batch,
         }
     }
 
-    support::ThreadPool pool(static_cast<int>(work.size()));
+    // Caller-provided persistent pool, or one local to this call. run()
+    // hands out shard indices dynamically, so a pool with fewer workers
+    // than shards still completes the job (shards queue).
+    std::optional<support::ThreadPool> local_pool;
+    if (pool == nullptr) {
+        local_pool.emplace(static_cast<int>(work.size()));
+        pool = &*local_pool;
+    }
     try {
-        pool.run(static_cast<int>(work.size()), [&](int s) {
+        pool->run(static_cast<int>(work.size()), [&](int s) {
             Shard& shard = work[static_cast<std::size_t>(s)];
             run_sweep_shard(*shard.model, sources.data(), n_lanes,
                             static_cast<std::size_t>(shard.range.begin), input_symbols.size(),
                             steps, dt, options, shard.outputs,
                             result.settled_at.data() + shard.range.begin,
                             result.lane_health.data() + shard.range.begin,
-                            &pool.cancel_flag());
+                            &pool->cancel_flag());
         });
     } catch (const std::exception& e) {
         // A worker threw (a stimulus callable, an executor invariant, an
@@ -485,7 +510,30 @@ SweepResult simulate_sweep(BatchExecutor& batch,
             result.outputs[o].append_frame(frame.data());
         }
     }
+
+    // Clean job: hand the pooled executors back for the next one. Any
+    // failure above either threw (executors die with `work`) or took the
+    // single-threaded retry's early return — only untroubled shards ever
+    // re-enter the warm pool.
+    if (shard_pool != nullptr) {
+        for (Shard& shard : work) {
+            if (shard.poolable) {
+                shard_pool->release(std::move(shard.model));
+            }
+        }
+    }
     return result;
+}
+
+}  // namespace detail
+
+SweepResult simulate_sweep(BatchExecutor& batch,
+                           const std::vector<expr::Symbol>& input_symbols,
+                           const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
+                           const std::vector<SweepLane>& lanes, double duration_seconds,
+                           const SweepOptions& options) {
+    return detail::run_sweep(batch, input_symbols, shared_stimuli, lanes, duration_seconds,
+                             options, /*shard_pool=*/nullptr, /*pool=*/nullptr);
 }
 
 }  // namespace amsvp::runtime

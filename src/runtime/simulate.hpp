@@ -12,6 +12,10 @@
 #include "runtime/batch_model.hpp"
 #include "runtime/compiled_model.hpp"
 
+namespace amsvp::support {
+class ThreadPool;
+}  // namespace amsvp::support
+
 namespace amsvp::runtime {
 
 struct TransientResult {
@@ -74,14 +78,18 @@ enum class SweepBackend {
     /// compiled with the system compiler and dlopen'ed once per model
     /// (codegen::NativeBatchModel). Bit-identical to the interpreter lane
     /// for lane — outputs and settled_at — at every batch width and thread
-    /// count; falls back to the interpreter (with a one-time note on
-    /// stderr) when no compiler is on PATH or compilation fails.
+    /// count; falls back to the interpreter when no compiler is on PATH or
+    /// compilation fails, reporting the degradation in
+    /// SweepResult::diagnostics (no stderr chatter — headless and service
+    /// callers observe the fallback programmatically).
     ///
-    /// Cost note: the model-compiling simulate_sweep overload pays the
-    /// system-compiler invocation (typically a few hundred ms) on *every*
-    /// call. Repeat sweeps of one model should compile a
-    /// codegen::NativeBatchModel once and use the executor-reusing
-    /// overload — the dlopen'ed kernel is a shareable per-model artifact.
+    /// Cost note: the model-compiling simulate_sweep overload serves the
+    /// kernel from the process-wide ModelCache (sweep_service.hpp), so only
+    /// the *first* sweep of a model pays the system-compiler invocation
+    /// (typically a few hundred ms); repeat sweeps of an already-seen model
+    /// reuse the dlopen'ed artifact. Long-lived callers juggling many
+    /// models and jobs should run a SweepService, which additionally pools
+    /// per-shard executors and a persistent worker pool.
     kNative,
 };
 
@@ -181,5 +189,46 @@ struct SweepOptions {
     const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
     const std::vector<SweepLane>& lanes, double duration_seconds,
     const SweepOptions& options = {});
+
+namespace detail {
+
+/// Reuse hooks for the worker-pool sweep's per-shard executors. The
+/// long-lived SweepService keeps warm, already-sized executors between
+/// jobs; simulate_sweep proper runs without one (every shard is built via
+/// BatchExecutor::make_shard and destroyed with the call).
+///
+/// Contract: acquire(n) returns an executor of constructed width n over
+/// the same compile artifact as the sweep's primary executor (the shard
+/// loop resets it before use, so pooled state cannot leak between jobs).
+/// release() hands an executor back ONLY after the job completed cleanly —
+/// a shard involved in any failure (worker exception, fallback
+/// construction) is dropped instead, so a failed job can never poison the
+/// pool.
+class SweepShardPool {
+public:
+    virtual ~SweepShardPool() = default;
+    [[nodiscard]] virtual std::unique_ptr<BatchExecutor> acquire(int lane_count) = 0;
+    virtual void release(std::unique_ptr<BatchExecutor> executor) = 0;
+};
+
+/// The one sweep engine behind every public entry point. Identical to the
+/// executor-reusing simulate_sweep overload, plus two injection points for
+/// the persistent service: `shard_pool` (see SweepShardPool; nullptr =
+/// build shards per call) and `pool` (a caller-owned worker pool reused
+/// across jobs; nullptr = a pool local to this call). The caller must hold
+/// `pool` exclusively for the duration of the call — the sweep uses its
+/// cancel flag for failure propagation.
+///
+/// Every path — sharding, steady retirement, lane quarantine, fallback
+/// shards, the single-threaded worker-failure retry — is this function, so
+/// service results are bit-identical to direct simulate_sweep calls by
+/// construction rather than by testing alone (the tests check anyway).
+[[nodiscard]] SweepResult run_sweep(
+    BatchExecutor& batch, const std::vector<expr::Symbol>& input_symbols,
+    const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
+    const std::vector<SweepLane>& lanes, double duration_seconds,
+    const SweepOptions& options, SweepShardPool* shard_pool, support::ThreadPool* pool);
+
+}  // namespace detail
 
 }  // namespace amsvp::runtime
