@@ -39,7 +39,15 @@ and enforces two floors:
     "warm repeats skip the compiler and shard construction"; and job
     latency must stay stable: p99 <= `--max-service-p99-ratio`
     (default 6.0) times p50 for both the single-client warm series and
-    the N-client concurrent series.
+    the N-client concurrent series;
+  * in-process JIT compile latency (entries from BENCH_jit.json /
+    bench_jit_compile_latency via --extra-json): the cold ORC materialize
+    must be at least `--min-orc-compile-speedup` (default 10.0) times
+    cheaper than the external emit-compile-dlopen roundtrip, and the ORC
+    kernel's steady-state per-lane ns/step must stay within
+    `--max-orc-step-ratio` (default 2.0) of the external kernel's. Each
+    sub-check skips when its arm is absent (AMSVP_WITH_LLVM=OFF build, or
+    no C++ compiler on PATH).
 
 With `--history <path>` every run is appended to a JSONL file and each
 metric is compared against the best value ever recorded there: regressions
@@ -123,6 +131,26 @@ def sweep_service_table(results):
         value = entry.get("ns_per_job", entry.get("cold_job_ns"))
         if value is not None:
             table[(entry["mode"], entry["stat"])] = float(value)
+    return table
+
+
+def jit_compile_table(results):
+    """mode -> cold-compile ns of the JIT latency bench."""
+    table = {}
+    for entry in results:
+        if entry.get("name") != "jit_compile_latency" or "ns_per_compile" not in entry:
+            continue
+        table[entry["mode"]] = float(entry["ns_per_compile"])
+    return table
+
+
+def jit_step_parity_table(results):
+    """mode -> per-lane ns/step of the JIT latency bench's parity arms."""
+    table = {}
+    for entry in results:
+        if entry.get("name") != "jit_step_parity":
+            continue
+        table[entry["mode"]] = float(entry["ns_per_step_per_lane"])
     return table
 
 
@@ -239,6 +267,14 @@ def main():
     parser.add_argument("--max-service-p99-ratio", type=float, default=6.0,
                         help="allowed p99/p50 job-latency ratio for the service load "
                              "series (default: 6.0)")
+    parser.add_argument("--min-orc-compile-speedup", type=float, default=10.0,
+                        help="cold in-process ORC compile must be this many times "
+                             "cheaper than the external-compiler roundtrip "
+                             "(BENCH_jit.json; skipped when either arm is absent)")
+    parser.add_argument("--max-orc-step-ratio", type=float, default=2.0,
+                        help="ORC kernel per-lane ns/step may be at most this many "
+                             "times the external kernel's (skipped when either "
+                             "arm is absent)")
     parser.add_argument("--extra-json", action="append", default=[],
                         help="additional bench JSON (e.g. BENCH_table1.json) folded into "
                              "the history tracking; no single-run thresholds applied")
@@ -413,6 +449,33 @@ def main():
                   f"[{status}]")
             if ratio > args.max_service_p99_ratio:
                 failures += 1
+
+    # In-process JIT compile-latency floor and step-parity cap. Entries
+    # arrive through --extra-json (BENCH_jit.json); each sub-check needs
+    # both of its arms — the orc arm is absent on AMSVP_WITH_LLVM=OFF
+    # builds, the external arm on compiler-less hosts.
+    jit_compile = jit_compile_table(tracked)
+    orc_ns = jit_compile.get("orc")
+    external_ns = jit_compile.get("external")
+    if orc_ns is not None and external_ns is not None and orc_ns > 0.0:
+        speedup = external_ns / orc_ns
+        status = "ok" if speedup >= args.min_orc_compile_speedup else "FAIL"
+        print(f"jit cold compile: external {external_ns / 1e6:.1f} ms, "
+              f"orc {orc_ns / 1e6:.1f} ms, speedup {speedup:.1f}x "
+              f"(required >= {args.min_orc_compile_speedup:.1f}x) [{status}]")
+        if speedup < args.min_orc_compile_speedup:
+            failures += 1
+    parity = jit_step_parity_table(tracked)
+    orc_step = parity.get("orc")
+    native_step = parity.get("native")
+    if orc_step is not None and native_step is not None and native_step > 0.0:
+        ratio = orc_step / native_step
+        status = "ok" if ratio <= args.max_orc_step_ratio else "FAIL"
+        print(f"jit step parity: orc {orc_step:.2f} ns/step/lane, "
+              f"external {native_step:.2f} ns/step/lane, ratio {ratio:.2f} "
+              f"(allowed <= {args.max_orc_step_ratio:.1f}) [{status}]")
+        if ratio > args.max_orc_step_ratio:
+            failures += 1
 
     if args.history:
         failures += check_history(tracked, args.history, args.history_tolerance,

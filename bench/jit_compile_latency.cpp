@@ -1,0 +1,166 @@
+// Cold-compile latency of the two native sweep backends, plus steady-state
+// step parity — the numbers behind "the in-process ORC JIT kills the
+// external-compiler roundtrip":
+//
+//  * cold compile: materializing the RC20 step kernels through the
+//    in-process ORC JIT (lower -> O2 pipeline -> LLJIT) vs the external
+//    path (emit C++ -> system compiler -> dlopen), best of several runs
+//    each. bench/compare.py enforces the ORC path at least
+//    `--min-orc-compile-speedup` (default 10) times cheaper;
+//  * step parity: per-lane ns/step of the materialized kernels at width 64
+//    against the fused interpreter — the warm-path check that the ORC
+//    kernel is not just cheap to build but competitive to run
+//    (`--max-orc-step-ratio` vs the external kernel, default 2.0).
+//
+// Each arm degrades gracefully: no LLVM build -> no orc entries, no C++
+// compiler on PATH -> no external entries; compare.py skips the floors
+// whose entries are absent.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "codegen/native_batch.hpp"
+#include "codegen/native_jit.hpp"
+#include "codegen/orc_jit.hpp"
+#include "runtime/batch_model.hpp"
+
+namespace {
+
+using namespace amsvp;
+using Clock = std::chrono::steady_clock;
+
+double ns_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+}
+
+/// Per-lane ns/step of `executor` over `steps` square-wave-driven steps.
+double measure_step(runtime::BatchExecutor& executor, double timestep, int steps,
+                    int lanes) {
+    const auto stimulus = numeric::square_wave(1e-3);
+    const auto drive = [&](int k) {
+        const double value = stimulus(k * timestep);
+        for (int lane = 0; lane < lanes; ++lane) {
+            executor.set_input(lane, 0, value);
+        }
+        executor.step(k * timestep);
+    };
+    executor.reset();
+    // Untimed warmup: page in the kernel and the slot file.
+    for (int k = 1; k <= 64; ++k) {
+        drive(k);
+    }
+    executor.reset();
+    const auto start = Clock::now();
+    for (int k = 1; k <= steps; ++k) {
+        drive(k);
+    }
+    return ns_since(start) / static_cast<double>(steps) / static_cast<double>(lanes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string json_path = bench::json_path_from_args(argc, argv);
+    bench::JsonReport report("jit_compile_latency");
+
+    std::printf("JIT COMPILE LATENCY — in-process ORC vs external compiler\n\n");
+
+    const auto circuits = bench::paper_circuits();
+    const bench::BenchCircuit* rc20 = nullptr;
+    for (const bench::BenchCircuit& c : circuits) {
+        if (c.name == "RC20") {
+            rc20 = &c;
+        }
+    }
+    if (rc20 == nullptr) {
+        std::fprintf(stderr, "jit_compile_latency: RC20 missing from paper_circuits()\n");
+        return 1;
+    }
+    constexpr int kLanes = 64;
+    constexpr int kSteps = 2000;
+
+    // --- Cold compile, best of K (every run is a full cold build: neither
+    // path below touches the ModelCache) ---
+    std::shared_ptr<const codegen::OrcJitProgram> orc_program;
+    if (codegen::orc_available()) {
+        constexpr int kOrcRuns = 5;
+        double best_ns = 0.0;
+        for (int r = 0; r < kOrcRuns; ++r) {
+            std::string error;
+            const auto start = Clock::now();
+            auto program = codegen::OrcJitProgram::compile(rc20->model, &error);
+            const double ns = ns_since(start);
+            if (program == nullptr) {
+                std::fprintf(stderr, "orc compile failed: %s\n", error.c_str());
+                return 1;
+            }
+            if (r == 0 || ns < best_ns) {
+                best_ns = ns;
+            }
+            orc_program = std::move(program);
+        }
+        std::printf("%-28s %10.2f ms  (best of %d)\n", "orc cold compile",
+                    best_ns / 1e6, kOrcRuns);
+        report.add({{"name", "jit_compile_latency"}, {"mode", "orc"}},
+                   {{"ns_per_compile", best_ns}});
+    } else {
+        std::printf("# built with AMSVP_WITH_LLVM=OFF: orc arm skipped.\n");
+    }
+
+    std::shared_ptr<const codegen::NativeBatchProgram> native_program;
+    if (codegen::detail::jit_available()) {
+        constexpr int kExternalRuns = 2;
+        double best_ns = 0.0;
+        for (int r = 0; r < kExternalRuns; ++r) {
+            std::string error;
+            const auto start = Clock::now();
+            auto program = codegen::NativeBatchProgram::compile(rc20->model, &error);
+            const double ns = ns_since(start);
+            if (program == nullptr) {
+                std::fprintf(stderr, "external compile failed: %s\n", error.c_str());
+                return 1;
+            }
+            if (r == 0 || ns < best_ns) {
+                best_ns = ns;
+            }
+            native_program = std::move(program);
+        }
+        std::printf("%-28s %10.2f ms  (best of %d)\n", "external cold compile",
+                    best_ns / 1e6, kExternalRuns);
+        report.add({{"name", "jit_compile_latency"}, {"mode", "external"}},
+                   {{"ns_per_compile", best_ns}});
+    } else {
+        std::printf("# no C++ compiler on PATH: external arm skipped.\n");
+    }
+
+    // --- Step parity at width 64 ---
+    std::printf("\n%-28s %10s\n", "step parity (RC20 x64)", "ns/step/lane");
+    {
+        runtime::BatchCompiledModel interp(rc20->model, kLanes);
+        const double ns = measure_step(interp, rc20->model.timestep, kSteps, kLanes);
+        std::printf("%-28s %10.2f\n", "  interpreter", ns);
+        report.add({{"name", "jit_step_parity"}, {"mode", "interp"}},
+                   {{"lanes", static_cast<double>(kLanes)}, {"ns_per_step_per_lane", ns}});
+    }
+    if (orc_program != nullptr) {
+        codegen::OrcBatchModel orc(orc_program, kLanes);
+        const double ns = measure_step(orc, rc20->model.timestep, kSteps, kLanes);
+        std::printf("%-28s %10.2f\n", "  orc kernel", ns);
+        report.add({{"name", "jit_step_parity"}, {"mode", "orc"}},
+                   {{"lanes", static_cast<double>(kLanes)}, {"ns_per_step_per_lane", ns}});
+    }
+    if (native_program != nullptr) {
+        codegen::NativeBatchModel native(native_program, kLanes);
+        const double ns = measure_step(native, rc20->model.timestep, kSteps, kLanes);
+        std::printf("%-28s %10.2f\n", "  external kernel", ns);
+        report.add({{"name", "jit_step_parity"}, {"mode", "native"}},
+                   {{"lanes", static_cast<double>(kLanes)}, {"ns_per_step_per_lane", ns}});
+    }
+    std::printf("\n");
+
+    if (!report.write(json_path)) {
+        return 1;
+    }
+    return 0;
+}

@@ -43,6 +43,19 @@ if(SERVICE_EXE)
   list(APPEND extra_args --extra-json ${SERVICE_JSON})
 endif()
 
+# Optionally run the JIT compile-latency bench: compare.py enforces the
+# in-process ORC cold compile at least --min-orc-compile-speedup times
+# cheaper than the external-compiler roundtrip, plus the step-parity cap
+# (each floor skipped when the bench omitted an arm: LLVM-less build, or
+# no C++ compiler on PATH).
+if(JIT_EXE)
+  execute_process(COMMAND ${JIT_EXE} --json ${JIT_JSON} RESULT_VARIABLE jit_rc)
+  if(NOT jit_rc EQUAL 0)
+    message(FATAL_ERROR "bench_jit_compile_latency failed (rc=${jit_rc})")
+  endif()
+  list(APPEND extra_args --extra-json ${JIT_JSON})
+endif()
+
 # The history file accumulates one JSONL line per run next to the JSON
 # output, so gradual regressions against the best recorded run get flagged.
 cmake_path(GET JSON_OUT PARENT_PATH json_dir)

@@ -14,6 +14,11 @@
 // build artifact (.cpp/.so/.log) for inspection — the debugging loop for
 // "the generated model does not compile" reports. Reading from stdin is
 // the default when no file is given.
+//
+// --backend orc swaps the C++ emitter for the in-process LLVM lowering:
+// it dumps the model's generated LLVM IR, first as lowered and then after
+// the fixed optimization pipeline — the debugging surface for "what does the
+// ORC sweep backend actually run". Requires an AMSVP_WITH_LLVM=ON build.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,7 +28,9 @@
 #include "abstraction/abstraction.hpp"
 #include "abstraction/behavioral.hpp"
 #include "codegen/codegen.hpp"
+#include "codegen/llvm_lowering.hpp"
 #include "codegen/native_jit.hpp"
+#include "runtime/model_layout.hpp"
 #include "support/diagnostics.hpp"
 #include "vams/circuits.hpp"
 #include "vams/elaborator.hpp"
@@ -33,9 +40,9 @@ namespace {
 
 void usage() {
     std::fprintf(stderr,
-                 "usage: codegen_tool [--target cpp|sc-de|sc-tdf] [--output pos,neg]\n"
-                 "                    [--batch] [--keep-temps] [--builtin rc<N>|2in|oa|sf]\n"
-                 "                    [file.vams]\n");
+                 "usage: codegen_tool [--target cpp|sc-de|sc-tdf] [--backend cpp|orc]\n"
+                 "                    [--output pos,neg] [--batch] [--keep-temps]\n"
+                 "                    [--builtin rc<N>|2in|oa|sf] [file.vams]\n");
 }
 
 }  // namespace
@@ -44,6 +51,7 @@ int main(int argc, char** argv) {
     using namespace amsvp;
 
     codegen::Target target = codegen::Target::kCpp;
+    bool orc_backend = false;
     codegen::CodegenOptions codegen_options;
     std::string output_pos = "out";
     std::string output_neg = "gnd";
@@ -61,6 +69,16 @@ int main(int argc, char** argv) {
                 target = codegen::Target::kSystemCDe;
             } else if (t == "sc-tdf") {
                 target = codegen::Target::kSystemCAmsTdf;
+            } else {
+                usage();
+                return 2;
+            }
+        } else if (arg == "--backend" && i + 1 < argc) {
+            const std::string b = argv[++i];
+            if (b == "cpp") {
+                orc_backend = false;
+            } else if (b == "orc") {
+                orc_backend = true;
             } else {
                 usage();
                 return 2;
@@ -146,6 +164,31 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "abstraction failed: %s\n", error.c_str());
             return 1;
         }
+    }
+
+    if (orc_backend) {
+        if (target != codegen::Target::kCpp) {
+            std::fprintf(stderr, "--backend orc dumps LLVM IR; use it with --target cpp\n");
+            return 2;
+        }
+        if (!codegen::llvm_backend_available()) {
+            std::fprintf(stderr, "--backend orc: built with AMSVP_WITH_LLVM=OFF\n");
+            return 1;
+        }
+        const auto layout =
+            runtime::ModelLayout::compile(*model, runtime::EvalStrategy::kFused);
+        std::string ir_error;
+        const auto ir = codegen::lower_to_ir_text(layout, &ir_error);
+        if (!ir) {
+            std::fprintf(stderr, "--backend orc: lowering failed: %s\n", ir_error.c_str());
+            return 1;
+        }
+        std::printf("; === lowered LLVM IR (pre pass pipeline, LLVM %s) ===\n",
+                    codegen::llvm_backend_version().c_str());
+        std::fputs(ir->unoptimized.c_str(), stdout);
+        std::printf("\n; === optimized LLVM IR (post fixed pass pipeline) ===\n");
+        std::fputs(ir->optimized.c_str(), stdout);
+        return 0;
     }
 
     const std::string generated = codegen::generate(*model, target, codegen_options);

@@ -1,0 +1,494 @@
+#include "codegen/llvm_lowering.hpp"
+
+#ifdef AMSVP_HAS_LLVM
+
+#include <functional>
+#include <mutex>
+
+#include <llvm/ExecutionEngine/Orc/JITTargetMachineBuilder.h>
+#include <llvm/IR/BasicBlock.h>
+#include <llvm/IR/Constants.h>
+#include <llvm/IR/DerivedTypes.h>
+#include <llvm/IR/Function.h>
+#include <llvm/IR/IRBuilder.h>
+#include <llvm/IR/Intrinsics.h>
+#include <llvm/IR/MDBuilder.h>
+#include <llvm/IR/Verifier.h>
+#include <llvm/Passes/PassBuilder.h>
+#include <llvm/Support/Error.h>
+#include <llvm/Support/TargetSelect.h>
+#include <llvm/Support/raw_ostream.h>
+#include <llvm/Target/TargetMachine.h>
+
+#include "codegen/llvm_lowering_internal.hpp"
+#include "support/check.hpp"
+
+namespace amsvp::codegen {
+
+namespace orc_detail {
+
+void ensure_native_target() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        llvm::InitializeNativeTarget();
+        llvm::InitializeNativeTargetAsmPrinter();
+        llvm::InitializeNativeTargetAsmParser();
+    });
+}
+
+namespace {
+
+/// Emits one step function (scalar or batched) into the module. All the
+/// bit-exactness rules live here: the builder never receives fast-math
+/// flags, multiplies and adds stay separate instructions (no llvm.fmuladd,
+/// no `contract`), and every libm call is nobuiltin so the pass pipeline
+/// cannot swap in a differently-rounded replacement.
+class StepFunctionLowering {
+public:
+    StepFunctionLowering(llvm::Module& module, const runtime::ModelLayout& layout,
+                         bool scalar)
+        : ctx_(module.getContext()),
+          module_(module),
+          layout_(layout),
+          scalar_(scalar),
+          builder_(module.getContext()),
+          f64_(llvm::Type::getDoubleTy(ctx_)),
+          i64_(llvm::Type::getInt64Ty(ctx_)) {}
+
+    void run() {
+        llvm::SmallVector<llvm::Type*, 2> params{llvm::PointerType::getUnqual(f64_)};
+        if (!scalar_) {
+            params.push_back(llvm::Type::getInt32Ty(ctx_));
+        }
+        auto* fn_type = llvm::FunctionType::get(llvm::Type::getVoidTy(ctx_), params,
+                                                /*isVarArg=*/false);
+        fn_ = llvm::Function::Create(fn_type, llvm::Function::ExternalLinkage,
+                                     scalar_ ? kStepSymbol : kStepBatchSymbol, module_);
+        fn_->addFnAttr(llvm::Attribute::NoUnwind);
+        // Belt and braces beside the per-call nobuiltin: no pass may treat
+        // any call inside these bodies as a recognized library routine.
+        fn_->addFnAttr("no-builtins");
+        fn_->addParamAttr(0, llvm::Attribute::NoAlias);
+        fn_->addParamAttr(0, llvm::Attribute::NoCapture);
+        slots_ = fn_->getArg(0);
+        slots_->setName("slots");
+
+        builder_.SetInsertPoint(llvm::BasicBlock::Create(ctx_, "entry", fn_));
+        if (scalar_) {
+            batch64_ = llvm::ConstantInt::get(i64_, 1);
+        } else {
+            llvm::Argument* batch = fn_->getArg(1);
+            batch->setName("batch");
+            batch64_ = builder_.CreateSExt(batch, i64_, "batch64");
+        }
+
+        const expr::FusedProgram& program = layout_.fused_program();
+        for (const expr::FusedInstr& instr : program.instructions()) {
+            emit_lane_loop([&](llvm::Value* lane) { emit_instruction(instr, lane); });
+        }
+        emit_history_rotations();
+        builder_.CreateRetVoid();
+    }
+
+private:
+    [[nodiscard]] llvm::Value* slot_addr(std::int64_t slot, llvm::Value* lane) {
+        llvm::Value* row =
+            builder_.CreateMul(llvm::ConstantInt::get(i64_, slot), batch64_);
+        return builder_.CreateInBoundsGEP(f64_, slots_, builder_.CreateAdd(row, lane));
+    }
+
+    [[nodiscard]] llvm::Value* load_slot(std::int64_t slot, llvm::Value* lane) {
+        return builder_.CreateLoad(f64_, slot_addr(slot, lane));
+    }
+
+    void store_slot(std::int64_t slot, llvm::Value* lane, llvm::Value* value) {
+        builder_.CreateStore(value, slot_addr(slot, lane));
+    }
+
+    [[nodiscard]] llvm::Constant* fp(double value) {
+        return llvm::ConstantFP::get(f64_, value);
+    }
+
+    /// C++'s `cond ? 1.0 : 0.0` over an i1.
+    [[nodiscard]] llvm::Value* as_double(llvm::Value* cond) {
+        return builder_.CreateSelect(cond, fp(1.0), fp(0.0));
+    }
+
+    /// `value != 0.0` — C++ truthiness, true for NaN (une).
+    [[nodiscard]] llvm::Value* truthy(llvm::Value* value) {
+        return builder_.CreateFCmpUNE(value, fp(0.0));
+    }
+
+    /// Declared-only libm call, nobuiltin at the call site: the symbol
+    /// resolves to this process's own libm, the exact functions the fused
+    /// interpreter calls through <cmath>.
+    [[nodiscard]] llvm::Value* call_libm(llvm::StringRef name,
+                                         llvm::ArrayRef<llvm::Value*> args) {
+        llvm::SmallVector<llvm::Type*, 2> params(args.size(), f64_);
+        llvm::FunctionCallee callee = module_.getOrInsertFunction(
+            name, llvm::FunctionType::get(f64_, params, /*isVarArg=*/false));
+        if (auto* decl = llvm::dyn_cast<llvm::Function>(callee.getCallee())) {
+            decl->setDoesNotThrow();
+        }
+        llvm::CallInst* call = builder_.CreateCall(callee, args);
+        call->addFnAttr(llvm::Attribute::NoBuiltin);
+        return call;
+    }
+
+    [[nodiscard]] llvm::Value* call_intrinsic(llvm::Intrinsic::ID id, llvm::Value* arg) {
+        return builder_.CreateUnaryIntrinsic(id, arg);
+    }
+
+    /// One `for (lane = 0; lane < batch; ++lane)` loop around `body`,
+    /// annotated llvm.loop.vectorize.enable; the scalar function inlines
+    /// the body at lane 0 instead. `body` must stay straight-line (every
+    /// FusedOp lowers to loads, arithmetic and selects — no new blocks).
+    void emit_lane_loop(const std::function<void(llvm::Value*)>& body) {
+        if (scalar_) {
+            body(llvm::ConstantInt::get(i64_, 0));
+            return;
+        }
+        llvm::BasicBlock* preheader = builder_.GetInsertBlock();
+        auto* header = llvm::BasicBlock::Create(ctx_, "lane.head", fn_);
+        auto* body_bb = llvm::BasicBlock::Create(ctx_, "lane.body", fn_);
+        auto* exit = llvm::BasicBlock::Create(ctx_, "lane.exit", fn_);
+        builder_.CreateBr(header);
+
+        builder_.SetInsertPoint(header);
+        llvm::PHINode* lane = builder_.CreatePHI(i64_, 2, "lane");
+        lane->addIncoming(llvm::ConstantInt::get(i64_, 0), preheader);
+        builder_.CreateCondBr(builder_.CreateICmpSLT(lane, batch64_), body_bb, exit);
+
+        builder_.SetInsertPoint(body_bb);
+        body(lane);
+        llvm::Value* next = builder_.CreateAdd(lane, llvm::ConstantInt::get(i64_, 1));
+        lane->addIncoming(next, builder_.GetInsertBlock());
+        llvm::BranchInst* latch = builder_.CreateBr(header);
+        latch->setMetadata(llvm::LLVMContext::MD_loop, loop_metadata());
+
+        builder_.SetInsertPoint(exit);
+    }
+
+    /// A fresh self-referential loop-ID node per loop, carrying
+    /// llvm.loop.vectorize.enable.
+    [[nodiscard]] llvm::MDNode* loop_metadata() {
+        llvm::Metadata* enable_ops[] = {
+            llvm::MDString::get(ctx_, "llvm.loop.vectorize.enable"),
+            llvm::ConstantAsMetadata::get(
+                llvm::ConstantInt::getTrue(llvm::Type::getInt1Ty(ctx_)))};
+        llvm::TempMDTuple temp = llvm::MDNode::getTemporary(ctx_, llvm::None);
+        llvm::Metadata* ops[] = {temp.get(), llvm::MDNode::get(ctx_, enable_ops)};
+        llvm::MDNode* id = llvm::MDNode::get(ctx_, ops);
+        id->replaceOperandWith(0, id);
+        return id;
+    }
+
+    /// The per-lane arithmetic of one fused instruction — the exact IR
+    /// image of FusedProgram::execute_impl's switch.
+    void emit_instruction(const expr::FusedInstr& instr, llvm::Value* lane) {
+        using expr::FusedOp;
+        auto a = [&] { return load_slot(instr.a, lane); };
+        auto bb = [&] { return load_slot(instr.b, lane); };
+        auto c = [&] { return load_slot(instr.c, lane); };
+        llvm::IRBuilder<>& b = builder_;
+        llvm::Value* result = nullptr;
+        switch (instr.op) {
+            case FusedOp::kConst:
+                result = fp(instr.imm);
+                break;
+            case FusedOp::kCopy:
+                result = a();
+                break;
+            case FusedOp::kNeg:
+                result = b.CreateFNeg(a());
+                break;
+            case FusedOp::kNot:
+                // s[a] == 0.0 ? 1.0 : 0.0 — ordered ==, false for NaN.
+                result = as_double(b.CreateFCmpOEQ(a(), fp(0.0)));
+                break;
+            case FusedOp::kExp:
+                result = call_libm("exp", {a()});
+                break;
+            case FusedOp::kLn:
+                result = call_libm("log", {a()});
+                break;
+            case FusedOp::kLog10:
+                result = call_libm("log10", {a()});
+                break;
+            case FusedOp::kSqrt:
+                // IEEE-exact intrinsic, same rounding as libm sqrt.
+                result = call_intrinsic(llvm::Intrinsic::sqrt, a());
+                break;
+            case FusedOp::kSin:
+                result = call_libm("sin", {a()});
+                break;
+            case FusedOp::kCos:
+                result = call_libm("cos", {a()});
+                break;
+            case FusedOp::kTan:
+                result = call_libm("tan", {a()});
+                break;
+            case FusedOp::kAbs:
+                result = call_intrinsic(llvm::Intrinsic::fabs, a());
+                break;
+            case FusedOp::kAdd:
+                result = b.CreateFAdd(a(), bb());
+                break;
+            case FusedOp::kSub:
+                result = b.CreateFSub(a(), bb());
+                break;
+            case FusedOp::kMul:
+                result = b.CreateFMul(a(), bb());
+                break;
+            case FusedOp::kDiv:
+                result = b.CreateFDiv(a(), bb());
+                break;
+            case FusedOp::kPow:
+                result = call_libm("pow", {a(), bb()});
+                break;
+            case FusedOp::kMin: {
+                // std::min(a, b) == (b < a) ? b : a — a survives a NaN b.
+                llvm::Value* va = a();
+                llvm::Value* vb = bb();
+                result = b.CreateSelect(b.CreateFCmpOLT(vb, va), vb, va);
+                break;
+            }
+            case FusedOp::kMax: {
+                // std::max(a, b) == (a < b) ? b : a.
+                llvm::Value* va = a();
+                llvm::Value* vb = bb();
+                result = b.CreateSelect(b.CreateFCmpOLT(va, vb), vb, va);
+                break;
+            }
+            case FusedOp::kLt:
+                result = as_double(b.CreateFCmpOLT(a(), bb()));
+                break;
+            case FusedOp::kLe:
+                result = as_double(b.CreateFCmpOLE(a(), bb()));
+                break;
+            case FusedOp::kGt:
+                result = as_double(b.CreateFCmpOGT(a(), bb()));
+                break;
+            case FusedOp::kGe:
+                result = as_double(b.CreateFCmpOGE(a(), bb()));
+                break;
+            case FusedOp::kEq:
+                result = as_double(b.CreateFCmpOEQ(a(), bb()));
+                break;
+            case FusedOp::kNe:
+                // C++ != is true for unordered operands: une, not one.
+                result = as_double(b.CreateFCmpUNE(a(), bb()));
+                break;
+            case FusedOp::kAnd:
+                result = as_double(b.CreateAnd(truthy(a()), truthy(bb())));
+                break;
+            case FusedOp::kOr:
+                result = as_double(b.CreateOr(truthy(a()), truthy(bb())));
+                break;
+            case FusedOp::kAddImm:
+                result = b.CreateFAdd(a(), fp(instr.imm));
+                break;
+            case FusedOp::kSubImm:
+                result = b.CreateFSub(a(), fp(instr.imm));
+                break;
+            case FusedOp::kRSubImm:
+                result = b.CreateFSub(fp(instr.imm), a());
+                break;
+            case FusedOp::kMulImm:
+                result = b.CreateFMul(a(), fp(instr.imm));
+                break;
+            case FusedOp::kDivImm:
+                result = b.CreateFDiv(a(), fp(instr.imm));
+                break;
+            case FusedOp::kRDivImm:
+                result = b.CreateFDiv(fp(instr.imm), a());
+                break;
+            case FusedOp::kMulAdd:
+                // Two roundings, like the interpreter: fmul then fadd with
+                // no contract flag, so no FMA can be formed.
+                result = b.CreateFAdd(b.CreateFMul(a(), bb()), c());
+                break;
+            case FusedOp::kMulSub:
+                result = b.CreateFSub(b.CreateFMul(a(), bb()), c());
+                break;
+            case FusedOp::kMulRSub:
+                result = b.CreateFSub(c(), b.CreateFMul(a(), bb()));
+                break;
+            case FusedOp::kMulAddImm:
+                result = b.CreateFAdd(b.CreateFMul(a(), fp(instr.imm)), bb());
+                break;
+            case FusedOp::kSelect:
+                result = b.CreateSelect(truthy(a()), bb(), c());
+                break;
+            case FusedOp::kLinComb: {
+                // acc = imm; acc += coeff_k * term_k, terms in order — the
+                // interpreter's left-associated sequential accumulation,
+                // unrolled (term count and coefficients are compile-time
+                // constants of the model).
+                const std::vector<expr::LinTerm>& terms = layout_.fused_program().lin_terms();
+                llvm::Value* acc = fp(instr.imm);
+                for (std::int32_t k = 0; k < instr.b; ++k) {
+                    const expr::LinTerm& term =
+                        terms[static_cast<std::size_t>(instr.a + k)];
+                    llvm::Value* src = load_slot(term.slot, lane);
+                    acc = b.CreateFAdd(acc, b.CreateFMul(fp(term.coeff), src));
+                }
+                result = acc;
+                break;
+            }
+        }
+        AMSVP_CHECK(result != nullptr, "unlowered fused opcode");
+        store_slot(instr.dst, lane, result);
+    }
+
+    /// Rotate history rows after the program, deepest row first — the IR
+    /// image of BatchCompiledModel::step's memcpy loop (and the external
+    /// kernel's): row (base+k) <- row (base+k-1), batch doubles each.
+    void emit_history_rotations() {
+        llvm::Value* row_bytes =
+            builder_.CreateMul(batch64_, llvm::ConstantInt::get(i64_, sizeof(double)));
+        llvm::Value* lane0 = llvm::ConstantInt::get(i64_, 0);
+        for (const runtime::ModelLayout::SymbolSlots& rotation : layout_.rotations()) {
+            for (int k = rotation.depth; k >= 1; --k) {
+                llvm::Value* dst = slot_addr(rotation.base + k, lane0);
+                llvm::Value* src = slot_addr(rotation.base + k - 1, lane0);
+                builder_.CreateMemCpy(dst, llvm::MaybeAlign(alignof(double)), src,
+                                      llvm::MaybeAlign(alignof(double)), row_bytes);
+            }
+        }
+    }
+
+    llvm::LLVMContext& ctx_;
+    llvm::Module& module_;
+    const runtime::ModelLayout& layout_;
+    const bool scalar_;
+    llvm::IRBuilder<> builder_;
+    llvm::Type* f64_;
+    llvm::Type* i64_;
+    llvm::Function* fn_ = nullptr;
+    llvm::Value* slots_ = nullptr;
+    llvm::Value* batch64_ = nullptr;
+};
+
+}  // namespace
+
+LoweredModule lower_model(const runtime::ModelLayout& layout) {
+    AMSVP_CHECK(layout.strategy() == runtime::EvalStrategy::kFused,
+                "ORC lowering needs a kFused layout");
+    LoweredModule lowered;
+    lowered.context = std::make_unique<llvm::LLVMContext>();
+    lowered.module = std::make_unique<llvm::Module>("amsvp_orc", *lowered.context);
+    StepFunctionLowering(*lowered.module, layout, /*scalar=*/true).run();
+    StepFunctionLowering(*lowered.module, layout, /*scalar=*/false).run();
+    return lowered;
+}
+
+void run_opt_pipeline(llvm::Module& module, llvm::TargetMachine* tm) {
+    llvm::LoopAnalysisManager lam;
+    llvm::FunctionAnalysisManager fam;
+    llvm::CGSCCAnalysisManager cgam;
+    llvm::ModuleAnalysisManager mam;
+    llvm::PassBuilder pb(tm);
+    pb.registerModuleAnalyses(mam);
+    pb.registerCGSCCAnalyses(cgam);
+    pb.registerFunctionAnalyses(fam);
+    pb.registerLoopAnalyses(lam);
+    pb.crossRegisterProxies(lam, fam, cgam, mam);
+    llvm::ModulePassManager mpm;
+    // early-cse shares the repeated slot loads, loop-rotate puts the lane
+    // loop into the bottom-tested form the vectorizer wants, loop-vectorize
+    // honors the llvm.loop.vectorize.enable annotation, and the trailing
+    // instcombine/simplifycfg clean up the vector bodies. This is the
+    // subset of O2 that pays for itself on straight-line step kernels —
+    // the full default<O2> pipeline costs ~4x the walltime here for no
+    // measurable steady-state gain. None of these passes contract FP (the
+    // lowering emits no `contract`/`fast` flags for them to act on).
+    const char* pipeline =
+        "function(early-cse<memssa>,instcombine,loop-mssa(loop-rotate),"
+        "loop-vectorize,instcombine,simplifycfg)";
+    if (llvm::Error err = pb.parsePassPipeline(mpm, pipeline)) {
+        // Unreachable with a healthy LLVM, but a typo in the string must
+        // degrade to a working (if slower) compile, not a lost kernel.
+        llvm::consumeError(std::move(err));
+        mpm = pb.buildPerModuleDefaultPipeline(llvm::OptimizationLevel::O2);
+    }
+    mpm.run(module, mam);
+}
+
+std::string module_to_string(const llvm::Module& module) {
+    std::string text;
+    llvm::raw_string_ostream stream(text);
+    module.print(stream, /*AAW=*/nullptr);
+    stream.flush();
+    return text;
+}
+
+}  // namespace orc_detail
+
+bool llvm_backend_available() { return true; }
+
+std::string llvm_backend_version() { return LLVM_VERSION_STRING; }
+
+std::optional<LoweredIrText> lower_to_ir_text(
+    const std::shared_ptr<const runtime::ModelLayout>& layout, std::string* error) {
+    orc_detail::ensure_native_target();
+    auto jtmb = llvm::orc::JITTargetMachineBuilder::detectHost();
+    if (!jtmb) {
+        if (error != nullptr) {
+            *error = "cannot detect host target: " + llvm::toString(jtmb.takeError());
+        }
+        return std::nullopt;
+    }
+    auto tm = jtmb->createTargetMachine();
+    if (!tm) {
+        if (error != nullptr) {
+            *error = "cannot create target machine: " + llvm::toString(tm.takeError());
+        }
+        return std::nullopt;
+    }
+
+    orc_detail::LoweredModule lowered = orc_detail::lower_model(*layout);
+    lowered.module->setDataLayout((*tm)->createDataLayout());
+    lowered.module->setTargetTriple((*tm)->getTargetTriple().str());
+
+    std::string verify_text;
+    llvm::raw_string_ostream verify_stream(verify_text);
+    if (llvm::verifyModule(*lowered.module, &verify_stream)) {
+        if (error != nullptr) {
+            *error = "lowered module failed verification: " + verify_stream.str();
+        }
+        return std::nullopt;
+    }
+
+    LoweredIrText text;
+    text.unoptimized = orc_detail::module_to_string(*lowered.module);
+    orc_detail::run_opt_pipeline(*lowered.module, tm->get());
+    text.optimized = orc_detail::module_to_string(*lowered.module);
+    return text;
+}
+
+}  // namespace amsvp::codegen
+
+#else  // !AMSVP_HAS_LLVM
+
+namespace amsvp::codegen {
+
+// Built without LLVM: the lowering surface stays linkable so callers can
+// probe availability at runtime; the external-compiler path remains the
+// native backend.
+
+bool llvm_backend_available() { return false; }
+
+std::string llvm_backend_version() { return "none"; }
+
+std::optional<LoweredIrText> lower_to_ir_text(
+    const std::shared_ptr<const runtime::ModelLayout>& /*layout*/, std::string* error) {
+    if (error != nullptr) {
+        *error = "in-process LLVM backend unavailable: built with AMSVP_WITH_LLVM=OFF";
+    }
+    return std::nullopt;
+}
+
+}  // namespace amsvp::codegen
+
+#endif  // AMSVP_HAS_LLVM

@@ -1,0 +1,64 @@
+// FusedProgram -> LLVM IR lowering (the front half of the in-process ORC
+// JIT backend in orc_jit.hpp).
+//
+// The fused instruction stream is already a flat three-address IR over a
+// strided slot file, so lowering is a 1:1 translation: every FusedOp —
+// including the mul-add / immediate superinstructions and kLinComb —
+// becomes the exact same arithmetic the interpreter executes, wrapped in
+// an explicit lane loop (annotated for vectorization) for the batched
+// entry point. Two functions are emitted per model:
+//
+//   void amsvp_orc_step(double* slots)             — one instance
+//   void amsvp_orc_step_batch(double* slots, int batch)
+//
+// Both write nothing but the slot file, execute the program, then rotate
+// history rows (llvm.memcpy, deepest row first) exactly like
+// BatchCompiledModel::step — the caller writes inputs and the $abstime row
+// first, as with the external-compiler kernel.
+//
+// Bit-exactness contract (the acceptance bar is bit-for-bit equality with
+// EvalStrategy::kFused): no fast-math flags anywhere, no `contract` flags
+// (the in-IR analogue of the -ffp-contract=off both the interpreter and
+// the external kernel build with — LLVM only forms FMAs when the flags
+// allow it), libm calls (exp/log/log10/sin/cos/tan/pow) emitted as plain
+// declared calls marked nobuiltin so the pass pipeline cannot substitute
+// approximations, and ORC resolves them against this process's own libm —
+// the very functions the interpreter calls. sqrt and fabs lower to the
+// IEEE-exact llvm intrinsics; min/max/comparisons/select reproduce the
+// interpreter's exact predicate forms (including NaN behavior).
+//
+// This header is LLVM-free: when the library is built without LLVM
+// (AMSVP_WITH_LLVM=OFF) the implementations degrade to "unavailable"
+// stubs and the external-compiler path stays the native backend.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "runtime/model_layout.hpp"
+
+namespace amsvp::codegen {
+
+/// True when the library was built against LLVM (AMSVP_WITH_LLVM=ON) and
+/// the in-process lowering/JIT path exists at all.
+[[nodiscard]] bool llvm_backend_available();
+
+/// Human-readable LLVM version the library was built against ("14.0.6"),
+/// or "none" without LLVM (tool banners, diagnostics).
+[[nodiscard]] std::string llvm_backend_version();
+
+/// IR text of one lowered model, before and after the fixed pass
+/// pipeline — the debugging surface behind `codegen_tool --backend orc`.
+struct LoweredIrText {
+    std::string unoptimized;  ///< straight out of the lowering pass
+    std::string optimized;    ///< after the fixed pass pipeline
+};
+
+/// Lower `layout`'s fused program and run the pass pipeline, returning
+/// both IR printouts. Returns nullopt with `error` set when built without
+/// LLVM or when lowering/verification fails.
+[[nodiscard]] std::optional<LoweredIrText> lower_to_ir_text(
+    const std::shared_ptr<const runtime::ModelLayout>& layout, std::string* error = nullptr);
+
+}  // namespace amsvp::codegen

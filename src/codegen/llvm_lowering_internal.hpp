@@ -1,0 +1,66 @@
+// Internal LLVM-facing surface of the lowering pass, shared by
+// llvm_lowering.cpp (IR text dumps) and orc_jit.cpp (LLJIT
+// materialization). Only those two translation units may include this
+// header, and only under AMSVP_HAS_LLVM — public headers stay LLVM-free
+// so the rest of the tree (and every test binary) builds without the LLVM
+// include paths.
+#pragma once
+
+#ifndef AMSVP_HAS_LLVM
+#error "llvm_lowering_internal.hpp requires an AMSVP_WITH_LLVM=ON build"
+#endif
+
+#include <memory>
+#include <string>
+
+#include <llvm/IR/LLVMContext.h>
+#include <llvm/IR/Module.h>
+
+#include "runtime/model_layout.hpp"
+
+namespace llvm {
+class TargetMachine;
+}  // namespace llvm
+
+namespace amsvp::codegen::orc_detail {
+
+/// InitializeNativeTarget* exactly once per process (safe from any
+/// thread); every LLVM-touching entry point calls this first.
+void ensure_native_target();
+
+/// Entry-point names the lowering defines in every module.
+inline constexpr const char* kStepSymbol = "amsvp_orc_step";
+inline constexpr const char* kStepBatchSymbol = "amsvp_orc_step_batch";
+
+/// One lowered model: the module and the context that owns its types.
+/// Every call gets a fresh context, so concurrent compiles never share
+/// LLVM state.
+struct LoweredModule {
+    std::unique_ptr<llvm::LLVMContext> context;
+    std::unique_ptr<llvm::Module> module;
+};
+
+/// Lower `layout`'s fused program (all opcodes, history rotations
+/// included) into a fresh module defining kStepSymbol and
+/// kStepBatchSymbol. Never applies fast-math or contract flags; libm
+/// calls are declared, nobuiltin, unresolved — the JIT binds them to the
+/// process's own libm. Aborts on an unknown opcode (impossible by
+/// construction: the switch covers the enum).
+[[nodiscard]] LoweredModule lower_model(const runtime::ModelLayout& layout);
+
+/// Run the fixed compile-latency-tuned new-pass-manager pipeline over
+/// `module` in place: early-cse / instcombine / loop-rotate /
+/// loop-vectorize / instcombine / simplifycfg — the handful of passes
+/// that pay for themselves on straight-line step kernels, at a fraction
+/// of the default O2 pipeline's walltime (the point of JITting
+/// in-process is the cold-compile latency). `tm` supplies the target
+/// analyses (vector widths etc.) and may be null for a target-agnostic
+/// run. FP contraction stays off by construction: the pipeline can only
+/// contract where instructions carry `contract`/`fast` flags, and
+/// lower_model emits none.
+void run_opt_pipeline(llvm::Module& module, llvm::TargetMachine* tm);
+
+/// print() the module to a string (pre/post-pipeline dumps).
+[[nodiscard]] std::string module_to_string(const llvm::Module& module);
+
+}  // namespace amsvp::codegen::orc_detail

@@ -1,0 +1,219 @@
+#include "codegen/orc_jit.hpp"
+
+#include <atomic>
+
+#include "support/check.hpp"
+#include "support/fault.hpp"
+
+#ifdef AMSVP_HAS_LLVM
+#include <llvm/ExecutionEngine/Orc/ExecutionUtils.h>
+#include <llvm/ExecutionEngine/Orc/JITTargetMachineBuilder.h>
+#include <llvm/ExecutionEngine/Orc/LLJIT.h>
+#include <llvm/ExecutionEngine/Orc/ThreadSafeModule.h>
+#include <llvm/IR/Verifier.h>
+#include <llvm/Support/Error.h>
+#include <llvm/Support/raw_ostream.h>
+#include <llvm/Target/TargetMachine.h>
+
+#include "codegen/llvm_lowering_internal.hpp"
+#endif
+
+namespace amsvp::codegen {
+
+namespace orc_detail {
+namespace {
+std::atomic<std::uint64_t> g_orc_compile_invocations{0};
+}  // namespace
+
+std::uint64_t orc_compile_invocations() {
+    return g_orc_compile_invocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace orc_detail
+
+// ---------------------------------------------------------------------------
+// Shared between the LLVM and the stub build.
+
+std::shared_ptr<const OrcJitProgram> OrcJitProgram::compile(
+    const abstraction::SignalFlowModel& model, std::string* error) {
+    return compile(runtime::ModelLayout::compile(model, runtime::EvalStrategy::kFused),
+                   error);
+}
+
+OrcBatchModel::OrcBatchModel(std::shared_ptr<const OrcJitProgram> program, int batch)
+    : BatchCompiledModel(program->layout(), batch), program_(std::move(program)) {}
+
+std::unique_ptr<OrcBatchModel> OrcBatchModel::compile(
+    const abstraction::SignalFlowModel& model, int batch, std::string* error) {
+    auto program = OrcJitProgram::compile(model, error);
+    if (program == nullptr) {
+        return nullptr;
+    }
+    return std::make_unique<OrcBatchModel>(std::move(program), batch);
+}
+
+void OrcBatchModel::step(double time_seconds) {
+    double* slots = slot_data();
+    const int lanes = batch();
+    double* time_lane = slots + static_cast<std::size_t>(layout()->time_slot()) *
+                                    static_cast<std::size_t>(lanes);
+    for (int l = 0; l < lanes; ++l) {
+        time_lane[l] = time_seconds;
+    }
+    program_->step_batch(slots, lanes);
+}
+
+std::unique_ptr<runtime::BatchExecutor> OrcBatchModel::make_shard(int lane_count) const {
+    return std::make_unique<OrcBatchModel>(program_, lane_count);
+}
+
+std::unique_ptr<runtime::BatchExecutor> OrcBatchModel::make_fallback_shard(
+    int lane_count) const {
+    // The base class builds a fused interpreter batch over the same layout:
+    // no JIT artifact involved, results bit-identical to the kernel.
+    return BatchCompiledModel::make_shard(lane_count);
+}
+
+#ifdef AMSVP_HAS_LLVM
+
+// ---------------------------------------------------------------------------
+// The real thing: lower -> verify -> fixed pass pipeline -> LLJIT materialize.
+
+/// Owns the LLJIT instance. Kept out of the header so public includes
+/// stay LLVM-free; destruction releases the JITed code (after every
+/// shared_ptr<const OrcJitProgram> holder is gone).
+class OrcJitProgram::Engine {
+public:
+    std::unique_ptr<llvm::orc::LLJIT> jit;
+};
+
+OrcJitProgram::~OrcJitProgram() = default;
+
+bool orc_available() { return true; }
+
+namespace {
+
+void set_error(std::string* error, std::string message) {
+    if (error != nullptr) {
+        *error = std::move(message);
+    }
+}
+
+}  // namespace
+
+std::shared_ptr<const OrcJitProgram> OrcJitProgram::compile(
+    std::shared_ptr<const runtime::ModelLayout> layout, std::string* error) {
+    orc_detail::ensure_native_target();
+    orc_detail::g_orc_compile_invocations.fetch_add(1, std::memory_order_relaxed);
+    // Deterministic failure leg for robustness tests: models "the JIT could
+    // not materialize machine code" without needing a real OOM or a broken
+    // target. Callers take the same fallback path a real failure would.
+    if (support::fault::should_fire("jit.orc_materialize")) {
+        set_error(error, "injected fault: jit.orc_materialize");
+        return nullptr;
+    }
+
+    auto jtmb = llvm::orc::JITTargetMachineBuilder::detectHost();
+    if (!jtmb) {
+        set_error(error, "cannot detect host target: " + llvm::toString(jtmb.takeError()));
+        return nullptr;
+    }
+    // FastISel + linear-scan register allocation: the mid-end pipeline has
+    // already CSE'd and vectorized the kernels, and SelectionDAG at any
+    // higher level costs ~10x the materialize time on these straight-line
+    // bodies for a modest steady-state gain. Cold-compile latency is the
+    // reason this backend exists.
+    jtmb->setCodeGenOptLevel(llvm::CodeGenOpt::None);
+    auto tm = jtmb->createTargetMachine();
+    if (!tm) {
+        set_error(error,
+                  "cannot create target machine: " + llvm::toString(tm.takeError()));
+        return nullptr;
+    }
+
+    orc_detail::LoweredModule lowered = orc_detail::lower_model(*layout);
+    lowered.module->setDataLayout((*tm)->createDataLayout());
+    lowered.module->setTargetTriple((*tm)->getTargetTriple().str());
+
+    std::string verify_text;
+    llvm::raw_string_ostream verify_stream(verify_text);
+    if (llvm::verifyModule(*lowered.module, &verify_stream)) {
+        set_error(error, "lowered module failed verification: " + verify_stream.str());
+        return nullptr;
+    }
+
+    // The fixed pipeline runs up front (LLJIT adds no IR optimization of
+    // its own), so what materializes is exactly the optimized module the
+    // pre/post dumps show.
+    orc_detail::run_opt_pipeline(*lowered.module, tm->get());
+
+    auto jit = llvm::orc::LLJITBuilder()
+                   .setJITTargetMachineBuilder(std::move(*jtmb))
+                   .create();
+    if (!jit) {
+        set_error(error, "cannot create LLJIT: " + llvm::toString(jit.takeError()));
+        return nullptr;
+    }
+    // Resolve the declared libm symbols (exp, log, pow, ...) against this
+    // process — the exact functions the fused interpreter calls, which is
+    // half of the bit-for-bit contract.
+    auto generator = llvm::orc::DynamicLibrarySearchGenerator::GetForCurrentProcess(
+        (*jit)->getDataLayout().getGlobalPrefix());
+    if (!generator) {
+        set_error(error,
+                  "cannot search process symbols: " + llvm::toString(generator.takeError()));
+        return nullptr;
+    }
+    (*jit)->getMainJITDylib().addGenerator(std::move(*generator));
+
+    if (llvm::Error err = (*jit)->addIRModule(llvm::orc::ThreadSafeModule(
+            std::move(lowered.module), std::move(lowered.context)))) {
+        set_error(error, "cannot add module: " + llvm::toString(std::move(err)));
+        return nullptr;
+    }
+
+    auto step = (*jit)->lookup(orc_detail::kStepSymbol);
+    if (!step) {
+        set_error(error, "cannot materialize step kernel: " +
+                             llvm::toString(step.takeError()));
+        return nullptr;
+    }
+    auto step_batch = (*jit)->lookup(orc_detail::kStepBatchSymbol);
+    if (!step_batch) {
+        set_error(error, "cannot materialize step_batch kernel: " +
+                             llvm::toString(step_batch.takeError()));
+        return nullptr;
+    }
+
+    auto program = std::shared_ptr<OrcJitProgram>(new OrcJitProgram());
+    program->engine_ = std::make_unique<Engine>();
+    program->engine_->jit = std::move(*jit);
+    program->step_fn_ = reinterpret_cast<StepFn>(step->getAddress());
+    program->step_batch_fn_ = reinterpret_cast<StepBatchFn>(step_batch->getAddress());
+    program->layout_ = std::move(layout);
+    return program;
+}
+
+#else  // !AMSVP_HAS_LLVM
+
+// ---------------------------------------------------------------------------
+// Stub build (AMSVP_WITH_LLVM=OFF): compile() reports unavailability; the
+// external-compiler path (native_batch.hpp) stays the native backend.
+
+class OrcJitProgram::Engine {};
+
+OrcJitProgram::~OrcJitProgram() = default;
+
+bool orc_available() { return false; }
+
+std::shared_ptr<const OrcJitProgram> OrcJitProgram::compile(
+    std::shared_ptr<const runtime::ModelLayout> /*layout*/, std::string* error) {
+    if (error != nullptr) {
+        *error = "in-process ORC JIT unavailable: built with AMSVP_WITH_LLVM=OFF";
+    }
+    return nullptr;
+}
+
+#endif  // AMSVP_HAS_LLVM
+
+}  // namespace amsvp::codegen

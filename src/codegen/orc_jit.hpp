@@ -1,0 +1,132 @@
+// In-process ORC JIT execution of the fused program: the native backend
+// without the external-compiler roundtrip.
+//
+// OrcJitProgram lowers a model's fused instruction stream to LLVM IR
+// (llvm_lowering.hpp), runs the fixed pass pipeline and materializes the
+// step kernels through LLJIT — all inside this process, no compiler on
+// PATH, no temp files, no dlopen. Cold compiles are milliseconds instead
+// of the external path's ~0.5 s, which is what unclogs the SweepService
+// cold path. Results are bit-identical to EvalStrategy::kFused (and
+// therefore to the external kernel): the lowering never enables
+// fast-math or FP contraction, and libm calls resolve to this very
+// process's libm.
+//
+// OrcBatchModel mirrors codegen::NativeBatchModel exactly: a
+// BatchCompiledModel whose step() drives the JITed kernel over the same
+// strided slot file, slotting into make_shard / fallback-shard /
+// quarantine / warm-pool machinery unchanged. One materialized program
+// serves any number of shards and threads concurrently — the kernel is a
+// pure function of the slot file.
+//
+// Built with AMSVP_WITH_LLVM=OFF, orc_available() is false and compile()
+// returns nullptr with an explanatory error; the external-compiler path
+// (native_batch.hpp) remains the no-LLVM native fallback.
+//
+// Fault site "jit.orc_materialize" (support/fault.hpp) models a
+// materialization failure so tests can exercise the graceful fallback to
+// the interpreter shard.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/batch_model.hpp"
+
+namespace amsvp::codegen {
+
+/// True when the in-process ORC backend can compile at all (built with
+/// LLVM). Cheap; no host probing involved.
+[[nodiscard]] bool orc_available();
+
+namespace orc_detail {
+
+/// Process-wide count of ORC compile attempts (lower + optimize +
+/// materialize; an injected jit.orc_materialize fault counts as the
+/// attempt it models). Warm-path guarantees — "a repeat sweep of a cached
+/// model runs zero JIT compiles" — are asserted as a zero delta of this
+/// counter, the ORC twin of detail::compile_invocations().
+[[nodiscard]] std::uint64_t orc_compile_invocations();
+
+}  // namespace orc_detail
+
+/// The shared, immutable compile artifact of the ORC path: a materialized
+/// LLJIT instance plus the two resolved entry points and the layout the
+/// IR was lowered against. Thread-safe after construction — the kernels
+/// touch only caller-provided memory.
+class OrcJitProgram {
+public:
+    /// Lower, optimize and materialize the kernels for `model`. Returns
+    /// nullptr (with `error` set) when built without LLVM, or when
+    /// lowering/verification/materialization fails.
+    [[nodiscard]] static std::shared_ptr<const OrcJitProgram> compile(
+        const abstraction::SignalFlowModel& model, std::string* error = nullptr);
+
+    /// Same, over an already-compiled (kFused) layout — cache holders
+    /// (runtime::ModelCache) skip the redundant FusedCompiler re-run; the
+    /// IR is lowered against exactly this layout's slot assignment.
+    [[nodiscard]] static std::shared_ptr<const OrcJitProgram> compile(
+        std::shared_ptr<const runtime::ModelLayout> layout, std::string* error = nullptr);
+
+    ~OrcJitProgram();
+    OrcJitProgram(const OrcJitProgram&) = delete;
+    OrcJitProgram& operator=(const OrcJitProgram&) = delete;
+
+    /// Step one instance: the scalar entry point over a contiguous
+    /// layout()->slot_count() slot file (caller writes inputs and the
+    /// $abstime slot first; history rotates inside).
+    void step(double* slots) const { step_fn_(slots); }
+
+    /// Step `batch` lanes of a strided slot file — same contract as
+    /// NativeBatchProgram::step_batch.
+    void step_batch(double* slots, int batch) const { step_batch_fn_(slots, batch); }
+
+    [[nodiscard]] const std::shared_ptr<const runtime::ModelLayout>& layout() const {
+        return layout_;
+    }
+
+private:
+    OrcJitProgram() = default;
+
+    using StepFn = void (*)(double*);
+    using StepBatchFn = void (*)(double*, int);
+
+    class Engine;  ///< owns the LLJIT (and with it the JITed code)
+    std::unique_ptr<Engine> engine_;
+    StepFn step_fn_ = nullptr;
+    StepBatchFn step_batch_fn_ = nullptr;
+    std::shared_ptr<const runtime::ModelLayout> layout_;
+};
+
+/// A BatchCompiledModel stepped by the ORC-JITed kernel — the ORC twin of
+/// NativeBatchModel, inheriting the whole slot-file API unchanged.
+class OrcBatchModel final : public runtime::BatchCompiledModel {
+public:
+    /// Convenience: compile the kernels and batch them. Returns nullptr
+    /// (with `error` set) when the ORC backend is unavailable or fails.
+    [[nodiscard]] static std::unique_ptr<OrcBatchModel> compile(
+        const abstraction::SignalFlowModel& model, int batch, std::string* error = nullptr);
+
+    /// `batch` lanes over an already-materialized program (shards share one).
+    OrcBatchModel(std::shared_ptr<const OrcJitProgram> program, int batch);
+
+    void step(double time_seconds) override;
+
+    /// A fresh ORC batch over the same materialized program.
+    [[nodiscard]] std::unique_ptr<runtime::BatchExecutor> make_shard(
+        int lane_count) const override;
+
+    /// Degraded-mode shard: a fused *interpreter* batch over the same
+    /// layout — bit-identical results, no JIT artifact involved.
+    [[nodiscard]] std::unique_ptr<runtime::BatchExecutor> make_fallback_shard(
+        int lane_count) const override;
+
+    [[nodiscard]] const std::shared_ptr<const OrcJitProgram>& program() const {
+        return program_;
+    }
+
+private:
+    std::shared_ptr<const OrcJitProgram> program_;
+};
+
+}  // namespace amsvp::codegen

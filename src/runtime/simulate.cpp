@@ -13,6 +13,7 @@
 // header includes runtime/simulate.hpp — and keeps backend selection a
 // plain SweepOptions field instead of a registration scheme.
 #include "codegen/native_batch.hpp"
+#include "codegen/orc_jit.hpp"
 #include "runtime/sweep_service.hpp"
 #include "support/check.hpp"
 #include "support/fault.hpp"
@@ -67,26 +68,68 @@ TransientResult simulate_transient(ModelExecutor& compiled,
     return result;
 }
 
+SweepBackend preferred_native_backend() {
+    return codegen::orc_available() ? SweepBackend::kNativeOrc : SweepBackend::kNative;
+}
+
 SweepResult simulate_sweep(const abstraction::SignalFlowModel& model,
                            const std::map<std::string, numeric::SourceFunction>& shared_stimuli,
                            const std::vector<SweepLane>& lanes, double duration_seconds,
                            const SweepOptions& options) {
-    // Both compile artifacts come from the process-wide ModelCache: repeat
+    // All compile artifacts come from the process-wide ModelCache: repeat
     // sweeps of one model skip the FusedCompiler re-run and — on the native
-    // backend — the external-compiler invocation, even without a
-    // SweepService. Results are unaffected (layouts and programs are
-    // immutable); only cold-start cost changes.
+    // backends — the kernel compile (ORC materialization or the external
+    // compiler invocation), even without a SweepService. Results are
+    // unaffected (layouts and programs are immutable); only cold-start cost
+    // changes.
     ModelCache& cache = ModelCache::global();
+    const std::string fingerprint = model_fingerprint(model);
     std::string native_error;
-    if (options.backend == SweepBackend::kNative) {
-        if (auto program = cache.program_for(model, options, &native_error)) {
+    std::vector<std::string> compile_notes;
+    ModelCache::CompileInfo info;
+    if (options.backend == SweepBackend::kNativeOrc) {
+        if (auto orc = cache.orc_program_for(model, fingerprint, &native_error, &info)) {
+            codegen::OrcBatchModel batch(std::move(orc), static_cast<int>(lanes.size()));
+            SweepResult result = simulate_sweep(batch, model.inputs, shared_stimuli,
+                                                lanes, duration_seconds, options);
+            if (options.compile_diagnostics) {
+                result.diagnostics.push_back(detail::compile_note("orc jit", info));
+            }
+            return result;
+        }
+        if (!codegen::orc_available()) {
+            // Built without LLVM: the external-compiler kernel is the
+            // native fallback before the interpreter.
+            std::string external_error;
+            if (auto program =
+                    cache.program_for(model, fingerprint, options, &external_error, &info)) {
+                codegen::NativeBatchModel native(std::move(program),
+                                                 static_cast<int>(lanes.size()));
+                SweepResult result = simulate_sweep(native, model.inputs, shared_stimuli,
+                                                    lanes, duration_seconds, options);
+                if (options.compile_diagnostics) {
+                    result.diagnostics.push_back(
+                        detail::compile_note("native kernel", info));
+                }
+                return result;
+            }
+            native_error += "; " + external_error;
+        }
+    } else if (options.backend == SweepBackend::kNative) {
+        if (auto program = cache.program_for(model, fingerprint, options, &native_error,
+                                             &info)) {
             codegen::NativeBatchModel native(std::move(program),
                                              static_cast<int>(lanes.size()));
-            return simulate_sweep(native, model.inputs, shared_stimuli, lanes,
-                                  duration_seconds, options);
+            SweepResult result = simulate_sweep(native, model.inputs, shared_stimuli,
+                                                lanes, duration_seconds, options);
+            if (options.compile_diagnostics) {
+                result.diagnostics.push_back(detail::compile_note("native kernel", info));
+            }
+            return result;
         }
     }
-    BatchCompiledModel batch(cache.layout_for(model), static_cast<int>(lanes.size()));
+    BatchCompiledModel batch(cache.layout_for(model, fingerprint),
+                             static_cast<int>(lanes.size()));
     SweepResult result = simulate_sweep(batch, model.inputs, shared_stimuli, lanes,
                                         duration_seconds, options);
     if (!native_error.empty()) {

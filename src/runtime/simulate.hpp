@@ -91,7 +91,26 @@ enum class SweepBackend {
     /// models and jobs should run a SweepService, which additionally pools
     /// per-shard executors and a persistent worker pool.
     kNative,
+    /// In-process LLVM ORC JIT: the fused instruction stream lowered to
+    /// LLVM IR and materialized through LLJIT (codegen::OrcJitProgram) —
+    /// machine-code stepping without the external-compiler roundtrip, so
+    /// a cold compile costs milliseconds instead of ~0.5 s. Bit-identical
+    /// to the interpreter lane for lane, like kNative (the lowering never
+    /// enables fast-math or FP contraction and libm resolves in-process).
+    /// When the library is built without LLVM (AMSVP_WITH_LLVM=OFF) this
+    /// backend degrades to the external-compiler path, then to the
+    /// interpreter — each degradation reported in
+    /// SweepResult::diagnostics; a runtime ORC failure (e.g. the injected
+    /// jit.orc_materialize fault) falls back to the interpreter directly.
+    /// Cached in the same ModelCache next to the external kernel.
+    kNativeOrc,
 };
+
+/// The native engine to prefer on this build: kNativeOrc when the library
+/// was built with LLVM (codegen::orc_available()), else kNative (external
+/// compiler). Callers that just want "machine code, please" use this
+/// instead of hard-coding a backend.
+[[nodiscard]] SweepBackend preferred_native_backend();
 
 /// Convergence helpers for simulate_sweep.
 struct SweepOptions {
@@ -152,6 +171,14 @@ struct SweepOptions {
     int jit_timeout_ms = 60000;
     int jit_attempts = 2;
     int jit_backoff_ms = 100;
+
+    /// Opt-in compile-cost notes in SweepResult::diagnostics: the
+    /// model-compiling overload (and SweepService) appends one line per
+    /// compile artifact the job touched — "cold compile <ms>" vs "cache
+    /// hit (saved ~<ms>)", per backend. Off by default so diagnostics
+    /// stay a pure degraded-mode channel (warm and cold runs of a healthy
+    /// job report identical, empty diagnostics).
+    bool compile_diagnostics = false;
 };
 
 /// Run all `lanes` for `duration_seconds` through one BatchCompiledModel:

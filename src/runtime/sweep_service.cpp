@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 // Same one-way .cpp-level dependency as simulate.cpp: the native batch
 // artifacts live in codegen, runtime headers never include codegen ones.
 #include "codegen/native_batch.hpp"
+#include "codegen/orc_jit.hpp"
 #include "expr/printer.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
@@ -75,17 +77,42 @@ ModelCache& ModelCache::global() {
     return *cache;
 }
 
+ModelCache::Entry& ModelCache::locked_touch_entry(const std::string& fingerprint) {
+    const auto it = entries_.find(fingerprint);
+    if (it != entries_.end()) {
+        // Refresh recency: splice the key to the front without invalidating
+        // any other entry's stored position.
+        lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+        return it->second;
+    }
+    lru_.push_front(fingerprint);
+    Entry& entry = entries_[fingerprint];
+    entry.lru_position = lru_.begin();
+    locked_evict_over_capacity();
+    return entry;
+}
+
+void ModelCache::locked_evict_over_capacity() {
+    // Never evict the front — that is the entry the caller is about to
+    // fill or read, and its reference must stay valid.
+    while (entries_.size() > capacity_ && lru_.size() > 1) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
 std::shared_ptr<const ModelLayout> ModelCache::locked_layout_for(
     const abstraction::SignalFlowModel& model, const std::string& fingerprint) {
-    const auto it = entries_.find(fingerprint);
-    if (it != entries_.end() && it->second.layout != nullptr) {
+    Entry& entry = locked_touch_entry(fingerprint);
+    if (entry.layout != nullptr) {
         ++stats_.layout_hits;
-        return it->second.layout;
+        return entry.layout;
     }
     std::shared_ptr<const ModelLayout> layout =
         ModelLayout::compile(model, EvalStrategy::kFused);
     ++stats_.layout_misses;
-    entries_[fingerprint].layout = layout;
+    entry.layout = layout;
     return layout;
 }
 
@@ -108,14 +135,18 @@ std::shared_ptr<const codegen::NativeBatchProgram> ModelCache::program_for(
 
 std::shared_ptr<const codegen::NativeBatchProgram> ModelCache::program_for(
     const abstraction::SignalFlowModel& model, const std::string& fingerprint,
-    const SweepOptions& options, std::string* error) {
+    const SweepOptions& options, std::string* error, CompileInfo* info) {
     std::lock_guard<std::mutex> lock(mutex_);
     {
-        const auto it = entries_.find(fingerprint);
-        if (it != entries_.end() && it->second.program != nullptr) {
+        Entry& entry = locked_touch_entry(fingerprint);
+        if (entry.program != nullptr) {
             ++stats_.program_hits;
-            stats_.compile_seconds_saved += it->second.program_compile_seconds;
-            return it->second.program;
+            stats_.compile_seconds_saved += entry.program_compile_seconds;
+            if (info != nullptr) {
+                info->hit = true;
+                info->seconds = entry.program_compile_seconds;
+            }
+            return entry.program;
         }
     }
     std::shared_ptr<const ModelLayout> layout = locked_layout_for(model, fingerprint);
@@ -130,6 +161,10 @@ std::shared_ptr<const codegen::NativeBatchProgram> ModelCache::program_for(
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     stats_.compile_seconds += seconds;
+    if (info != nullptr) {
+        info->hit = false;
+        info->seconds = seconds;
+    }
     if (program == nullptr) {
         // NOT cached: the next request retries, so a transient failure (an
         // injected jit.* fault, a killed compiler) cannot poison the entry.
@@ -141,9 +176,57 @@ std::shared_ptr<const codegen::NativeBatchProgram> ModelCache::program_for(
         return nullptr;
     }
     ++stats_.program_misses;
-    Entry& entry = entries_[fingerprint];
+    Entry& entry = locked_touch_entry(fingerprint);
     entry.program = program;
     entry.program_compile_seconds = seconds;
+    return program;
+}
+
+std::shared_ptr<const codegen::OrcJitProgram> ModelCache::orc_program_for(
+    const abstraction::SignalFlowModel& model, std::string* error) {
+    return orc_program_for(model, model_fingerprint(model), error);
+}
+
+std::shared_ptr<const codegen::OrcJitProgram> ModelCache::orc_program_for(
+    const abstraction::SignalFlowModel& model, const std::string& fingerprint,
+    std::string* error, CompileInfo* info) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    {
+        Entry& entry = locked_touch_entry(fingerprint);
+        if (entry.orc_program != nullptr) {
+            ++stats_.orc_hits;
+            stats_.orc_compile_seconds_saved += entry.orc_compile_seconds;
+            if (info != nullptr) {
+                info->hit = true;
+                info->seconds = entry.orc_compile_seconds;
+            }
+            return entry.orc_program;
+        }
+    }
+    std::shared_ptr<const ModelLayout> layout = locked_layout_for(model, fingerprint);
+    const auto start = std::chrono::steady_clock::now();
+    std::string compile_error;
+    std::shared_ptr<const codegen::OrcJitProgram> program =
+        codegen::OrcJitProgram::compile(layout, &compile_error);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    stats_.orc_compile_seconds += seconds;
+    if (info != nullptr) {
+        info->hit = false;
+        info->seconds = seconds;
+    }
+    if (program == nullptr) {
+        // Same no-poison rule as the external kernel: failures retry.
+        ++stats_.orc_failures;
+        if (error != nullptr) {
+            *error = compile_error.empty() ? "orc jit compilation failed" : compile_error;
+        }
+        return nullptr;
+    }
+    ++stats_.orc_misses;
+    Entry& entry = locked_touch_entry(fingerprint);
+    entry.orc_program = program;
+    entry.orc_compile_seconds = seconds;
     return program;
 }
 
@@ -152,15 +235,49 @@ ModelCache::Stats ModelCache::stats() const {
     return stats_;
 }
 
+void ModelCache::set_capacity(std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // At least one entry: the serve-or-compile paths rely on the entry
+    // they just touched staying resident for the duration of the call.
+    capacity_ = std::max<std::size_t>(1, capacity);
+    while (entries_.size() > capacity_) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+std::size_t ModelCache::capacity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
 void ModelCache::clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    lru_.clear();
 }
 
 std::size_t ModelCache::size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.size();
 }
+
+namespace detail {
+
+std::string compile_note(const char* backend, const ModelCache::CompileInfo& info) {
+    char text[128];
+    if (info.hit) {
+        std::snprintf(text, sizeof(text), "%s: cache hit (saved ~%.3f ms)", backend,
+                      info.seconds * 1e3);
+    } else {
+        std::snprintf(text, sizeof(text), "%s: cold compile %.3f ms", backend,
+                      info.seconds * 1e3);
+    }
+    return text;
+}
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // SweepService
@@ -181,14 +298,17 @@ class SweepService::ShardPoolAdapter final : public detail::SweepShardPool {
 public:
     ShardPoolAdapter(SweepService& service, std::string key_prefix,
                      std::shared_ptr<const ModelLayout> layout,
-                     std::shared_ptr<const codegen::NativeBatchProgram> program)
+                     std::shared_ptr<const codegen::NativeBatchProgram> program,
+                     std::shared_ptr<const codegen::OrcJitProgram> orc_program)
         : service_(service),
           key_prefix_(std::move(key_prefix)),
           layout_(std::move(layout)),
-          program_(std::move(program)) {}
+          program_(std::move(program)),
+          orc_program_(std::move(orc_program)) {}
 
     std::unique_ptr<BatchExecutor> acquire(int lane_count) override {
-        return service_.acquire_executor(key_prefix_, lane_count, layout_, program_);
+        return service_.acquire_executor(key_prefix_, lane_count, layout_, program_,
+                                         orc_program_);
     }
 
     void release(std::unique_ptr<BatchExecutor> executor) override {
@@ -203,6 +323,7 @@ private:
     std::string key_prefix_;
     std::shared_ptr<const ModelLayout> layout_;
     std::shared_ptr<const codegen::NativeBatchProgram> program_;
+    std::shared_ptr<const codegen::OrcJitProgram> orc_program_;
 };
 
 SweepService::SweepService(ServiceOptions options)
@@ -284,21 +405,54 @@ SweepResult SweepService::execute(SweepJob& job) {
         cache_->layout_for(job.model, fingerprint);
 
     std::shared_ptr<const codegen::NativeBatchProgram> program;
+    std::shared_ptr<const codegen::OrcJitProgram> orc_program;
     std::string native_error;
-    if (job.options.backend == SweepBackend::kNative) {
-        program = cache_->program_for(job.model, fingerprint, job.options, &native_error);
+    std::vector<std::string> compile_notes;
+    ModelCache::CompileInfo info;
+    if (job.options.backend == SweepBackend::kNativeOrc) {
+        orc_program = cache_->orc_program_for(job.model, fingerprint, &native_error, &info);
+        if (orc_program != nullptr) {
+            if (job.options.compile_diagnostics) {
+                compile_notes.push_back(detail::compile_note("orc jit", info));
+            }
+        } else if (!codegen::orc_available()) {
+            // Built without LLVM: the external-compiler kernel is the
+            // native fallback before the interpreter.
+            std::string external_error;
+            program = cache_->program_for(job.model, fingerprint, job.options,
+                                          &external_error, &info);
+            if (program != nullptr) {
+                native_error.clear();
+                if (job.options.compile_diagnostics) {
+                    compile_notes.push_back(detail::compile_note("native kernel", info));
+                }
+            } else {
+                native_error += "; " + external_error;
+            }
+        }
+        if (orc_program == nullptr && program == nullptr) {
+            native_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        }
+    } else if (job.options.backend == SweepBackend::kNative) {
+        program = cache_->program_for(job.model, fingerprint, job.options, &native_error,
+                                      &info);
         if (program == nullptr) {
             native_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        } else if (job.options.compile_diagnostics) {
+            compile_notes.push_back(detail::compile_note("native kernel", info));
         }
     }
 
     // Interpreter-fallback jobs pool under the interpreter key: if the next
-    // job's compile succeeds it must NOT be handed an interpreter executor.
+    // job's compile succeeds it must NOT be handed an interpreter executor
+    // (and an ORC job must never be handed an external-kernel one).
     const std::string key_prefix =
-        fingerprint + (program != nullptr ? "|native|" : "|interp|");
-    std::unique_ptr<BatchExecutor> primary =
-        acquire_executor(key_prefix, static_cast<int>(job.lanes.size()), layout, program);
-    ShardPoolAdapter shard_pool(*this, key_prefix, layout, program);
+        fingerprint + (orc_program != nullptr  ? "|orc|"
+                       : program != nullptr    ? "|native|"
+                                               : "|interp|");
+    std::unique_ptr<BatchExecutor> primary = acquire_executor(
+        key_prefix, static_cast<int>(job.lanes.size()), layout, program, orc_program);
+    ShardPoolAdapter shard_pool(*this, key_prefix, layout, program, orc_program);
 
     // Any failure below throws through to the dispatcher: `primary` (and
     // every shard run_sweep acquired) is destroyed instead of released.
@@ -315,13 +469,17 @@ SweepResult SweepService::execute(SweepJob& job) {
                                   "native sweep backend unavailable (" + native_error +
                                       "); ran on the batch interpreter");
     }
+    for (std::string& note : compile_notes) {
+        result.diagnostics.push_back(std::move(note));
+    }
     return result;
 }
 
 std::unique_ptr<BatchExecutor> SweepService::acquire_executor(
     const std::string& key_prefix, int width,
     const std::shared_ptr<const ModelLayout>& layout,
-    const std::shared_ptr<const codegen::NativeBatchProgram>& program) {
+    const std::shared_ptr<const codegen::NativeBatchProgram>& program,
+    const std::shared_ptr<const codegen::OrcJitProgram>& orc_program) {
     const std::string key = key_prefix + std::to_string(width);
     const auto it = idle_.find(key);
     if (it != idle_.end() && !it->second.empty()) {
@@ -333,6 +491,9 @@ std::unique_ptr<BatchExecutor> SweepService::acquire_executor(
     executors_built_.fetch_add(1, std::memory_order_relaxed);
     slot_doubles_built_.fetch_add(
         layout->slot_count() * static_cast<std::size_t>(width), std::memory_order_relaxed);
+    if (orc_program != nullptr) {
+        return std::make_unique<codegen::OrcBatchModel>(orc_program, width);
+    }
     if (program != nullptr) {
         return std::make_unique<codegen::NativeBatchModel>(program, width);
     }

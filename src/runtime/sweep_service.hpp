@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -46,6 +47,7 @@
 
 namespace amsvp::codegen {
 class NativeBatchProgram;
+class OrcJitProgram;
 }  // namespace amsvp::codegen
 
 namespace amsvp::runtime {
@@ -78,11 +80,30 @@ public:
         std::uint64_t program_hits = 0;
         std::uint64_t program_misses = 0;
         std::uint64_t program_failures = 0;  ///< native compiles that returned null
+        /// The same trio for the in-process ORC JIT artifact.
+        std::uint64_t orc_hits = 0;
+        std::uint64_t orc_misses = 0;
+        std::uint64_t orc_failures = 0;  ///< ORC compiles that returned null
+        /// Entries dropped by the LRU capacity bound (set_capacity).
+        std::uint64_t evictions = 0;
         /// Wall-clock seconds spent in native kernel compiles (misses).
         double compile_seconds = 0.0;
         /// Estimated seconds NOT spent: each program hit credits the
         /// model's measured compile cost.
         double compile_seconds_saved = 0.0;
+        /// Same pair for ORC compiles — the cold-compile wall time per
+        /// backend the service reports (ORC runs ~10-100x cheaper).
+        double orc_compile_seconds = 0.0;
+        double orc_compile_seconds_saved = 0.0;
+    };
+
+    /// One artifact request's compile-cost outcome, for callers composing
+    /// SweepOptions::compile_diagnostics notes: whether the cache served
+    /// it, and the seconds the compile cost (miss) or would have cost
+    /// again (hit — the entry's measured compile time).
+    struct CompileInfo {
+        bool hit = false;
+        double seconds = 0.0;
     };
 
     /// The process-wide cache behind the model-compiling simulate_sweep
@@ -105,12 +126,38 @@ public:
         std::string* error = nullptr);
     [[nodiscard]] std::shared_ptr<const codegen::NativeBatchProgram> program_for(
         const abstraction::SignalFlowModel& model, const std::string& fingerprint,
-        const SweepOptions& options, std::string* error = nullptr);
+        const SweepOptions& options, std::string* error = nullptr,
+        CompileInfo* info = nullptr);
+
+    /// The cached in-process ORC JIT program of `model` (the artifact
+    /// behind SweepBackend::kNativeOrc), materializing over the cached
+    /// layout on first request. Returns nullptr with `error` set when the
+    /// library was built without LLVM or the compile fails — the failure
+    /// is not cached. Lives in the same Entry as the external kernel, so
+    /// one model's artifacts age (and evict) together.
+    [[nodiscard]] std::shared_ptr<const codegen::OrcJitProgram> orc_program_for(
+        const abstraction::SignalFlowModel& model, std::string* error = nullptr);
+    [[nodiscard]] std::shared_ptr<const codegen::OrcJitProgram> orc_program_for(
+        const abstraction::SignalFlowModel& model, const std::string& fingerprint,
+        std::string* error = nullptr, CompileInfo* info = nullptr);
 
     [[nodiscard]] Stats stats() const;
 
-    /// Drop every cached entry (counters survive). Artifacts still
-    /// referenced by live executors stay alive through their shared_ptrs.
+    /// Bound the entry count: every artifact request refreshes its model's
+    /// recency, and an insert over capacity evicts the least recently used
+    /// entry (counted in Stats::evictions). Artifacts still referenced by
+    /// live executors survive eviction through their shared_ptrs — only
+    /// the cache forgets. Shrinking below the current size evicts
+    /// immediately. The default is generous (kDefaultCapacity): eviction
+    /// is an unbounded-growth backstop for model-churning services, not a
+    /// working-set tuning knob.
+    void set_capacity(std::size_t capacity);
+    [[nodiscard]] std::size_t capacity() const;
+    static constexpr std::size_t kDefaultCapacity = 1024;
+
+    /// Drop every cached entry (counters survive; does not count as
+    /// eviction). Artifacts still referenced by live executors stay alive
+    /// through their shared_ptrs.
     void clear();
 
     [[nodiscard]] std::size_t size() const;
@@ -120,14 +167,27 @@ private:
         std::shared_ptr<const ModelLayout> layout;
         std::shared_ptr<const codegen::NativeBatchProgram> program;
         double program_compile_seconds = 0.0;
+        std::shared_ptr<const codegen::OrcJitProgram> orc_program;
+        double orc_compile_seconds = 0.0;
+        /// This entry's position in lru_ (front = most recent).
+        std::list<std::string>::iterator lru_position;
     };
 
     /// Serve-or-compile under the held lock (both artifacts).
     [[nodiscard]] std::shared_ptr<const ModelLayout> locked_layout_for(
         const abstraction::SignalFlowModel& model, const std::string& fingerprint);
 
+    /// The entry for `fingerprint`, created if absent, bumped to the front
+    /// of the recency list either way; evicts from the back when the
+    /// creation pushes the map over capacity. Call with mutex_ held.
+    [[nodiscard]] Entry& locked_touch_entry(const std::string& fingerprint);
+    void locked_evict_over_capacity();
+
     mutable std::mutex mutex_;
     std::unordered_map<std::string, Entry> entries_;
+    /// Recency order over entries_ keys, most recently used first.
+    std::list<std::string> lru_;
+    std::size_t capacity_ = kDefaultCapacity;
     Stats stats_;
 };
 
@@ -234,7 +294,8 @@ private:
     [[nodiscard]] std::unique_ptr<BatchExecutor> acquire_executor(
         const std::string& key_prefix, int width,
         const std::shared_ptr<const ModelLayout>& layout,
-        const std::shared_ptr<const codegen::NativeBatchProgram>& program);
+        const std::shared_ptr<const codegen::NativeBatchProgram>& program,
+        const std::shared_ptr<const codegen::OrcJitProgram>& orc_program);
     void release_executor(const std::string& key_prefix,
                           std::unique_ptr<BatchExecutor> executor);
 
@@ -261,5 +322,16 @@ private:
 
     std::thread dispatcher_;  ///< last member: joins before the rest dies
 };
+
+namespace detail {
+
+/// The SweepOptions::compile_diagnostics note for one artifact request:
+/// "<backend>: cold compile <ms> ms" or "<backend>: cache hit (saved
+/// ~<ms> ms)". One formatter, shared by SweepService and the
+/// model-compiling simulate_sweep overload, so both report identically.
+[[nodiscard]] std::string compile_note(const char* backend,
+                                       const ModelCache::CompileInfo& info);
+
+}  // namespace detail
 
 }  // namespace amsvp::runtime

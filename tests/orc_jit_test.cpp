@@ -1,0 +1,492 @@
+// In-process ORC JIT backend: the LLVM-lowered step/step_batch kernels
+// must behave exactly like the fused batch interpreter — same strided
+// slot file, same per-lane arithmetic, bit-for-bit at every batch width
+// and thread count (the lowering never enables fast-math or FP
+// contraction, and libm resolves to this process's own functions). Every
+// test here skips gracefully in an AMSVP_WITH_LLVM=OFF build.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "abstraction/abstraction.hpp"
+#include "codegen/llvm_lowering.hpp"
+#include "codegen/native_batch.hpp"
+#include "codegen/native_jit.hpp"
+#include "codegen/orc_jit.hpp"
+#include "netlist/builder.hpp"
+#include "random_models.hpp"
+#include "runtime/simulate.hpp"
+#include "runtime/sweep_service.hpp"
+#include "support/fault.hpp"
+
+namespace amsvp::codegen {
+namespace {
+
+abstraction::SignalFlowModel ladder_model(int stages, double timestep = 0.0) {
+    const netlist::Circuit circuit = netlist::make_rc_ladder(stages);
+    abstraction::AbstractionOptions options;
+    if (timestep > 0.0) {
+        options.timestep = timestep;
+    }
+    std::string error;
+    auto model =
+        abstraction::abstract_circuit(circuit, {{"out", "gnd"}}, options, &error);
+    EXPECT_TRUE(model.has_value()) << error;
+    return std::move(*model);
+}
+
+abstraction::SignalFlowModel random_model(unsigned seed) {
+    const auto random = testing_support::make_random_rc(seed);
+    std::string error;
+    auto model = abstraction::abstract_circuit(random.circuit,
+                                               {{random.observed_node, "gnd"}}, {}, &error);
+    EXPECT_TRUE(model.has_value()) << error;
+    return std::move(*model);
+}
+
+void expect_identical(const runtime::SweepResult& a, const runtime::SweepResult& b) {
+    ASSERT_EQ(a.steps, b.steps);
+    ASSERT_EQ(a.settled_at, b.settled_at);
+    ASSERT_EQ(a.outputs.size(), b.outputs.size());
+    for (std::size_t o = 0; o < b.outputs.size(); ++o) {
+        const numeric::WaveformBatch& x = a.outputs[o];
+        const numeric::WaveformBatch& y = b.outputs[o];
+        ASSERT_EQ(x.lanes(), y.lanes());
+        ASSERT_EQ(x.size(), y.size());
+        for (std::size_t l = 0; l < y.lanes(); ++l) {
+            for (std::size_t k = 0; k < y.size(); ++k) {
+                ASSERT_EQ(x.value(l, k), y.value(l, k))
+                    << "output " << o << " lane " << l << " step " << k;
+            }
+        }
+    }
+}
+
+std::vector<runtime::SweepLane> varied_lanes(const abstraction::SignalFlowModel& model,
+                                             int n_lanes) {
+    std::vector<runtime::SweepLane> lanes(static_cast<std::size_t>(n_lanes));
+    const expr::Symbol out_node = model.outputs.front();
+    for (int l = 0; l < n_lanes; ++l) {
+        lanes[static_cast<std::size_t>(l)].stimuli["u0"] =
+            numeric::square_wave(1e-3, 0.0, 0.5 + 0.25 * static_cast<double>(l));
+        lanes[static_cast<std::size_t>(l)].overrides[out_node] =
+            0.01 * static_cast<double>(l);
+    }
+    return lanes;
+}
+
+bool diagnostics_mention(const runtime::SweepResult& result, const std::string& text) {
+    for (const std::string& d : result.diagnostics) {
+        if (d.find(text) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// IR lowering (text level).
+
+TEST(OrcJitLowering, EmitsBothEntryPointsWithoutFastMath) {
+    if (!llvm_backend_available()) {
+        GTEST_SKIP() << "built with AMSVP_WITH_LLVM=OFF";
+    }
+    const auto model = ladder_model(3);
+    const auto layout = runtime::ModelLayout::compile(model, runtime::EvalStrategy::kFused);
+    std::string error;
+    const auto ir = lower_to_ir_text(layout, &error);
+    ASSERT_TRUE(ir.has_value()) << error;
+
+    // Both kernels exist, before and after the pipeline.
+    for (const std::string* text : {&ir->unoptimized, &ir->optimized}) {
+        EXPECT_NE(text->find("amsvp_orc_step"), std::string::npos);
+        EXPECT_NE(text->find("amsvp_orc_step_batch"), std::string::npos);
+    }
+    // The bit-exactness contract in IR form: no fast-math/contract flags,
+    // no fmuladd intrinsic (two-rounding mul+add only).
+    for (const std::string* text : {&ir->unoptimized, &ir->optimized}) {
+        EXPECT_EQ(text->find("fast "), std::string::npos);
+        EXPECT_EQ(text->find(" contract "), std::string::npos);
+        EXPECT_EQ(text->find("llvm.fmuladd"), std::string::npos);
+    }
+    // The lane loop is annotated for vectorization.
+    EXPECT_NE(ir->unoptimized.find("llvm.loop.vectorize.enable"), std::string::npos);
+}
+
+TEST(OrcJitLowering, UnavailableBuildReportsCleanError) {
+    if (llvm_backend_available()) {
+        GTEST_SKIP() << "LLVM build: the stub error path is compiled out";
+    }
+    const auto model = ladder_model(2);
+    const auto layout = runtime::ModelLayout::compile(model, runtime::EvalStrategy::kFused);
+    std::string error;
+    EXPECT_FALSE(lower_to_ir_text(layout, &error).has_value());
+    EXPECT_NE(error.find("AMSVP_WITH_LLVM=OFF"), std::string::npos);
+    EXPECT_EQ(llvm_backend_version(), "none");
+    EXPECT_EQ(OrcJitProgram::compile(layout, &error), nullptr);
+    EXPECT_NE(error.find("AMSVP_WITH_LLVM=OFF"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Execution differentials vs the fused interpreter.
+
+TEST(OrcJitModel, SlotFileMatchesInterpreterSlotForSlot) {
+    if (!orc_available()) {
+        GTEST_SKIP() << "built with AMSVP_WITH_LLVM=OFF";
+    }
+    const auto model = ladder_model(5);
+    // Width 5: not a multiple of any vector width, so the strided lane
+    // loop's scalar tail is covered too.
+    constexpr int kWidth = 5;
+    std::string error;
+    auto orc = OrcBatchModel::compile(model, kWidth, &error);
+    ASSERT_NE(orc, nullptr) << error;
+    runtime::BatchCompiledModel interp(model, kWidth);
+
+    const int model_slots = static_cast<int>(interp.layout()->model_slot_count());
+    const auto stimulus = numeric::sine_wave(1000.0);
+    const double dt = model.timestep;
+    for (int k = 1; k <= 300; ++k) {
+        const double t = k * dt;
+        for (int l = 0; l < kWidth; ++l) {
+            const double v = stimulus(t) * (1.0 + 0.1 * static_cast<double>(l));
+            orc->set_input(l, 0, v);
+            interp.set_input(l, 0, v);
+        }
+        orc->step(t);
+        interp.step(t);
+        for (int l = 0; l < kWidth; ++l) {
+            for (int s = 0; s < model_slots; ++s) {
+                ASSERT_EQ(orc->slot_value(l, s), interp.slot_value(l, s))
+                    << "lane " << l << " slot " << s << " at step " << k;
+            }
+        }
+    }
+}
+
+TEST(OrcJitModel, RandomModelsMatchInterpreterSlotForSlot) {
+    if (!orc_available()) {
+        GTEST_SKIP() << "built with AMSVP_WITH_LLVM=OFF";
+    }
+    for (unsigned seed : {1u, 7u, 23u}) {
+        const auto model = random_model(seed);
+        constexpr int kWidth = 3;
+        std::string error;
+        auto orc = OrcBatchModel::compile(model, kWidth, &error);
+        ASSERT_NE(orc, nullptr) << "seed " << seed << ": " << error;
+        runtime::BatchCompiledModel interp(model, kWidth);
+
+        const int model_slots = static_cast<int>(interp.layout()->model_slot_count());
+        const double dt = model.timestep;
+        for (int k = 1; k <= 200; ++k) {
+            const double t = k * dt;
+            for (int l = 0; l < kWidth; ++l) {
+                const double v = 0.5 + 0.25 * static_cast<double>(l) + 0.1 * std::sin(t * 500.0);
+                orc->set_input(l, 0, v);
+                interp.set_input(l, 0, v);
+            }
+            orc->step(t);
+            interp.step(t);
+            for (int l = 0; l < kWidth; ++l) {
+                for (int s = 0; s < model_slots; ++s) {
+                    ASSERT_EQ(orc->slot_value(l, s), interp.slot_value(l, s))
+                        << "seed " << seed << " lane " << l << " slot " << s
+                        << " at step " << k;
+                }
+            }
+        }
+    }
+}
+
+TEST(OrcJitModel, ScalarStepMatchesBatchWidthOne) {
+    if (!orc_available()) {
+        GTEST_SKIP() << "built with AMSVP_WITH_LLVM=OFF";
+    }
+    const auto model = ladder_model(4);
+    std::string error;
+    const auto program = OrcJitProgram::compile(model, &error);
+    ASSERT_NE(program, nullptr) << error;
+
+    // Drive the scalar entry point over a hand-held contiguous slot file
+    // (a width-1 strided file IS contiguous) against the width-1 batch.
+    OrcBatchModel batch(program, 1);
+    const auto& layout = program->layout();
+    std::vector<double> slots(layout->slot_count(), 0.0);
+    for (const auto& [slot, value] : layout->initial_values()) {
+        slots[static_cast<std::size_t>(slot)] = value;
+    }
+    layout->fused_program().initialize_constants_batch(slots.data(), 1);
+
+    const int input_slot = layout->input_slots().front();
+    const int time_slot = layout->time_slot();
+    const double dt = model.timestep;
+    for (int k = 1; k <= 200; ++k) {
+        const double t = k * dt;
+        const double v = 0.75 + 0.25 * std::sin(t * 800.0);
+        slots[static_cast<std::size_t>(input_slot)] = v;
+        slots[static_cast<std::size_t>(time_slot)] = t;
+        program->step(slots.data());
+        batch.set_input(0, 0, v);
+        batch.step(t);
+        for (std::size_t s = 0; s < layout->model_slot_count(); ++s) {
+            ASSERT_EQ(slots[s], batch.slot_value(0, static_cast<int>(s)))
+                << "slot " << s << " at step " << k;
+        }
+    }
+}
+
+TEST(OrcJitModel, FallbackShardIsInterpreterAndBitIdentical) {
+    if (!orc_available()) {
+        GTEST_SKIP() << "built with AMSVP_WITH_LLVM=OFF";
+    }
+    const auto model = ladder_model(3);
+    std::string error;
+    auto orc = OrcBatchModel::compile(model, 4, &error);
+    ASSERT_NE(orc, nullptr) << error;
+    auto fallback = orc->make_fallback_shard(4);
+    ASSERT_NE(fallback, nullptr);
+    // The degraded shard is an interpreter batch, not another ORC batch.
+    EXPECT_EQ(dynamic_cast<OrcBatchModel*>(fallback.get()), nullptr);
+
+    const double dt = model.timestep;
+    for (int k = 1; k <= 100; ++k) {
+        for (int l = 0; l < 4; ++l) {
+            orc->set_input(l, 0, 0.25 * static_cast<double>(l + 1));
+            fallback->set_input(l, 0, 0.25 * static_cast<double>(l + 1));
+        }
+        orc->step(k * dt);
+        fallback->step(k * dt);
+    }
+    for (int l = 0; l < 4; ++l) {
+        ASSERT_EQ(orc->output_lanes(0)[static_cast<std::size_t>(l)],
+                  fallback->output_lanes(0)[static_cast<std::size_t>(l)]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sweep backend: interpreter vs external-native vs ORC, slot for slot.
+
+TEST(OrcJitSweepBackend, PreferredNativeBackendMatchesBuild) {
+    EXPECT_EQ(runtime::preferred_native_backend(),
+              orc_available() ? runtime::SweepBackend::kNativeOrc
+                              : runtime::SweepBackend::kNative);
+}
+
+TEST(OrcJitSweepBackend, BitIdenticalAcrossWidthsThreadsAndBackends) {
+    if (!orc_available()) {
+        GTEST_SKIP() << "built with AMSVP_WITH_LLVM=OFF";
+    }
+    const auto model = random_model(901u);
+    const double duration = 300 * model.timestep;
+    const bool external = detail::jit_available();
+    for (const int width : {1, 4, 7, 8, 16, 33}) {
+        const auto lanes = varied_lanes(model, width);
+        for (const int threads : {1, 0}) {
+            SCOPED_TRACE("width " + std::to_string(width) + " threads " +
+                         std::to_string(threads));
+            runtime::SweepOptions options;
+            options.threads = threads;
+            const auto reference =
+                runtime::simulate_sweep(model, {}, lanes, duration, options);
+
+            options.backend = runtime::SweepBackend::kNativeOrc;
+            const auto orc = runtime::simulate_sweep(model, {}, lanes, duration, options);
+            EXPECT_TRUE(orc.diagnostics.empty());
+            expect_identical(orc, reference);
+
+            if (external) {
+                options.backend = runtime::SweepBackend::kNative;
+                const auto native =
+                    runtime::simulate_sweep(model, {}, lanes, duration, options);
+                expect_identical(native, reference);
+            }
+        }
+    }
+}
+
+TEST(OrcJitSweepBackend, OrcBackendDegradesGracefullyWithoutLlvm) {
+    if (orc_available()) {
+        GTEST_SKIP() << "LLVM build: the degradation chain is compiled out";
+    }
+    // Built without LLVM, a kNativeOrc request still completes — on the
+    // external kernel when a compiler is around, else on the interpreter —
+    // bit-identically either way.
+    const auto model = random_model(902u);
+    const auto lanes = varied_lanes(model, 6);
+    const double duration = 150 * model.timestep;
+    const auto reference = runtime::simulate_sweep(model, {}, lanes, duration);
+    runtime::SweepOptions options;
+    options.backend = runtime::SweepBackend::kNativeOrc;
+    const auto swept = runtime::simulate_sweep(model, {}, lanes, duration, options);
+    expect_identical(swept, reference);
+    if (!detail::jit_available()) {
+        EXPECT_TRUE(diagnostics_mention(swept, "native sweep backend unavailable"));
+    }
+}
+
+TEST(OrcJitSweepBackend, CompileDiagnosticsReportColdVsCacheHit) {
+    if (!orc_available()) {
+        GTEST_SKIP() << "built with AMSVP_WITH_LLVM=OFF";
+    }
+    // A timestep no other test uses: this model must be cold in the
+    // process-wide cache for the first run to be a compile.
+    const auto model = ladder_model(3, 3.7e-6);
+    const auto lanes = varied_lanes(model, 4);
+    const double duration = 60 * model.timestep;
+    runtime::SweepOptions options;
+    options.backend = runtime::SweepBackend::kNativeOrc;
+    options.compile_diagnostics = true;
+    const auto cold = runtime::simulate_sweep(model, {}, lanes, duration, options);
+    EXPECT_TRUE(diagnostics_mention(cold, "orc jit: cold compile"));
+    const auto warm = runtime::simulate_sweep(model, {}, lanes, duration, options);
+    EXPECT_TRUE(diagnostics_mention(warm, "orc jit: cache hit"));
+
+    // Off by default: a healthy run's diagnostics stay empty.
+    options.compile_diagnostics = false;
+    const auto quiet = runtime::simulate_sweep(model, {}, lanes, duration, options);
+    EXPECT_TRUE(quiet.diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
+// SweepService on the ORC backend: warm-path zero-compile gates.
+
+runtime::SweepJob make_job(const abstraction::SignalFlowModel& model, int width,
+                           double duration, const runtime::SweepOptions& options) {
+    runtime::SweepJob job;
+    job.model = model;
+    job.lanes = varied_lanes(model, width);
+    job.duration_seconds = duration;
+    job.options = options;
+    return job;
+}
+
+TEST(SweepServiceOrc, WarmRepeatJobRunsZeroOrcCompilesAndReusesExecutors) {
+    if (!orc_available()) {
+        GTEST_SKIP() << "built with AMSVP_WITH_LLVM=OFF";
+    }
+    const auto model = ladder_model(4);
+    const double duration = 120 * model.timestep;
+    runtime::SweepOptions options;
+    options.backend = runtime::SweepBackend::kNativeOrc;
+    options.threads = 2;
+
+    runtime::ServiceOptions service_options;
+    service_options.sweep_threads = 2;
+    runtime::SweepService service(service_options);
+
+    const auto cold = service.run(make_job(model, 24, duration, options));
+    EXPECT_TRUE(cold.diagnostics.empty());
+    const runtime::ServiceStats after_cold = service.stats();
+    EXPECT_EQ(after_cold.cache.orc_misses, 1u);
+    EXPECT_EQ(after_cold.cache.orc_failures, 0u);
+    EXPECT_EQ(after_cold.native_fallbacks, 0u);
+    EXPECT_GT(after_cold.cache.orc_compile_seconds, 0.0);
+
+    // The warm gate proper: a repeat job of a cached model runs ZERO ORC
+    // compiles (counter delta), builds zero executors and allocates zero
+    // slot doubles — and is bit-identical to the cold run.
+    const std::uint64_t compiles_before = orc_detail::orc_compile_invocations();
+    const auto warm = service.run(make_job(model, 24, duration, options));
+    EXPECT_EQ(orc_detail::orc_compile_invocations(), compiles_before);
+    expect_identical(warm, cold);
+    EXPECT_EQ(warm.diagnostics, cold.diagnostics);
+    const runtime::ServiceStats after_warm = service.stats();
+    EXPECT_EQ(after_warm.cache.orc_misses, 1u);
+    EXPECT_EQ(after_warm.cache.orc_hits, after_cold.cache.orc_hits + 1);
+    EXPECT_GT(after_warm.cache.orc_compile_seconds_saved, 0.0);
+    EXPECT_EQ(after_warm.executors_built, after_cold.executors_built);
+    EXPECT_EQ(after_warm.slot_doubles_built, after_cold.slot_doubles_built);
+    EXPECT_GT(after_warm.executors_reused, after_cold.executors_reused);
+
+    // Service results match a direct simulate_sweep of the same job.
+    const auto direct = runtime::simulate_sweep(model, {}, varied_lanes(model, 24),
+                                                duration, options);
+    expect_identical(direct, cold);
+}
+
+TEST(FaultInjectionOrc, MaterializeFaultFallsBackToInterpreterShard) {
+    if (!orc_available()) {
+        GTEST_SKIP() << "built with AMSVP_WITH_LLVM=OFF";
+    }
+    const auto model = ladder_model(5, 2.3e-6);
+    const double duration = 80 * model.timestep;
+    const auto lanes = varied_lanes(model, 8);
+    const auto reference =
+        runtime::simulate_sweep(model, {}, lanes, duration, runtime::SweepOptions{});
+
+    runtime::SweepOptions options;
+    options.backend = runtime::SweepBackend::kNativeOrc;
+    runtime::SweepService service;
+    support::fault::arm("jit.orc_materialize", support::fault::Trigger::kAlways);
+    const auto faulted = service.run(make_job(model, 8, duration, options));
+    support::fault::disarm("jit.orc_materialize");
+
+    // The job completed on the interpreter shard, bit-identically, and
+    // said exactly why.
+    expect_identical(faulted, reference);
+    EXPECT_TRUE(diagnostics_mention(faulted, "native sweep backend unavailable"));
+    EXPECT_TRUE(diagnostics_mention(faulted, "injected fault: jit.orc_materialize"));
+    runtime::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.native_fallbacks, 1u);
+    EXPECT_EQ(stats.cache.orc_failures, 1u);
+    EXPECT_EQ(stats.cache.orc_misses, 0u);  // the failure was NOT cached
+
+    // With the fault gone the same service materializes after all: a
+    // transient ORC failure costs one job its speed, never the model its
+    // JIT backend.
+    const auto healed = service.run(make_job(model, 8, duration, options));
+    expect_identical(healed, reference);
+    EXPECT_TRUE(healed.diagnostics.empty());
+    stats = service.stats();
+    EXPECT_EQ(stats.native_fallbacks, 1u);
+    EXPECT_EQ(stats.cache.orc_misses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ModelCache LRU capacity bound.
+
+TEST(ModelCacheLru, CapacityBoundsEntriesAndEvictsLeastRecentlyUsed) {
+    runtime::ModelCache cache;
+    EXPECT_EQ(cache.capacity(), runtime::ModelCache::kDefaultCapacity);
+    cache.set_capacity(2);
+    EXPECT_EQ(cache.capacity(), 2u);
+
+    const auto a = ladder_model(2);
+    const auto b = ladder_model(3);
+    const auto c = ladder_model(4);
+    (void)cache.layout_for(a);
+    (void)cache.layout_for(b);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // Touch `a` so `b` is the least recently used, then insert `c`.
+    (void)cache.layout_for(a);
+    (void)cache.layout_for(c);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // `a` survived (hit), `b` was evicted (recompiles as a miss).
+    const auto before = cache.stats();
+    (void)cache.layout_for(a);
+    EXPECT_EQ(cache.stats().layout_hits, before.layout_hits + 1);
+    (void)cache.layout_for(b);
+    EXPECT_EQ(cache.stats().layout_misses, before.layout_misses + 1);
+
+    // Shrinking evicts immediately, keeping the most recent entries.
+    cache.set_capacity(1);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 3u);
+
+    // set_capacity(0) clamps to one resident entry (the touch paths rely
+    // on the just-touched entry staying alive).
+    cache.set_capacity(0);
+    EXPECT_EQ(cache.capacity(), 1u);
+    (void)cache.layout_for(c);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace amsvp::codegen
