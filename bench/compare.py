@@ -47,7 +47,17 @@ and enforces two floors:
     kernel's steady-state per-lane ns/step must stay within
     `--max-orc-step-ratio` (default 2.0) of the external kernel's. Each
     sub-check skips when its arm is absent (AMSVP_WITH_LLVM=OFF build, or
-    no C++ compiler on PATH).
+    no C++ compiler on PATH);
+  * dynamic-width parity (entries from BENCH_dynamic_width.json /
+    bench_dynamic_width_sweep via --extra-json): at each odd batch width
+    (7, 17, 33) the per-lane ns/step must stay within
+    `--max-dynamic-width-ratio` (default 1.4) of the neighbouring pinned
+    row-multiple width (8, 16, 32) on the interpreter and orc arms — the
+    runtime LaneLayout guarantee that non-pinned widths ride the same
+    padded vector rows instead of falling off a scalar cliff. The native
+    (external-compiler) arm is printed informationally only, since the
+    system compiler's vectorizer is outside our control. Skipped per arm
+    when entries are absent.
 
 With `--history <path>` every run is appended to a JSONL file and each
 metric is compared against the best value ever recorded there: regressions
@@ -154,6 +164,16 @@ def jit_step_parity_table(results):
     return table
 
 
+def dynamic_width_table(results):
+    """(mode, width) -> per-lane ns/step of the dynamic-width bench."""
+    table = {}
+    for entry in results:
+        if entry.get("name") != "dynamic_width_sweep":
+            continue
+        table[(entry["mode"], int(entry["width"]))] = float(entry["ns_per_step_per_lane"])
+    return table
+
+
 def lane_health_scan_entry(results):
     for entry in results:
         if entry.get("name") == "lane_health_scan":
@@ -171,8 +191,9 @@ def hardware_threads(results):
 def metric_key(entry):
     """Stable identity of one measured series: its string labels."""
     labels = sorted((k, v) for k, v in entry.items() if isinstance(v, str))
-    # lanes / n / threads are parameters, not measurements — part of the identity.
-    for param in ("lanes", "n", "threads"):
+    # lanes / n / threads / width are parameters, not measurements — part
+    # of the identity.
+    for param in ("lanes", "n", "threads", "width"):
         if param in entry:
             labels.append((param, str(int(entry[param]))))
     return json.dumps(labels)
@@ -275,6 +296,15 @@ def main():
                         help="ORC kernel per-lane ns/step may be at most this many "
                              "times the external kernel's (skipped when either "
                              "arm is absent)")
+    # Default headroom: an odd width pays intrinsic ghost-lane work of
+    # padded/width (x17 runs the padded-20 kernel: floor 20/17 = 1.18), so
+    # 1.4 leaves ~19% for CI timing noise while still catching the 2-4x
+    # scalar cliff this gate exists to prevent.
+    parser.add_argument("--max-dynamic-width-ratio", type=float, default=1.4,
+                        help="odd-width per-lane ns/step may be at most this many "
+                             "times the neighbouring pinned row-multiple width's, "
+                             "on the interpreter and orc arms "
+                             "(BENCH_dynamic_width.json; absent arms skip)")
     parser.add_argument("--extra-json", action="append", default=[],
                         help="additional bench JSON (e.g. BENCH_table1.json) folded into "
                              "the history tracking; no single-run thresholds applied")
@@ -476,6 +506,29 @@ def main():
               f"(allowed <= {args.max_orc_step_ratio:.1f}) [{status}]")
         if ratio > args.max_orc_step_ratio:
             failures += 1
+
+    # Dynamic-width parity: an odd width must cost close to its pinned
+    # row-multiple neighbour per lane. Entries arrive through --extra-json
+    # (BENCH_dynamic_width.json); the bench drops whole arms on hosts
+    # without a compiler / an LLVM build, so each (mode, pair) guards its
+    # own entries. The native arm is informational: same generated code
+    # shape, but the external compiler's vectorizer is not ours to gate.
+    dynwidth = dynamic_width_table(tracked)
+    for mode in sorted({mode for mode, _ in dynwidth}):
+        for odd, pinned in ((7, 8), (17, 16), (33, 32)):
+            odd_ns = dynwidth.get((mode, odd))
+            pinned_ns = dynwidth.get((mode, pinned))
+            if odd_ns is None or pinned_ns is None or pinned_ns <= 0.0:
+                continue
+            ratio = odd_ns / pinned_ns
+            enforced = mode in ("interpreter", "orc")
+            status = "ok" if (not enforced or ratio <= args.max_dynamic_width_ratio) else "FAIL"
+            cap = (f"allowed <= {args.max_dynamic_width_ratio:.2f}" if enforced
+                   else "informational")
+            print(f"dynamic width {mode} x{odd}: {odd_ns:.1f} ns/step/lane vs "
+                  f"x{pinned} {pinned_ns:.1f}, ratio {ratio:.2f} ({cap}) [{status}]")
+            if enforced and ratio > args.max_dynamic_width_ratio:
+                failures += 1
 
     if args.history:
         failures += check_history(tracked, args.history, args.history_tolerance,

@@ -31,6 +31,18 @@ if(NATIVE_EXE)
   list(APPEND extra_args --extra-json ${NATIVE_JSON})
 endif()
 
+# Optionally run the dynamic-width bench: compare.py enforces the
+# odd-width vs pinned-neighbour per-lane ratio (--max-dynamic-width-ratio)
+# on the interpreter and ORC arms — the LaneLayout vector-row guarantee
+# that non-pinned widths do not fall off a scalar cliff (absent arms skip).
+if(DYNWIDTH_EXE)
+  execute_process(COMMAND ${DYNWIDTH_EXE} --json ${DYNWIDTH_JSON} RESULT_VARIABLE dynwidth_rc)
+  if(NOT dynwidth_rc EQUAL 0)
+    message(FATAL_ERROR "bench_dynamic_width_sweep failed (rc=${dynwidth_rc})")
+  endif()
+  list(APPEND extra_args --extra-json ${DYNWIDTH_JSON})
+endif()
+
 # Optionally run the sweep-service load bench: compare.py enforces the
 # warm-path floors (warm-vs-per-call interpreter, warm-vs-cold native) and
 # the p99/p50 latency-stability gate from its entries (native arms are

@@ -19,6 +19,10 @@
 // it dumps the model's generated LLVM IR, first as lowered and then after
 // the fixed optimization pipeline — the debugging surface for "what does the
 // ORC sweep backend actually run". Requires an AMSVP_WITH_LLVM=ON build.
+// Adding --vector-width prefixes the dumps with a vectorization report:
+// the runtime::LaneLayout row width the batch kernel was lowered at and
+// the explicit vector-operation counts in both dumps — the quick answer
+// to "did my model's kernel actually come out vector-native".
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +34,7 @@
 #include "codegen/codegen.hpp"
 #include "codegen/llvm_lowering.hpp"
 #include "codegen/native_jit.hpp"
+#include "runtime/lane_layout.hpp"
 #include "runtime/model_layout.hpp"
 #include "support/diagnostics.hpp"
 #include "vams/circuits.hpp"
@@ -42,7 +47,8 @@ void usage() {
     std::fprintf(stderr,
                  "usage: codegen_tool [--target cpp|sc-de|sc-tdf] [--backend cpp|orc]\n"
                  "                    [--output pos,neg] [--batch] [--keep-temps]\n"
-                 "                    [--builtin rc<N>|2in|oa|sf] [file.vams]\n");
+                 "                    [--vector-width] [--builtin rc<N>|2in|oa|sf]\n"
+                 "                    [file.vams]\n");
 }
 
 }  // namespace
@@ -58,6 +64,7 @@ int main(int argc, char** argv) {
     std::string source;
     std::string file;
     bool keep_temps = false;
+    bool vector_width_report = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -108,6 +115,8 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--batch") {
             codegen_options.batch_kernel = true;
+        } else if (arg == "--vector-width") {
+            vector_width_report = true;
         } else if (arg == "--keep-temps") {
             keep_temps = true;
         } else if (arg == "--help") {
@@ -183,12 +192,39 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "--backend orc: lowering failed: %s\n", ir_error.c_str());
             return 1;
         }
+        if (vector_width_report) {
+            const auto count = [](const std::string& text, const std::string& needle) {
+                std::size_t n = 0;
+                for (std::size_t pos = text.find(needle); pos != std::string::npos;
+                     pos = text.find(needle, pos + needle.size())) {
+                    ++n;
+                }
+                return n;
+            };
+            const std::string vec_ty =
+                "<" + std::to_string(runtime::LaneLayout::kVectorRow) + " x double>";
+            std::printf("; === vector row report ===\n");
+            std::printf("; lane row width: %d doubles (runtime::LaneLayout::kVectorRow)\n",
+                        runtime::LaneLayout::kVectorRow);
+            std::printf("; slot row stride: batch rounded up to whole rows "
+                        "(padded_width)\n");
+            std::printf("; batch kernel: explicit %s rows over every padded row "
+                        "(ghost lanes computed, never observed)\n",
+                        vec_ty.c_str());
+            std::printf("; %s occurrences: %zu lowered, %zu optimized\n", vec_ty.c_str(),
+                        count(ir->unoptimized, vec_ty), count(ir->optimized, vec_ty));
+            std::printf(";\n");
+        }
         std::printf("; === lowered LLVM IR (pre pass pipeline, LLVM %s) ===\n",
                     codegen::llvm_backend_version().c_str());
         std::fputs(ir->unoptimized.c_str(), stdout);
         std::printf("\n; === optimized LLVM IR (post fixed pass pipeline) ===\n");
         std::fputs(ir->optimized.c_str(), stdout);
         return 0;
+    }
+    if (vector_width_report) {
+        std::fprintf(stderr, "--vector-width reports on the orc backend; add --backend orc\n");
+        return 2;
     }
 
     const std::string generated = codegen::generate(*model, target, codegen_options);

@@ -52,10 +52,11 @@ struct CodegenOptions {
     bool slot_accessor = false;
     /// C++ target only: also emit a batched entry point
     /// `<type>_step_batch(double* s, int batch)` that steps `batch`
-    /// instances stored in one strided slot file (slot i of lane l at
-    /// s[i * batch + l] — the runtime BatchCompiledModel layout, fused
-    /// scratch slots included; `<type>_batch_slot_count` gives the per-lane
-    /// slot count). The kernel renders the same fused instruction stream as
+    /// instances stored in one padded strided slot file (slot i of lane l
+    /// at s[i * S + l], S = batch rounded up to whole vector rows — the
+    /// runtime::LaneLayout / BatchCompiledModel layout, fused scratch
+    /// slots included; `<type>_batch_slot_count` gives the per-lane slot
+    /// count). The kernel renders the same fused instruction stream as
     /// step(), one inner lane loop per instruction, with pinned widths
     /// 1/4/8/16/32 mirroring FusedProgram::execute_batch — so a
     /// native-compiled sweep is bit-identical to the batch interpreter lane

@@ -41,8 +41,9 @@ std::string literal(double value) {
 
 /// Renders fused instructions as C++ statements — over named variables
 /// (the scalar step() body) or over a strided batch slot file (the
-/// step_batch kernel: slot i of lane l at `s[i * B + l]`, statements meant
-/// to sit inside a per-instruction lane loop).
+/// step_batch kernel: slot i of lane l at `s[i * S + l]`, where S is the
+/// runtime::LaneLayout padded row stride the kernel computes from the lane
+/// count; statements meant to sit inside a per-instruction lane loop).
 ///
 /// Every statement performs exactly the arithmetic of the corresponding
 /// interpreter case in FusedProgram::execute_impl — same operations, same
@@ -53,7 +54,7 @@ class ProgramRenderer {
 public:
     enum class Addressing {
         kNamed,    ///< model slots as named members, scratch as `_t<n>` locals
-        kStrided,  ///< every slot as `s[<slot> * B + l]` (batch kernel)
+        kStrided,  ///< every slot as `s[<slot> * S + l]` (batch kernel)
     };
 
     ProgramRenderer(const FusedProgram& program, const std::vector<std::string>& slot_names,
@@ -189,7 +190,7 @@ private:
             return literal(it->second);
         }
         if (addressing_ == Addressing::kStrided) {
-            return "s[" + std::to_string(slot) + " * B + l]";
+            return "s[" + std::to_string(slot) + " * S + l]";
         }
         if (slot < static_cast<std::int32_t>(slot_names_.size())) {
             return slot_names_[static_cast<std::size_t>(slot)];
@@ -311,12 +312,15 @@ EmitPlan build_plan(const SignalFlowModel& model, const CodegenOptions& options)
     if (options.batch_kernel) {
         // The strided form of the same program: each statement re-renders
         // with slot-file addressing and gets its own lane loop, exactly the
-        // shape of FusedProgram::execute_impl's per-instruction loops.
+        // shape of FusedProgram::execute_impl's per-instruction loops. The
+        // loops run to L — the full padded row for dynamic widths, so ghost
+        // lanes compute as throwaway instances instead of leaving the
+        // compiler a non-row-multiple trip count to peel a tail for.
         ProgramRenderer strided(layout->fused_program(), plan.slot_names,
                                 layout->time_slot(),
                                 ProgramRenderer::Addressing::kStrided);
         for (const FusedInstr& instr : layout->fused_program().instructions()) {
-            plan.batch_statements.push_back("for (int l = 0; l < B; ++l) " +
+            plan.batch_statements.push_back("for (int l = 0; l < L; ++l) " +
                                             strided.statement(instr));
         }
         // Rotation rows from the runtime layout (lane loops instead of the
@@ -324,8 +328,8 @@ EmitPlan build_plan(const SignalFlowModel& model, const CodegenOptions& options)
         for (const runtime::ModelLayout::SymbolSlots& r : layout->rotations()) {
             for (int k = r.depth; k >= 1; --k) {
                 plan.batch_rotations.push_back(
-                    "for (int l = 0; l < B; ++l) s[" + std::to_string(r.base + k) +
-                    " * B + l] = s[" + std::to_string(r.base + k - 1) + " * B + l];");
+                    "for (int l = 0; l < L; ++l) s[" + std::to_string(r.base + k) +
+                    " * S + l] = s[" + std::to_string(r.base + k - 1) + " * S + l];");
             }
         }
     }

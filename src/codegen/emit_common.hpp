@@ -69,9 +69,12 @@ struct EmitPlan {
     /// Slot of $abstime (the batch kernel's caller writes the time row).
     int time_slot = -1;
     /// Batched form of the program, filled only when
-    /// CodegenOptions::batch_kernel is set: one `for (int l = 0; l < B;
-    /// ++l) ...` statement per fused instruction over a strided slot file
-    /// `double* s` with lane count `B` (slot i of lane l at s[i * B + l]).
+    /// CodegenOptions::batch_kernel is set: one `for (int l = 0; l < L;
+    /// ++l) ...` statement per fused instruction over a padded strided slot
+    /// file `double* s` with runtime::LaneLayout row stride `S` (slot i of
+    /// lane l at s[i * S + l]); L is the lane count for pinned widths and
+    /// the whole padded row for dynamic ones (ghost lanes compute as
+    /// throwaway instances, never observed).
     /// Scratch registers address their strided slot-file rows, pooled
     /// constants inline as literals — the per-lane arithmetic is exactly
     /// the scalar statement stream's.

@@ -12,7 +12,6 @@
 #include <llvm/IR/Function.h>
 #include <llvm/IR/IRBuilder.h>
 #include <llvm/IR/Intrinsics.h>
-#include <llvm/IR/MDBuilder.h>
 #include <llvm/IR/Verifier.h>
 #include <llvm/Passes/PassBuilder.h>
 #include <llvm/Support/Error.h>
@@ -21,6 +20,7 @@
 #include <llvm/Target/TargetMachine.h>
 
 #include "codegen/llvm_lowering_internal.hpp"
+#include "runtime/lane_layout.hpp"
 #include "support/check.hpp"
 
 namespace amsvp::codegen {
@@ -43,6 +43,21 @@ namespace {
 /// flags, multiplies and adds stay separate instructions (no llvm.fmuladd,
 /// no `contract`), and every libm call is nobuiltin so the pass pipeline
 /// cannot swap in a differently-rounded replacement.
+///
+/// The batch function is vector-native: it iterates the runtime::LaneLayout
+/// rows explicitly — one loop stepping LaneLayout::kVectorRow lanes at a
+/// time with every fused instruction lowered to <4 x double> operations —
+/// instead of asking the loop vectorizer to rediscover the shape. The loop
+/// covers every padded row, ghost lanes included: a non-row-multiple batch
+/// computes its padding lanes as throwaway extra instances rather than
+/// peeling a scalar tail, so an odd width costs exactly what the next
+/// row-multiple width costs (no per-instruction scalar epilogue). Lanes
+/// are mutually independent (each lane's slot column, scratch included, is
+/// a complete state machine), so running whole rows through the program
+/// rather than the whole batch through each instruction permutes only the
+/// order in which independent lane results are produced — and ghost-lane
+/// results are never observed: every live lane still executes exactly the
+/// scalar instruction sequence, bit for bit.
 class StepFunctionLowering {
 public:
     StepFunctionLowering(llvm::Module& module, const runtime::ModelLayout& layout,
@@ -53,7 +68,10 @@ public:
           scalar_(scalar),
           builder_(module.getContext()),
           f64_(llvm::Type::getDoubleTy(ctx_)),
-          i64_(llvm::Type::getInt64Ty(ctx_)) {}
+          i64_(llvm::Type::getInt64Ty(ctx_)),
+          vec_ty_(llvm::FixedVectorType::get(
+              llvm::Type::getDoubleTy(module.getContext()),
+              static_cast<unsigned>(runtime::LaneLayout::kVectorRow))) {}
 
     void run() {
         llvm::SmallVector<llvm::Type*, 2> params{llvm::PointerType::getUnqual(f64_)};
@@ -74,18 +92,45 @@ public:
         slots_->setName("slots");
 
         builder_.SetInsertPoint(llvm::BasicBlock::Create(ctx_, "entry", fn_));
+        const expr::FusedProgram& program = layout_.fused_program();
         if (scalar_) {
+            // The scalar step is the batch's lane-0 specialization over a
+            // contiguous (stride 1) slot file — no loops at all.
             batch64_ = llvm::ConstantInt::get(i64_, 1);
-        } else {
-            llvm::Argument* batch = fn_->getArg(1);
-            batch->setName("batch");
-            batch64_ = builder_.CreateSExt(batch, i64_, "batch64");
+            stride64_ = batch64_;
+            llvm::Value* lane0 = llvm::ConstantInt::get(i64_, 0);
+            for (const expr::FusedInstr& instr : program.instructions()) {
+                emit_instruction(instr, lane0);
+            }
+            emit_history_rotations();
+            builder_.CreateRetVoid();
+            return;
         }
 
-        const expr::FusedProgram& program = layout_.fused_program();
-        for (const expr::FusedInstr& instr : program.instructions()) {
-            emit_lane_loop([&](llvm::Value* lane) { emit_instruction(instr, lane); });
-        }
+        llvm::Argument* batch = fn_->getArg(1);
+        batch->setName("batch");
+        batch64_ = builder_.CreateSExt(batch, i64_, "batch64");
+        const std::int64_t row = runtime::LaneLayout::kVectorRow;
+        // stride = padded_width(batch) — the LaneLayout row arithmetic on
+        // power-of-two kVectorRow.
+        llvm::Value* row_minus_1 = llvm::ConstantInt::get(i64_, row - 1);
+        llvm::Value* row_mask = llvm::ConstantInt::get(i64_, ~(row - 1));
+        stride64_ = builder_.CreateAnd(builder_.CreateAdd(batch64_, row_minus_1),
+                                       row_mask, "stride64");
+
+        // Every padded row as full vector rows: each instruction is one
+        // <kVectorRow x double> operation per row. Ghost lanes ([batch,
+        // stride) of the last row) compute alongside the live ones — their
+        // results are never observed, and paying one throwaway column beats
+        // a per-instruction scalar tail at every non-row-multiple width.
+        vector_ = true;
+        emit_counted_loop(llvm::ConstantInt::get(i64_, 0), stride64_, row, "row",
+                          [&](llvm::Value* lane) {
+                              for (const expr::FusedInstr& instr : program.instructions()) {
+                                  emit_instruction(instr, lane);
+                              }
+                          });
+        vector_ = false;
         emit_history_rotations();
         builder_.CreateRetVoid();
     }
@@ -93,20 +138,41 @@ public:
 private:
     [[nodiscard]] llvm::Value* slot_addr(std::int64_t slot, llvm::Value* lane) {
         llvm::Value* row =
-            builder_.CreateMul(llvm::ConstantInt::get(i64_, slot), batch64_);
+            builder_.CreateMul(llvm::ConstantInt::get(i64_, slot), stride64_);
         return builder_.CreateInBoundsGEP(f64_, slots_, builder_.CreateAdd(row, lane));
     }
 
+    /// The lane address as a <kVectorRow x double>* (typed pointers: the
+    /// GEP yields double*, the row ops need the vector view of it).
+    [[nodiscard]] llvm::Value* row_addr(std::int64_t slot, llvm::Value* lane) {
+        return builder_.CreateBitCast(slot_addr(slot, lane),
+                                      llvm::PointerType::getUnqual(vec_ty_));
+    }
+
     [[nodiscard]] llvm::Value* load_slot(std::int64_t slot, llvm::Value* lane) {
+        if (vector_) {
+            // Rows are only guaranteed 8-byte aligned (stride is a lane
+            // count, not a byte alignment), so say so explicitly.
+            return builder_.CreateAlignedLoad(vec_ty_, row_addr(slot, lane),
+                                              llvm::Align(alignof(double)));
+        }
         return builder_.CreateLoad(f64_, slot_addr(slot, lane));
     }
 
     void store_slot(std::int64_t slot, llvm::Value* lane, llvm::Value* value) {
+        if (vector_) {
+            builder_.CreateAlignedStore(value, row_addr(slot, lane),
+                                        llvm::Align(alignof(double)));
+            return;
+        }
         builder_.CreateStore(value, slot_addr(slot, lane));
     }
 
+    /// An fp immediate — splatted across the row in vector mode, so the
+    /// instruction emitters below are width-agnostic.
     [[nodiscard]] llvm::Constant* fp(double value) {
-        return llvm::ConstantFP::get(f64_, value);
+        return llvm::ConstantFP::get(vector_ ? static_cast<llvm::Type*>(vec_ty_) : f64_,
+                                     value);
     }
 
     /// C++'s `cond ? 1.0 : 0.0` over an i1.
@@ -121,9 +187,29 @@ private:
 
     /// Declared-only libm call, nobuiltin at the call site: the symbol
     /// resolves to this process's own libm, the exact functions the fused
-    /// interpreter calls through <cmath>.
+    /// interpreter calls through <cmath>. libm has no vector ABI here, so
+    /// in vector mode the row scalarizes — extract each live lane, call,
+    /// reinsert — preserving the exact per-lane libm rounding.
     [[nodiscard]] llvm::Value* call_libm(llvm::StringRef name,
                                          llvm::ArrayRef<llvm::Value*> args) {
+        if (!vector_) {
+            return scalar_libm_call(name, args);
+        }
+        llvm::Value* result = llvm::UndefValue::get(vec_ty_);
+        for (unsigned j = 0; j < static_cast<unsigned>(runtime::LaneLayout::kVectorRow);
+             ++j) {
+            llvm::SmallVector<llvm::Value*, 2> lane_args;
+            for (llvm::Value* arg : args) {
+                lane_args.push_back(builder_.CreateExtractElement(arg, j));
+            }
+            result = builder_.CreateInsertElement(
+                result, scalar_libm_call(name, lane_args), j);
+        }
+        return result;
+    }
+
+    [[nodiscard]] llvm::Value* scalar_libm_call(llvm::StringRef name,
+                                                llvm::ArrayRef<llvm::Value*> args) {
         llvm::SmallVector<llvm::Type*, 2> params(args.size(), f64_);
         llvm::FunctionCallee callee = module_.getOrInsertFunction(
             name, llvm::FunctionType::get(f64_, params, /*isVarArg=*/false));
@@ -135,52 +221,38 @@ private:
         return call;
     }
 
+    /// llvm.sqrt / llvm.fabs — IEEE-exact, and defined directly on vector
+    /// types, so the same call works at both widths.
     [[nodiscard]] llvm::Value* call_intrinsic(llvm::Intrinsic::ID id, llvm::Value* arg) {
         return builder_.CreateUnaryIntrinsic(id, arg);
     }
 
-    /// One `for (lane = 0; lane < batch; ++lane)` loop around `body`,
-    /// annotated llvm.loop.vectorize.enable; the scalar function inlines
-    /// the body at lane 0 instead. `body` must stay straight-line (every
-    /// FusedOp lowers to loads, arithmetic and selects — no new blocks).
-    void emit_lane_loop(const std::function<void(llvm::Value*)>& body) {
-        if (scalar_) {
-            body(llvm::ConstantInt::get(i64_, 0));
-            return;
-        }
+    /// One `for (lane = begin; lane < end; lane += step)` loop around
+    /// `body`. No vectorization metadata: the body already is the final
+    /// (vector or scalar) shape. `body` must stay straight-line (every
+    /// FusedOp lowers to loads, arithmetic, selects and calls — no new
+    /// blocks).
+    void emit_counted_loop(llvm::Value* begin, llvm::Value* end, std::int64_t step,
+                           llvm::StringRef name,
+                           const std::function<void(llvm::Value*)>& body) {
         llvm::BasicBlock* preheader = builder_.GetInsertBlock();
-        auto* header = llvm::BasicBlock::Create(ctx_, "lane.head", fn_);
-        auto* body_bb = llvm::BasicBlock::Create(ctx_, "lane.body", fn_);
-        auto* exit = llvm::BasicBlock::Create(ctx_, "lane.exit", fn_);
+        auto* header = llvm::BasicBlock::Create(ctx_, llvm::Twine(name) + ".head", fn_);
+        auto* body_bb = llvm::BasicBlock::Create(ctx_, llvm::Twine(name) + ".body", fn_);
+        auto* exit = llvm::BasicBlock::Create(ctx_, llvm::Twine(name) + ".exit", fn_);
         builder_.CreateBr(header);
 
         builder_.SetInsertPoint(header);
-        llvm::PHINode* lane = builder_.CreatePHI(i64_, 2, "lane");
-        lane->addIncoming(llvm::ConstantInt::get(i64_, 0), preheader);
-        builder_.CreateCondBr(builder_.CreateICmpSLT(lane, batch64_), body_bb, exit);
+        llvm::PHINode* lane = builder_.CreatePHI(i64_, 2, llvm::Twine(name) + ".lane");
+        lane->addIncoming(begin, preheader);
+        builder_.CreateCondBr(builder_.CreateICmpSLT(lane, end), body_bb, exit);
 
         builder_.SetInsertPoint(body_bb);
         body(lane);
-        llvm::Value* next = builder_.CreateAdd(lane, llvm::ConstantInt::get(i64_, 1));
+        llvm::Value* next = builder_.CreateAdd(lane, llvm::ConstantInt::get(i64_, step));
         lane->addIncoming(next, builder_.GetInsertBlock());
-        llvm::BranchInst* latch = builder_.CreateBr(header);
-        latch->setMetadata(llvm::LLVMContext::MD_loop, loop_metadata());
+        builder_.CreateBr(header);
 
         builder_.SetInsertPoint(exit);
-    }
-
-    /// A fresh self-referential loop-ID node per loop, carrying
-    /// llvm.loop.vectorize.enable.
-    [[nodiscard]] llvm::MDNode* loop_metadata() {
-        llvm::Metadata* enable_ops[] = {
-            llvm::MDString::get(ctx_, "llvm.loop.vectorize.enable"),
-            llvm::ConstantAsMetadata::get(
-                llvm::ConstantInt::getTrue(llvm::Type::getInt1Ty(ctx_)))};
-        llvm::TempMDTuple temp = llvm::MDNode::getTemporary(ctx_, llvm::None);
-        llvm::Metadata* ops[] = {temp.get(), llvm::MDNode::get(ctx_, enable_ops)};
-        llvm::MDNode* id = llvm::MDNode::get(ctx_, ops);
-        id->replaceOperandWith(0, id);
-        return id;
     }
 
     /// The per-lane arithmetic of one fused instruction — the exact IR
@@ -343,10 +415,11 @@ private:
 
     /// Rotate history rows after the program, deepest row first — the IR
     /// image of BatchCompiledModel::step's memcpy loop (and the external
-    /// kernel's): row (base+k) <- row (base+k-1), batch doubles each.
+    /// kernel's): row (base+k) <- row (base+k-1), one padded row each
+    /// (copying the pad columns is harmless — they are zero on both sides).
     void emit_history_rotations() {
         llvm::Value* row_bytes =
-            builder_.CreateMul(batch64_, llvm::ConstantInt::get(i64_, sizeof(double)));
+            builder_.CreateMul(stride64_, llvm::ConstantInt::get(i64_, sizeof(double)));
         llvm::Value* lane0 = llvm::ConstantInt::get(i64_, 0);
         for (const runtime::ModelLayout::SymbolSlots& rotation : layout_.rotations()) {
             for (int k = rotation.depth; k >= 1; --k) {
@@ -365,9 +438,12 @@ private:
     llvm::IRBuilder<> builder_;
     llvm::Type* f64_;
     llvm::Type* i64_;
+    llvm::FixedVectorType* vec_ty_;
     llvm::Function* fn_ = nullptr;
     llvm::Value* slots_ = nullptr;
     llvm::Value* batch64_ = nullptr;
+    llvm::Value* stride64_ = nullptr;  ///< LaneLayout::padded_width(batch)
+    bool vector_ = false;  ///< emit <kVectorRow x double> ops instead of scalars
 };
 
 }  // namespace
@@ -395,17 +471,17 @@ void run_opt_pipeline(llvm::Module& module, llvm::TargetMachine* tm) {
     pb.registerLoopAnalyses(lam);
     pb.crossRegisterProxies(lam, fam, cgam, mam);
     llvm::ModulePassManager mpm;
-    // early-cse shares the repeated slot loads, loop-rotate puts the lane
-    // loop into the bottom-tested form the vectorizer wants, loop-vectorize
-    // honors the llvm.loop.vectorize.enable annotation, and the trailing
-    // instcombine/simplifycfg clean up the vector bodies. This is the
-    // subset of O2 that pays for itself on straight-line step kernels —
-    // the full default<O2> pipeline costs ~4x the walltime here for no
-    // measurable steady-state gain. None of these passes contract FP (the
-    // lowering emits no `contract`/`fast` flags for them to act on).
-    const char* pipeline =
-        "function(early-cse<memssa>,instcombine,loop-mssa(loop-rotate),"
-        "loop-vectorize,instcombine,simplifycfg)";
+    // The lowering already emits the final vector shape (explicit
+    // <kVectorRow x double> rows over every padded row), so there is no
+    // loop-rotate/loop-vectorize stage anymore: early-cse shares the
+    // repeated slot loads and GEP arithmetic, instcombine folds the
+    // splat/extract/insert traffic around scalarized libm calls, and
+    // simplifycfg tidies the loop skeletons. This is the subset of O2 that
+    // pays for itself on straight-line step kernels — the full default<O2>
+    // pipeline costs ~4x the walltime here for no measurable steady-state
+    // gain. None of these passes contract FP (the lowering emits no
+    // `contract`/`fast` flags for them to act on).
+    const char* pipeline = "function(early-cse<memssa>,instcombine,simplifycfg)";
     if (llvm::Error err = pb.parsePassPipeline(mpm, pipeline)) {
         // Unreachable with a healthy LLVM, but a typo in the string must
         // degrade to a working (if slower) compile, not a lost kernel.

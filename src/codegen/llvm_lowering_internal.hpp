@@ -42,22 +42,27 @@ struct LoweredModule {
 
 /// Lower `layout`'s fused program (all opcodes, history rotations
 /// included) into a fresh module defining kStepSymbol and
-/// kStepBatchSymbol. Never applies fast-math or contract flags; libm
-/// calls are declared, nobuiltin, unresolved — the JIT binds them to the
-/// process's own libm. Aborts on an unknown opcode (impossible by
-/// construction: the switch covers the enum).
+/// kStepBatchSymbol. The batch function is vector-native: explicit
+/// <runtime::LaneLayout::kVectorRow x double> rows over every padded row
+/// of the strided slot file (ghost lanes compute as throwaway instances;
+/// no scalar tail) — no vectorization metadata, no reliance on
+/// loop-vectorize. Never applies fast-math or contract flags;
+/// libm calls are declared, nobuiltin, unresolved (scalarized per lane in
+/// the vector rows) — the JIT binds them to the process's own libm.
+/// Aborts on an unknown opcode (impossible by construction: the switch
+/// covers the enum).
 [[nodiscard]] LoweredModule lower_model(const runtime::ModelLayout& layout);
 
 /// Run the fixed compile-latency-tuned new-pass-manager pipeline over
-/// `module` in place: early-cse / instcombine / loop-rotate /
-/// loop-vectorize / instcombine / simplifycfg — the handful of passes
-/// that pay for themselves on straight-line step kernels, at a fraction
-/// of the default O2 pipeline's walltime (the point of JITting
+/// `module` in place: early-cse / instcombine / simplifycfg — the handful
+/// of passes that pay for themselves on kernels lowered straight to their
+/// final vector shape (no loop-rotate/loop-vectorize stage anymore), at a
+/// fraction of the default O2 pipeline's walltime (the point of JITting
 /// in-process is the cold-compile latency). `tm` supplies the target
-/// analyses (vector widths etc.) and may be null for a target-agnostic
-/// run. FP contraction stays off by construction: the pipeline can only
-/// contract where instructions carry `contract`/`fast` flags, and
-/// lower_model emits none.
+/// analyses and may be null for a target-agnostic run. FP contraction
+/// stays off by construction: the pipeline can only contract where
+/// instructions carry `contract`/`fast` flags, and lower_model emits
+/// none.
 void run_opt_pipeline(llvm::Module& module, llvm::TargetMachine* tm);
 
 /// print() the module to a string (pre/post-pipeline dumps).

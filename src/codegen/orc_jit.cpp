@@ -55,9 +55,10 @@ std::unique_ptr<OrcBatchModel> OrcBatchModel::compile(
 void OrcBatchModel::step(double time_seconds) {
     double* slots = slot_data();
     const int lanes = batch();
-    double* time_lane = slots + static_cast<std::size_t>(layout()->time_slot()) *
-                                    static_cast<std::size_t>(lanes);
-    for (int l = 0; l < lanes; ++l) {
+    double* time_lane = slot_row(layout()->time_slot());
+    // Padded row: the kernel computes the ghost lanes too.
+    const int padded = runtime::LaneLayout::padded_width(lanes);
+    for (int l = 0; l < padded; ++l) {
         time_lane[l] = time_seconds;
     }
     program_->step_batch(slots, lanes);

@@ -23,13 +23,18 @@
 // per lane, cheap in batch execution.
 //
 // Execution has two entry points over the same instruction semantics:
-// execute() for one instance, and execute_batch() for N instances stored in
-// one strided slot file (slot i of lane l at slots[i * batch + l], lanes
-// contiguous so every instruction becomes an auto-vectorizable loop across
-// instances). The scalar path is the batch == 1 specialization of the same
+// execute() for one instance (contiguous slot file, stride 1), and
+// execute_batch() for N instances stored in one padded strided slot file
+// following runtime::LaneLayout: slot i of lane l at
+// slots[i * LaneLayout::padded_width(batch) + l], lanes row-minor. Pinned
+// row-multiple widths run constant-trip lane loops; every other width runs
+// constant-trip row blocks over the whole padded width — ghost lanes
+// compute as throwaway instances, so odd widths vectorize with no scalar
+// tail. The scalar path is the batch == 1 specialization of the same
 // interpreter body — there is one source of truth for operator semantics.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -131,17 +136,21 @@ public:
     /// file is (re)initialised, before the first execute().
     void initialize_constants(double* slots) const;
 
-    /// Batch variant: broadcast every pooled constant across all `batch`
-    /// lanes of a strided slot file.
+    /// Batch variant: broadcast every pooled constant across the `batch`
+    /// live lanes of a runtime::LaneLayout slot file (row stride
+    /// LaneLayout::padded_width(batch); padding lanes stay untouched).
     void initialize_constants_batch(double* slots, int batch) const;
 
     /// Run the whole program: every assignment, in order, one pass.
     void execute(double* slots) const;
 
-    /// Run the whole program over `batch` instances at once. Slot i of lane
-    /// l lives at slots[i * batch + l]; every instruction loops over the
-    /// contiguous lane dimension (SIMD across instances). batch == 1 is
-    /// exactly execute().
+    /// Run the whole program over `batch` instances at once. The slot file
+    /// follows runtime::LaneLayout — slot i of lane l at
+    /// slots[i * LaneLayout::padded_width(batch) + l] — and every
+    /// instruction runs whole kVectorRow-wide lane rows across the padded
+    /// width (SIMD across instances at any width; ghost lanes compute as
+    /// throwaway instances, never observed). Per-lane arithmetic is
+    /// exactly execute()'s.
     void execute_batch(double* slots, int batch) const;
 
     [[nodiscard]] const std::vector<FusedInstr>& instructions() const { return code_; }
@@ -165,8 +174,14 @@ private:
 
     /// Shared interpreter body; kStaticBatch > 0 pins the lane count at
     /// compile time (1 = the scalar specialization), 0 reads `batch`.
-    template <int kStaticBatch>
-    void execute_impl(double* slots, int batch) const;
+    /// kStaticStride likewise pins the slot-row stride (the pinned batch
+    /// widths are row-multiples, so their stride equals the lane count;
+    /// the scalar execute() runs stride 1, a width-1 batch row stride
+    /// LaneLayout::padded_width(1)). The dynamic form (0, 0) iterates
+    /// constant-trip row blocks over the whole padded width, per
+    /// LaneLayout — ghost lanes included, no scalar tail.
+    template <int kStaticBatch, int kStaticStride>
+    void execute_impl(double* slots, int batch, std::ptrdiff_t stride) const;
 
     std::vector<FusedInstr> code_;
     std::vector<LinTerm> lin_terms_;

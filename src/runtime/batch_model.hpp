@@ -1,13 +1,19 @@
 // Batched multi-instance execution: many instances of one model, one fused
-// instruction stream, one strided slot file.
+// instruction stream, one vector-row slot file.
 //
 // Parameter sweeps, Monte-Carlo corners and per-user model instances run
 // the *same* compiled program with different data. BatchCompiledModel
-// stores all instances in a structure-of-arrays slot file — slot i of lane
-// l lives at slots[i * batch + l], lanes contiguous — so each fused
-// instruction becomes one loop across instances that the compiler
-// auto-vectorizes (SIMD across lanes). One ModelLayout is shared by the
-// whole batch: N instances cost one compile and one cache-resident heap.
+// stores all instances in the runtime::LaneLayout AoSoA layout — slot i of
+// lane l lives at slots[i * LaneLayout::padded_width(batch) + l], rows
+// slot-major, lanes row-minor, each row padded to whole
+// LaneLayout::kVectorRow vector rows — so each fused instruction becomes
+// explicit vector rows across instances (SIMD across lanes at *any* width,
+// not just the pinned ones). Live lanes of one slot stay contiguous, so
+// output rows are still zero-copy; the padding columns are ghost lanes —
+// computed by the dynamic kernels as throwaway extra instances (no scalar
+// tail to peel) but never observed by outputs, health scans or compaction.
+// One ModelLayout is shared by the whole batch: N instances cost one
+// compile and one cache-resident heap.
 //
 // Lane semantics are identical to a scalar CompiledModel stepped with the
 // same inputs — the scalar path is literally the batch == 1 specialization
@@ -20,6 +26,7 @@
 
 #include "abstraction/signal_flow_model.hpp"
 #include "runtime/batch_executor.hpp"
+#include "runtime/lane_layout.hpp"
 #include "runtime/model_layout.hpp"
 
 namespace amsvp::runtime {
@@ -35,11 +42,15 @@ public:
         int count = 0;
     };
 
-    /// The interpreter's widest always-pinned batch width: shard boundaries
-    /// land on multiples of it so every shard except possibly the last
-    /// dispatches through a pinned-width kernel instead of the dynamic
-    /// chunk loop.
-    static constexpr int kLaneChunk = 8;
+    /// Shard granularity, derived from the hardware vector row (single
+    /// source of truth in runtime::LaneLayout): two vector rows, which is
+    /// also the narrowest pinned batch width above one. Shard boundaries
+    /// land on multiples of it, so a boundary can never split a vector row
+    /// and every shard except possibly the last dispatches through a
+    /// pinned-width kernel instead of the dynamic row loop.
+    static constexpr int kLaneChunk = 2 * LaneLayout::kVectorRow;
+    static_assert(kLaneChunk % LaneLayout::kVectorRow == 0,
+                  "shard boundaries must be vector-row aligned");
 
     /// Partition `lanes` into at most `max_shards` contiguous LaneRanges
     /// split only at kLaneChunk boundaries, as evenly as the chunk
@@ -118,20 +129,26 @@ public:
     [[nodiscard]] const std::shared_ptr<const ModelLayout>& layout() const { return layout_; }
 
 protected:
-    /// The strided slot file (derived backends step it with their own
-    /// kernel; layout()->slot_count() rows of batch() lanes).
+    /// The padded slot file (derived backends step it with their own
+    /// kernel; layout()->slot_count() rows of padded_width(batch()) lanes,
+    /// batch() of them live per row).
     [[nodiscard]] double* slot_data() { return slots_.data(); }
+
+    /// Start of one slot's lane row — the addressing helper derived
+    /// backends must use instead of re-deriving the stride (their kernels
+    /// recompute LaneLayout::padded_width(batch) internally from the lane
+    /// count, so both sides agree by construction).
+    [[nodiscard]] double* slot_row(int slot) { return slots_.data() + at(slot, 0); }
 
 private:
     [[nodiscard]] std::size_t at(int slot, int lane) const {
-        return static_cast<std::size_t>(slot) * static_cast<std::size_t>(batch_) +
-               static_cast<std::size_t>(lane);
+        return LaneLayout::index(slot, lane, batch_);
     }
 
     std::shared_ptr<const ModelLayout> layout_;
     int batch_ = 1;              ///< current width (<= constructed_batch_ after compaction)
     int constructed_batch_ = 1;  ///< width at construction; reset() restores it
-    std::vector<double> slots_;  ///< slot-major, lane-contiguous (SoA)
+    std::vector<double> slots_;  ///< LaneLayout AoSoA: slot-major padded rows
 };
 
 }  // namespace amsvp::runtime

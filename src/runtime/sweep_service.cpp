@@ -10,6 +10,7 @@
 #include "codegen/native_batch.hpp"
 #include "codegen/orc_jit.hpp"
 #include "expr/printer.hpp"
+#include "runtime/lane_layout.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
 
@@ -489,8 +490,8 @@ std::unique_ptr<BatchExecutor> SweepService::acquire_executor(
         return executor;
     }
     executors_built_.fetch_add(1, std::memory_order_relaxed);
-    slot_doubles_built_.fetch_add(
-        layout->slot_count() * static_cast<std::size_t>(width), std::memory_order_relaxed);
+    slot_doubles_built_.fetch_add(LaneLayout::slot_file_size(layout->slot_count(), width),
+                                  std::memory_order_relaxed);
     if (orc_program != nullptr) {
         return std::make_unique<codegen::OrcBatchModel>(orc_program, width);
     }

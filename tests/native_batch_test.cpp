@@ -98,9 +98,16 @@ TEST(NativeBatchEmission, StepBatchKernelRendersStridedLaneLoops) {
         EXPECT_NE(src.find(width), std::string::npos) << width;
     }
     EXPECT_NE(src.find("m_step_batch_impl<0>(s, batch)"), std::string::npos);
-    // Statements are strided lane loops over the slot file.
-    EXPECT_NE(src.find("for (int l = 0; l < B; ++l) s["), std::string::npos);
-    EXPECT_NE(src.find(" * B + l]"), std::string::npos);
+    // Statements are strided lane loops over the padded slot file: the
+    // kernel derives the LaneLayout row stride S from the lane count and
+    // loops the whole padded row at dynamic widths (L == S: ghost lanes
+    // compute as throwaway instances, no scalar tail).
+    EXPECT_NE(src.find("const int S = kStaticBatch > 0 ? ((kStaticBatch + 3) & ~3)"
+                       " : ((batch + 3) & ~3);"),
+              std::string::npos);
+    EXPECT_NE(src.find("const int L = kStaticBatch > 0 ? B : S;"), std::string::npos);
+    EXPECT_NE(src.find("for (int l = 0; l < L; ++l) s["), std::string::npos);
+    EXPECT_NE(src.find(" * S + l]"), std::string::npos);
 
     // The per-lane slot count matches the runtime layout the batch
     // interpreter allocates (model slots + fused scratch).

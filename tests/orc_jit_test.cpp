@@ -112,8 +112,17 @@ TEST(OrcJitLowering, EmitsBothEntryPointsWithoutFastMath) {
         EXPECT_EQ(text->find(" contract "), std::string::npos);
         EXPECT_EQ(text->find("llvm.fmuladd"), std::string::npos);
     }
-    // The lane loop is annotated for vectorization.
-    EXPECT_NE(ir->unoptimized.find("llvm.loop.vectorize.enable"), std::string::npos);
+    // The batch kernel is vector-native: explicit <4 x double> rows in the
+    // lowered IR (both dumps — the shape does not depend on any
+    // vectorization pass), no loop-vectorize annotation left anywhere, and
+    // no scalar tail loop either — the row loop covers every padded row,
+    // ghost lanes included.
+    for (const std::string* text : {&ir->unoptimized, &ir->optimized}) {
+        EXPECT_NE(text->find("<4 x double>"), std::string::npos);
+        EXPECT_EQ(text->find("llvm.loop.vectorize.enable"), std::string::npos);
+    }
+    EXPECT_NE(ir->unoptimized.find("row.body"), std::string::npos);
+    EXPECT_EQ(ir->unoptimized.find("tail.body"), std::string::npos);
 }
 
 TEST(OrcJitLowering, UnavailableBuildReportsCleanError) {
@@ -138,8 +147,8 @@ TEST(OrcJitModel, SlotFileMatchesInterpreterSlotForSlot) {
         GTEST_SKIP() << "built with AMSVP_WITH_LLVM=OFF";
     }
     const auto model = ladder_model(5);
-    // Width 5: not a multiple of any vector width, so the strided lane
-    // loop's scalar tail is covered too.
+    // Width 5: not a row-multiple, so the last padded row mixes one live
+    // lane with three computed ghost lanes.
     constexpr int kWidth = 5;
     std::string error;
     auto orc = OrcBatchModel::compile(model, kWidth, &error);
@@ -211,14 +220,16 @@ TEST(OrcJitModel, ScalarStepMatchesBatchWidthOne) {
     ASSERT_NE(program, nullptr) << error;
 
     // Drive the scalar entry point over a hand-held contiguous slot file
-    // (a width-1 strided file IS contiguous) against the width-1 batch.
+    // (stride 1 — a width-1 *batch* file is padded to a whole vector row,
+    // so it uses the scalar initializer, not the batch one) against the
+    // width-1 batch.
     OrcBatchModel batch(program, 1);
     const auto& layout = program->layout();
     std::vector<double> slots(layout->slot_count(), 0.0);
     for (const auto& [slot, value] : layout->initial_values()) {
         slots[static_cast<std::size_t>(slot)] = value;
     }
-    layout->fused_program().initialize_constants_batch(slots.data(), 1);
+    layout->fused_program().initialize_constants(slots.data());
 
     const int input_slot = layout->input_slots().front();
     const int time_slot = layout->time_slot();
