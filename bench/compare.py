@@ -181,6 +181,13 @@ def lane_health_scan_entry(results):
     return None
 
 
+def ir_verifier_entry(results):
+    for entry in results:
+        if entry.get("name") == "ir_verifier":
+            return entry
+    return None
+
+
 def hardware_threads(results):
     for entry in results:
         if entry.get("name") == "host_info":
@@ -271,6 +278,10 @@ def main():
                         help="required worker-pool-vs-single sweep speedup (default: 2.0)")
     parser.add_argument("--threads-floor-lanes", type=int, default=32,
                         help="enforce the worker-pool floor at widths >= this (default: 32)")
+    parser.add_argument("--max-verify-pct", type=float, default=5.0,
+                        help="max IR-verifier cost as a percentage of one RC20 "
+                             "cold fused compile (the Release-build cache-admission "
+                             "overhead)")
     parser.add_argument("--max-scan-pct", type=float, default=2.0,
                         help="allowed amortized lane-health-scan cost as a percentage of "
                              "one batch step at width 32 (default: 2.0)")
@@ -400,6 +411,24 @@ def main():
               f"step {step_ns:.1f} ns, amortized {amortized_pct:.2f}% of a step at "
               f"interval {interval:.0f} (allowed <= {args.max_scan_pct:.1f}%) [{status}]")
         if amortized_pct > args.max_scan_pct:
+            failures += 1
+
+    # IR verifier overhead: Release pays one verify_layout per model at
+    # ModelCache admission, so the gate is verification as a fraction of
+    # the cold fused compile it is attached to.
+    verifier = ir_verifier_entry(results)
+    if verifier is None:
+        print(f"error: no ir_verifier result in {args.json_path}", file=sys.stderr)
+        failures += 1
+    else:
+        verify_ns = float(verifier["ns_per_verify"])
+        compile_ns = float(verifier["compile_ns"])
+        verify_pct = 100.0 * verify_ns / compile_ns
+        status = "ok" if verify_pct <= args.max_verify_pct else "FAIL"
+        print(f"ir_verifier RC20: verify {verify_ns:.1f} ns, cold compile "
+              f"{compile_ns:.1f} ns, {verify_pct:.2f}% of compile "
+              f"(allowed <= {args.max_verify_pct:.1f}%) [{status}]")
+        if verify_pct > args.max_verify_pct:
             failures += 1
 
     tracked = list(results)

@@ -24,6 +24,7 @@
 #include <functional>
 #include <random>
 
+#include "analysis/verifier.hpp"
 #include "bench_common.hpp"
 #include "de/event.hpp"
 #include "de/kernel.hpp"
@@ -283,6 +284,49 @@ int main(int argc, char** argv) {
                     {"step_ns", step_ns},
                     {"interval", interval},
                     {"amortized_pct", amortized_pct}});
+    }
+
+    // IR verifier overhead: Release builds pay one verify_layout per model
+    // at ModelCache admission, so the number that matters is verification
+    // relative to the cold fused compile it rides on. bench/compare.py
+    // keeps it under 5% on RC20 — cheap enough that mandatory verification
+    // never shows up in sweep-service cold-start latency.
+    {
+        const auto circuits = bench::paper_circuits();
+        const bench::BenchCircuit* rc20 = nullptr;
+        for (const bench::BenchCircuit& c : circuits) {
+            if (c.name == "RC20") {
+                rc20 = &c;
+            }
+        }
+        if (rc20 == nullptr) {
+            std::fprintf(stderr, "ir_verifier: RC20 missing from paper_circuits()\n");
+            return 1;
+        }
+        const void* volatile sink = nullptr;
+        const double compile_ns = time_whole_ns([&] {
+            auto layout =
+                runtime::ModelLayout::compile(rc20->model, runtime::EvalStrategy::kFused);
+            sink = layout.get();
+        });
+        const auto layout =
+            runtime::ModelLayout::compile(rc20->model, runtime::EvalStrategy::kFused);
+        volatile bool ok_sink = false;
+        const double verify_ns = time_ns([&] {
+            support::DiagnosticEngine diags;
+            ok_sink = analysis::verify_layout(*layout, diags);
+        });
+        (void)sink;
+        (void)ok_sink;
+        const double pct = 100.0 * verify_ns / compile_ns;
+        std::printf("%-22s %14s %14s %10s\n", "ir_verifier (RC20)", "verify ns",
+                    "compile ns", "of compile");
+        std::printf("%-22s %14.1f %14.1f %9.2f%%\n", "", verify_ns, compile_ns, pct);
+        std::printf("\n");
+        report.add({{"name", "ir_verifier"}, {"circuit", "RC20"}},
+                   {{"ns_per_verify", verify_ns},
+                    {"compile_ns", compile_ns},
+                    {"pct_of_compile", pct}});
     }
 
     // Worker-pool sharded sweeps: aggregate throughput of a full

@@ -31,7 +31,11 @@
 
 #include "abstraction/abstraction.hpp"
 #include "abstraction/behavioral.hpp"
+#include "analysis/conformance.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/verifier.hpp"
 #include "codegen/codegen.hpp"
+#include "codegen/emit_common.hpp"
 #include "codegen/llvm_lowering.hpp"
 #include "codegen/native_jit.hpp"
 #include "runtime/lane_layout.hpp"
@@ -47,8 +51,14 @@ void usage() {
     std::fprintf(stderr,
                  "usage: codegen_tool [--target cpp|sc-de|sc-tdf] [--backend cpp|orc]\n"
                  "                    [--output pos,neg] [--batch] [--keep-temps]\n"
-                 "                    [--vector-width] [--builtin rc<N>|2in|oa|sf]\n"
-                 "                    [file.vams]\n");
+                 "                    [--vector-width] [--verify] [--lint]\n"
+                 "                    [--builtin rc<N>|2in|oa|sf] [file.vams]\n"
+                 "\n"
+                 "  --verify  run the fused-IR structural/dataflow verifier plus the\n"
+                 "            emit-plan and ORC lowering conformance checks instead of\n"
+                 "            emitting code; diagnostics go to stderr, exit 1 on error\n"
+                 "  --lint    --verify plus the numeric-hazard lint (unguarded\n"
+                 "            division/log/sqrt operands)\n");
 }
 
 }  // namespace
@@ -65,6 +75,8 @@ int main(int argc, char** argv) {
     std::string file;
     bool keep_temps = false;
     bool vector_width_report = false;
+    bool run_verify = false;
+    bool run_lint = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -119,6 +131,11 @@ int main(int argc, char** argv) {
             vector_width_report = true;
         } else if (arg == "--keep-temps") {
             keep_temps = true;
+        } else if (arg == "--verify") {
+            run_verify = true;
+        } else if (arg == "--lint") {
+            run_verify = true;
+            run_lint = true;
         } else if (arg == "--help") {
             usage();
             return 0;
@@ -173,6 +190,40 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "abstraction failed: %s\n", error.c_str());
             return 1;
         }
+    }
+
+    if (run_verify) {
+        // Analysis mode replaces emission: verify the IR itself, then every
+        // lowering a backend would consume — the emit plan (scalar + batch
+        // statement streams) and, when this build has LLVM, the ORC IR.
+        const auto layout =
+            runtime::ModelLayout::compile(*model, runtime::EvalStrategy::kFused);
+        support::DiagnosticEngine analysis_diags;
+        bool ok = analysis::verify_layout(*layout, analysis_diags);
+        codegen::CodegenOptions plan_options;
+        plan_options.batch_kernel = true;
+        plan_options.layout = layout;
+        const auto plan = codegen::detail::build_plan(*model, plan_options);
+        ok = analysis::verify_emit_plan(*layout, plan, analysis_diags) && ok;
+        ok = analysis::verify_orc_lowering(layout, analysis_diags) && ok;
+        int hazards = 0;
+        if (run_lint) {
+            hazards = analysis::lint(analysis::view_of(*layout), analysis_diags);
+        }
+        if (!analysis_diags.diagnostics().empty()) {
+            std::fprintf(stderr, "%s", analysis_diags.render_all().c_str());
+        }
+        ok = ok && !analysis_diags.has_errors();
+        std::printf("%s: %zu instructions, %d scratch slots: %s",
+                    model->name.c_str(),
+                    layout->fused_program().instructions().size(),
+                    layout->fused_program().scratch_count(),
+                    ok ? "verify OK" : "verify FAILED");
+        if (run_lint) {
+            std::printf("; %d numeric hazard%s", hazards, hazards == 1 ? "" : "s");
+        }
+        std::printf("\n");
+        return ok ? 0 : 1;
     }
 
     if (orc_backend) {

@@ -1,0 +1,175 @@
+#include "analysis/conformance.hpp"
+
+#include <set>
+#include <string>
+
+#include "analysis/program_view.hpp"
+#include "codegen/emit_common.hpp"
+#include "codegen/llvm_lowering.hpp"
+#include "runtime/lane_layout.hpp"
+#include "runtime/model_layout.hpp"
+
+namespace amsvp::analysis {
+namespace {
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+    std::size_t count = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size())) {
+        ++count;
+    }
+    return count;
+}
+
+/// The name the renderer gives `slot`: a model slot's variable name, a
+/// scratch register's `_t<n>` local, or (strided mode) its slot-file row.
+std::string slot_name(const codegen::detail::EmitPlan& plan, std::int32_t slot,
+                      bool strided) {
+    if (strided) {
+        return "s[" + std::to_string(slot) + " * S + l]";
+    }
+    if (slot < static_cast<std::int32_t>(plan.slot_names.size())) {
+        return plan.slot_names[static_cast<std::size_t>(slot)];
+    }
+    return "_t" +
+           std::to_string(slot - static_cast<std::int32_t>(plan.slot_names.size()));
+}
+
+/// Check one rendered statement stream (scalar or batch) against the IR.
+void check_statements(const ProgramView& view, const codegen::detail::EmitPlan& plan,
+                      const std::vector<std::string>& statements, bool strided,
+                      support::DiagnosticEngine& diags) {
+    const char* stream = strided ? "batch statement" : "statement";
+    if (statements.size() != view.code->size()) {
+        diags.error({}, std::string(stream) + " count " +
+                            std::to_string(statements.size()) +
+                            " != instruction count " +
+                            std::to_string(view.code->size()));
+        return;
+    }
+    const std::string loop_prefix = "for (int l = 0; l < L; ++l) ";
+    for (std::size_t i = 0; i < statements.size(); ++i) {
+        const expr::FusedInstr& instr = (*view.code)[i];
+        std::string text = statements[i];
+        const std::string prefix =
+            "instr #" + std::to_string(i) + ": " + stream + " ";
+        if (strided) {
+            if (text.rfind(loop_prefix, 0) != 0) {
+                diags.error({}, prefix + "missing its lane loop: \"" + text + "\"");
+                continue;
+            }
+            text = text.substr(loop_prefix.size());
+        }
+        const std::string expected_dst = slot_name(plan, instr.dst, strided) + " = ";
+        if (text.rfind(expected_dst, 0) != 0) {
+            diags.error({}, prefix + "does not assign dst slot " +
+                                std::to_string(instr.dst) + " (expected \"" +
+                                expected_dst + "\", got \"" + text + "\")");
+            continue;
+        }
+        const std::string rhs = text.substr(expected_dst.size());
+        for_each_read_slot(instr, *view.lin_terms, [&](std::int32_t slot, int role) {
+            if (view.is_constant_slot(slot)) {
+                return;  // pooled constants inline as literals
+            }
+            const std::string name = slot_name(plan, slot, strided);
+            if (rhs.find(name) == std::string::npos) {
+                diags.error({}, prefix + "never reads operand " +
+                                    std::to_string(role) + " (slot " +
+                                    std::to_string(slot) + ", \"" + name +
+                                    "\") in \"" + rhs + "\"");
+            }
+        });
+    }
+}
+
+}  // namespace
+
+bool verify_emit_plan(const runtime::ModelLayout& layout,
+                      const codegen::detail::EmitPlan& plan,
+                      support::DiagnosticEngine& diags) {
+    const std::size_t before = diags.error_count();
+    const ProgramView view = view_of(layout);
+
+    check_statements(view, plan, plan.assignments, /*strided=*/false, diags);
+    if (!plan.batch_statements.empty()) {
+        check_statements(view, plan, plan.batch_statements, /*strided=*/true, diags);
+    }
+
+    std::set<std::int32_t> scratch_regs;
+    for (const expr::FusedInstr& instr : *view.code) {
+        if (instr.dst >= view.model_slot_count) {
+            scratch_regs.insert(instr.dst);
+        }
+    }
+    if (plan.scratch_locals.size() != scratch_regs.size()) {
+        diags.error({}, "scratch local count " +
+                            std::to_string(plan.scratch_locals.size()) +
+                            " != distinct scratch registers " +
+                            std::to_string(scratch_regs.size()));
+    }
+
+    std::size_t history_slots = 0;
+    for (const auto& r : layout.rotations()) {
+        history_slots += static_cast<std::size_t>(r.depth);
+    }
+    if (plan.rotations.size() != history_slots) {
+        diags.error({}, "rotation statement count " +
+                            std::to_string(plan.rotations.size()) +
+                            " != history slot count " + std::to_string(history_slots));
+    }
+    if (!plan.batch_statements.empty() &&
+        plan.batch_rotations.size() != history_slots) {
+        diags.error({}, "batch rotation statement count " +
+                            std::to_string(plan.batch_rotations.size()) +
+                            " != history slot count " + std::to_string(history_slots));
+    }
+    if (plan.total_slot_count != view.total_slot_count()) {
+        diags.error({}, "plan total_slot_count " +
+                            std::to_string(plan.total_slot_count) +
+                            " != layout slot count " +
+                            std::to_string(view.total_slot_count()));
+    }
+    return diags.error_count() == before;
+}
+
+bool verify_orc_lowering(const std::shared_ptr<const runtime::ModelLayout>& layout,
+                         support::DiagnosticEngine& diags) {
+    if (!codegen::llvm_backend_available()) {
+        diags.note({}, "ORC lowering conformance skipped: built without LLVM");
+        return true;
+    }
+    const std::size_t before = diags.error_count();
+    std::string error;
+    const auto lowered = codegen::lower_to_ir_text(layout, &error);
+    if (!lowered) {
+        diags.error({}, "ORC lowering failed: " + error);
+        return false;
+    }
+    const std::size_t instr_count = layout->fused_program().instructions().size();
+
+    // The batch kernel stores one <kVectorRow x double> row per
+    // instruction, the scalar step one double — exactly one store each, so
+    // the counts in the unoptimized IR must match the instruction count
+    // (history rotation uses llvm.memcpy, never a store).
+    const std::string vector_store =
+        "store <" + std::to_string(runtime::LaneLayout::kVectorRow) + " x double>";
+    const std::size_t vector_stores =
+        count_occurrences(lowered->unoptimized, vector_store);
+    if (vector_stores != instr_count) {
+        diags.error({}, "ORC batch kernel: " + std::to_string(vector_stores) + " \"" +
+                            vector_store + "\" rows != instruction count " +
+                            std::to_string(instr_count) +
+                            " (vector row width drifted from runtime::LaneLayout?)");
+    }
+    const std::size_t scalar_stores =
+        count_occurrences(lowered->unoptimized, "store double");
+    if (scalar_stores != instr_count) {
+        diags.error({}, "ORC scalar step: " + std::to_string(scalar_stores) +
+                            " double stores != instruction count " +
+                            std::to_string(instr_count));
+    }
+    return diags.error_count() == before;
+}
+
+}  // namespace amsvp::analysis

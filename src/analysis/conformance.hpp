@@ -1,0 +1,50 @@
+// Lowering conformance: re-verify the program each backend actually runs.
+//
+// The structural verifier proves the IR itself well-formed; these checks
+// prove each *lowering* still carries that IR faithfully. They are
+// deliberately shape-level (counts, destinations, operand mentions) rather
+// than full parsers of the generated text — strong enough to catch the
+// real drift modes (an emitter case falling out of sync with an opcode, a
+// dropped statement, rotation reordering, the ORC row width diverging from
+// runtime::LaneLayout) while staying cheap enough to run on every
+// `codegen_tool --verify`.
+//
+//  * verify_emit_plan: the C++/SystemC emitters' EmitPlan must carry one
+//    statement per fused instruction (scalar and batch forms), each
+//    assigning the instruction's dst under the documented addressing
+//    (named model slots / `_t<n>` scratch locals / `s[<slot> * S + l]`
+//    strided rows), mentioning every non-constant read operand, with one
+//    scratch local per distinct scratch register and one rotation
+//    statement per history slot.
+//  * verify_orc_lowering: the ORC JIT's unoptimized IR must store exactly
+//    once per instruction in both entry points, and its batch kernel's
+//    vector rows must be exactly LaneLayout::kVectorRow doubles wide.
+#pragma once
+
+#include <memory>
+
+#include "support/diagnostics.hpp"
+
+namespace amsvp::runtime {
+class ModelLayout;
+}  // namespace amsvp::runtime
+namespace amsvp::codegen::detail {
+struct EmitPlan;
+}  // namespace amsvp::codegen::detail
+
+namespace amsvp::analysis {
+
+/// Check `plan` (built from `layout`) against the fused IR. Returns true
+/// when conformant; problems are errors in `diags` naming the instruction.
+[[nodiscard]] bool verify_emit_plan(const runtime::ModelLayout& layout,
+                                    const codegen::detail::EmitPlan& plan,
+                                    support::DiagnosticEngine& diags);
+
+/// Lower `layout` through the ORC pipeline and check the unoptimized IR's
+/// store counts and vector-row width. Without LLVM (AMSVP_WITH_LLVM=OFF)
+/// this records a note and returns true — there is no lowering to drift.
+[[nodiscard]] bool verify_orc_lowering(
+    const std::shared_ptr<const runtime::ModelLayout>& layout,
+    support::DiagnosticEngine& diags);
+
+}  // namespace amsvp::analysis

@@ -1,0 +1,212 @@
+#include "analysis/dataflow.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace amsvp::analysis {
+namespace {
+
+/// Slot classification bitmaps so the scans below stay O(1) per operand.
+struct SlotFacts {
+    std::vector<char> is_const;    ///< pooled-constant slot
+    std::vector<char> read;        ///< read by some instruction (any pass)
+    std::int32_t model_slots = 0;
+
+    SlotFacts(const ProgramView& view, const DefUse& du)
+        : is_const(static_cast<std::size_t>(view.total_slot_count()), 0),
+          read(static_cast<std::size_t>(view.total_slot_count()), 0),
+          model_slots(view.model_slot_count) {
+        for (const auto& c : *view.constants) {
+            is_const[static_cast<std::size_t>(c.first)] = 1;
+        }
+        for (const std::int32_t slot : du.uses) {
+            read[static_cast<std::size_t>(slot)] = 1;
+        }
+    }
+
+    [[nodiscard]] bool scratch_value_slot(std::int32_t slot) const {
+        return slot >= model_slots && !is_const[static_cast<std::size_t>(slot)];
+    }
+};
+
+}  // namespace
+
+DefUse compute_def_use(const ProgramView& view) {
+    DefUse du;
+    const std::size_t n = view.code->size();
+    du.def.assign(n, -1);
+    du.use_begin.reserve(n + 1);
+    // kMulAdd-family reads 3 slots; only kLinComb can exceed that, and its
+    // terms grow `uses` past the reserve without reallocation churn in the
+    // common case.
+    du.uses.reserve(3 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const expr::FusedInstr& instr = (*view.code)[i];
+        du.use_begin.push_back(static_cast<std::int32_t>(du.uses.size()));
+        if (!opcode_valid(instr.op)) {
+            continue;
+        }
+        du.def[i] = instr.dst;
+        for_each_read_slot(instr, *view.lin_terms, [&](std::int32_t slot, int) {
+            du.uses.push_back(slot);
+        });
+    }
+    du.use_begin.push_back(static_cast<std::int32_t>(du.uses.size()));
+    return du;
+}
+
+ReachingDefs compute_reaching_defs(const ProgramView& view, const DefUse& du) {
+    ReachingDefs reaching;
+    reaching.use_defs.reserve(du.uses.size());
+    reaching.final_def.assign(static_cast<std::size_t>(view.total_slot_count()), -1);
+    for (std::size_t i = 0; i < du.size(); ++i) {
+        for (std::int32_t u = du.use_begin[i]; u < du.use_begin[i + 1]; ++u) {
+            reaching.use_defs.push_back(
+                reaching.final_def[static_cast<std::size_t>(du.uses[u])]);
+        }
+        if (du.def[i] >= 0) {
+            reaching.final_def[static_cast<std::size_t>(du.def[i])] =
+                static_cast<std::int32_t>(i);
+        }
+    }
+    return reaching;
+}
+
+namespace {
+
+/// compute_liveness with a caller-provided SlotFacts, so run_dataflow_checks
+/// builds the bitmaps once for both the replay and the hygiene scans.
+Liveness liveness_with_facts(const SlotFacts& facts, const DefUse& du,
+                             const ReachingDefs& reaching) {
+    Liveness live;
+    live.last_use.assign(du.size(), -1);
+    for (std::size_t i = 0; i < du.size(); ++i) {
+        for (std::int32_t u = du.use_begin[i]; u < du.use_begin[i + 1]; ++u) {
+            const std::int32_t def = reaching.use_defs[u];
+            if (def >= 0) {
+                live.last_use[static_cast<std::size_t>(def)] =
+                    static_cast<std::int32_t>(i);
+            }
+        }
+    }
+
+    // Replay FusedCompiler::compact_scratch's register demand with this
+    // pass's own liveness: at each instruction, scratch values whose last
+    // use is here die *before* the destination register is claimed (the
+    // compiler reuses a dying operand's register for dst), and a value
+    // nothing ever reads still occupies a register at its defining
+    // instruction before being recycled. peak_live_scratch is the max
+    // clique of the resulting interval graph — exactly the register count
+    // a greedy free-list allocator needs on straight-line code.
+    std::vector<char> active(du.size(), 0);
+    std::int32_t live_count = 0;
+    for (std::size_t i = 0; i < du.size(); ++i) {
+        for (std::int32_t u = du.use_begin[i]; u < du.use_begin[i + 1]; ++u) {
+            const std::int32_t def = reaching.use_defs[u];
+            if (def >= 0 && active[static_cast<std::size_t>(def)] &&
+                live.last_use[static_cast<std::size_t>(def)] ==
+                    static_cast<std::int32_t>(i)) {
+                active[static_cast<std::size_t>(def)] = 0;
+                --live_count;
+            }
+        }
+        const std::int32_t def_slot = du.def[i];
+        if (def_slot >= 0 && facts.scratch_value_slot(def_slot)) {
+            active[i] = 1;
+            ++live_count;
+            live.peak_live_scratch = std::max(live.peak_live_scratch, live_count);
+            if (live.last_use[i] < 0) {
+                active[i] = 0;
+                --live_count;
+            }
+        }
+    }
+    return live;
+}
+
+}  // namespace
+
+Liveness compute_liveness(const ProgramView& view, const DefUse& du,
+                          const ReachingDefs& reaching) {
+    return liveness_with_facts(SlotFacts(view, du), du, reaching);
+}
+
+void run_dataflow_checks(const ProgramView& view, support::DiagnosticEngine& diags) {
+    const DefUse du = compute_def_use(view);
+    const ReachingDefs reaching = compute_reaching_defs(view, du);
+    const SlotFacts facts(view, du);
+    const Liveness live = liveness_with_facts(facts, du, reaching);
+
+    // Scratch reads must be dominated by a write in the same pass: scratch
+    // carries nothing across iterations (constants excepted — those are
+    // re-materialized by initialize_constants before the first pass).
+    for (std::size_t i = 0; i < du.size(); ++i) {
+        for (std::int32_t u = du.use_begin[i]; u < du.use_begin[i + 1]; ++u) {
+            const std::int32_t slot = du.uses[u];
+            if (reaching.use_defs[u] < 0 && facts.scratch_value_slot(slot)) {
+                diags.error({}, "instr #" + std::to_string(i) + ": reads scratch slot " +
+                                    std::to_string(slot) +
+                                    " before any write (uninitialized scratch)");
+            }
+        }
+    }
+
+    // Compaction cross-check: pooled constants + peak simultaneously-live
+    // values is the whole scratch demand. Disagreement means the
+    // compiler's internal liveness and the program's actual def-use have
+    // drifted apart — exactly the silent-corruption class this pass exists
+    // to catch.
+    const auto expected = static_cast<std::int32_t>(view.constants->size()) +
+                          live.peak_live_scratch;
+    if (view.scratch_count != expected) {
+        diags.error({}, "scratch compaction mismatch: program claims " +
+                            std::to_string(view.scratch_count) +
+                            " scratch slots but dataflow needs " +
+                            std::to_string(expected) + " (" +
+                            std::to_string(view.constants->size()) +
+                            " pooled constants + peak " +
+                            std::to_string(live.peak_live_scratch) +
+                            " live values)");
+    }
+
+    // Hygiene warnings. A model-slot def is live-out through the driver's
+    // back edge when it is the slot's final def; anything else unread is a
+    // dead store. A final model-slot def is *observed* when the slot is an
+    // output, read somewhere (this pass reads last pass's value), or feeds
+    // a history chain someone reads.
+    for (std::size_t i = 0; i < du.size(); ++i) {
+        const std::int32_t def_slot = du.def[i];
+        if (def_slot < 0 || live.last_use[i] >= 0) {
+            continue;
+        }
+        const bool final_def =
+            reaching.final_def[static_cast<std::size_t>(def_slot)] ==
+            static_cast<std::int32_t>(i);
+        if (facts.scratch_value_slot(def_slot) || !final_def) {
+            diags.warning({}, "instr #" + std::to_string(i) + ": dead store to slot " +
+                                  std::to_string(def_slot) + " (value never read)");
+            continue;
+        }
+        bool observed = std::find(view.output_slots.begin(), view.output_slots.end(),
+                                  def_slot) != view.output_slots.end() ||
+                        facts.read[static_cast<std::size_t>(def_slot)];
+        for (const Rotation& r : view.rotations) {
+            if (r.base != def_slot) {
+                continue;
+            }
+            for (std::int32_t h = r.base + 1; h <= r.base + r.depth; ++h) {
+                observed = observed || facts.read[static_cast<std::size_t>(h)];
+            }
+        }
+        if (!observed) {
+            diags.warning({}, "instr #" + std::to_string(i) + ": model slot " +
+                                  std::to_string(def_slot) +
+                                  " is written but never observed (not an output, "
+                                  "never read, no history reader)");
+        }
+    }
+}
+
+}  // namespace amsvp::analysis

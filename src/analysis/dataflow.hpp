@@ -1,0 +1,77 @@
+// Dataflow over the fused instruction stream.
+//
+// A fused program is a straight-line loop body: the driver runs it once per
+// timestep over a slot file whose model slots persist across iterations
+// (that back edge is why a model-slot value with no reader *this* pass may
+// still be observed — next pass, or through its history rotation). Scratch
+// slots carry no values across iterations: constants are re-materialized by
+// initialize_constants and every other scratch read must be dominated by a
+// write in the same pass.
+//
+// On straight-line code the classic bit-vector fixpoints collapse to one
+// forward scan (reaching definitions: the unique last def) and one backward
+// scan (liveness: the last use of each definition). compute_def_use /
+// compute_reaching_defs / compute_liveness expose those results per
+// instruction; run_dataflow_checks derives the verifier-grade facts:
+//
+//  * scratch read-before-write (error — reads whatever the allocator left),
+//  * scratch-compaction cross-check (error): FusedCompiler's greedy
+//    free-list recycler is register-optimal on an interval graph, so
+//    scratch_count() must equal pooled constants + this pass's
+//    independently computed peak live-value count — any drift means the
+//    compiler's liveness and the program's actual def-use disagree,
+//  * dead stores (warning) and model-slot writes nothing can ever observe
+//    (warning): not unsound, but the compiler shouldn't emit them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/program_view.hpp"
+#include "support/diagnostics.hpp"
+
+namespace amsvp::analysis {
+
+/// Per-instruction def/use sets decoded from operand roles. Flat layout —
+/// one shared `uses` array indexed by per-instruction offsets — because
+/// this runs on every Release-build cache admission: two heap vectors per
+/// instruction would dominate the verifier's runtime (gated at <= 5% of a
+/// cold compile by bench/compare.py).
+struct DefUse {
+    std::vector<std::int32_t> def;        ///< per instr: dst slot, -1 for invalid opcode
+    std::vector<std::int32_t> uses;       ///< all read slots, instr-major, operand order
+    std::vector<std::int32_t> use_begin;  ///< per instr: offset into `uses` (+1 sentinel)
+
+    /// Number of instructions covered.
+    [[nodiscard]] std::size_t size() const { return def.size(); }
+};
+
+[[nodiscard]] DefUse compute_def_use(const ProgramView& view);
+
+/// Reaching definitions: for each use, the instruction index whose def it
+/// reads, or -1 when the value flows in from outside the pass (model slot
+/// state, pooled constant, or an uninitialized scratch read).
+struct ReachingDefs {
+    std::vector<std::int32_t> use_defs;   ///< parallel to DefUse::uses
+    std::vector<std::int32_t> final_def;  ///< per slot: last defining instr or -1
+};
+
+[[nodiscard]] ReachingDefs compute_reaching_defs(const ProgramView& view,
+                                                 const DefUse& du);
+
+/// Liveness of each definition: the last instruction reading it (-1 when
+/// nothing ever does), plus the peak number of simultaneously live scratch
+/// values — the register demand FusedCompiler's compaction must match.
+struct Liveness {
+    std::vector<std::int32_t> last_use;  ///< per instruction (its def), -1 = dead
+    std::int32_t peak_live_scratch = 0;
+};
+
+[[nodiscard]] Liveness compute_liveness(const ProgramView& view, const DefUse& du,
+                                        const ReachingDefs& reaching);
+
+/// All derived checks described above. Assumes the view already passed
+/// verify_structure (indices in bounds).
+void run_dataflow_checks(const ProgramView& view, support::DiagnosticEngine& diags);
+
+}  // namespace amsvp::analysis

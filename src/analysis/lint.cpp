@@ -1,0 +1,317 @@
+#include "analysis/lint.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace amsvp::analysis {
+namespace {
+
+using expr::FusedInstr;
+using expr::FusedOp;
+
+ValueFact fact_of_value(double v) {
+    if (std::isnan(v)) {
+        return ValueFact::kUnknown;
+    }
+    if (v == 0.0) {
+        return ValueFact::kZero;
+    }
+    return v > 0.0 ? ValueFact::kPositive : ValueFact::kNegative;
+}
+
+bool proves_nonzero(ValueFact f) {
+    return f == ValueFact::kPositive || f == ValueFact::kNegative ||
+           f == ValueFact::kNonZero;
+}
+
+bool proves_nonnegative(ValueFact f) {
+    return f == ValueFact::kPositive || f == ValueFact::kNonNegative ||
+           f == ValueFact::kZero;
+}
+
+bool proves_positive(ValueFact f) { return f == ValueFact::kPositive; }
+
+ValueFact negate(ValueFact f) {
+    switch (f) {
+        case ValueFact::kPositive:
+            return ValueFact::kNegative;
+        case ValueFact::kNegative:
+            return ValueFact::kPositive;
+        case ValueFact::kNonNegative:
+            return ValueFact::kNonPositive;
+        case ValueFact::kNonPositive:
+            return ValueFact::kNonNegative;
+        default:
+            return f;  // zero, nonzero, unknown are symmetric
+    }
+}
+
+/// a + b over sign facts.
+ValueFact add(ValueFact a, ValueFact b) {
+    if (a == ValueFact::kZero) {
+        return b;
+    }
+    if (b == ValueFact::kZero) {
+        return a;
+    }
+    const bool a_pos = proves_positive(a) || a == ValueFact::kNonNegative;
+    const bool b_pos = proves_positive(b) || b == ValueFact::kNonNegative;
+    if (a_pos && b_pos) {
+        return proves_positive(a) || proves_positive(b) ? ValueFact::kPositive
+                                                        : ValueFact::kNonNegative;
+    }
+    const bool a_neg = a == ValueFact::kNegative || a == ValueFact::kNonPositive;
+    const bool b_neg = b == ValueFact::kNegative || b == ValueFact::kNonPositive;
+    if (a_neg && b_neg) {
+        return a == ValueFact::kNegative || b == ValueFact::kNegative
+                   ? ValueFact::kNegative
+                   : ValueFact::kNonPositive;
+    }
+    return ValueFact::kUnknown;
+}
+
+/// a * b (also a / b when b is provably nonzero) over sign facts.
+ValueFact mul(ValueFact a, ValueFact b) {
+    if (a == ValueFact::kZero || b == ValueFact::kZero) {
+        return ValueFact::kZero;
+    }
+    if (a == ValueFact::kUnknown || b == ValueFact::kUnknown) {
+        return ValueFact::kUnknown;
+    }
+    const bool strict = proves_nonzero(a) && proves_nonzero(b);
+    const bool a_nonneg = proves_nonnegative(a);
+    const bool b_nonneg = proves_nonnegative(b);
+    const bool a_nonpos = a == ValueFact::kNegative || a == ValueFact::kNonPositive;
+    const bool b_nonpos = b == ValueFact::kNegative || b == ValueFact::kNonPositive;
+    if ((a_nonneg && b_nonneg) || (a_nonpos && b_nonpos)) {
+        return strict ? ValueFact::kPositive : ValueFact::kNonNegative;
+    }
+    if ((a_nonneg && b_nonpos) || (a_nonpos && b_nonneg)) {
+        return strict ? ValueFact::kNegative : ValueFact::kNonPositive;
+    }
+    return strict ? ValueFact::kNonZero : ValueFact::kUnknown;
+}
+
+/// Join (least upper bound): the fact that holds whichever branch a
+/// kSelect takes.
+ValueFact join(ValueFact a, ValueFact b) {
+    if (a == b) {
+        return a;
+    }
+    const bool both_nonneg = proves_nonnegative(a) && proves_nonnegative(b);
+    if (both_nonneg) {
+        return ValueFact::kNonNegative;
+    }
+    const bool a_np = a == ValueFact::kNegative || a == ValueFact::kNonPositive ||
+                      a == ValueFact::kZero;
+    const bool b_np = b == ValueFact::kNegative || b == ValueFact::kNonPositive ||
+                      b == ValueFact::kZero;
+    if (a_np && b_np) {
+        return ValueFact::kNonPositive;
+    }
+    if (proves_nonzero(a) && proves_nonzero(b)) {
+        return ValueFact::kNonZero;
+    }
+    return ValueFact::kUnknown;
+}
+
+/// The transfer function: the fact about dst given the facts about the
+/// operands. `f` reads the current fact of a slot.
+ValueFact transfer(const FusedInstr& instr,
+                   const std::vector<expr::LinTerm>& lin_terms,
+                   const std::vector<ValueFact>& facts) {
+    // Out-of-range operands (a structurally broken stream) read kUnknown;
+    // verify_structure owns reporting them.
+    const auto fact = [&](std::int32_t slot) {
+        return slot >= 0 && static_cast<std::size_t>(slot) < facts.size()
+                   ? facts[static_cast<std::size_t>(slot)]
+                   : ValueFact::kUnknown;
+    };
+    switch (instr.op) {
+        case FusedOp::kConst:
+            return fact_of_value(instr.imm);
+        case FusedOp::kCopy:
+            return fact(instr.a);
+        case FusedOp::kNeg:
+            return negate(fact(instr.a));
+        case FusedOp::kExp:
+            return ValueFact::kPositive;
+        case FusedOp::kAbs: {
+            const ValueFact a = fact(instr.a);
+            return proves_nonzero(a) ? ValueFact::kPositive : ValueFact::kNonNegative;
+        }
+        case FusedOp::kSqrt: {
+            const ValueFact a = fact(instr.a);
+            if (proves_positive(a)) {
+                return ValueFact::kPositive;
+            }
+            return proves_nonnegative(a) ? ValueFact::kNonNegative
+                                         : ValueFact::kUnknown;
+        }
+        case FusedOp::kAdd:
+            return add(fact(instr.a), fact(instr.b));
+        case FusedOp::kSub:
+            return add(fact(instr.a), negate(fact(instr.b)));
+        case FusedOp::kMul:
+            return mul(fact(instr.a), fact(instr.b));
+        case FusedOp::kDiv: {
+            const ValueFact b = fact(instr.b);
+            return proves_nonzero(b) ? mul(fact(instr.a), b) : ValueFact::kUnknown;
+        }
+        case FusedOp::kMin: {
+            const ValueFact a = fact(instr.a);
+            const ValueFact b = fact(instr.b);
+            // min keeps lower bounds only when both operands have one.
+            return join(a, b);
+        }
+        case FusedOp::kMax:
+            // max(a, b) > 0 when either side is; keep the stronger side.
+            return proves_positive(fact(instr.a)) || proves_positive(fact(instr.b))
+                       ? ValueFact::kPositive
+                       : (proves_nonnegative(fact(instr.a)) ||
+                                  proves_nonnegative(fact(instr.b))
+                              ? ValueFact::kNonNegative
+                              : join(fact(instr.a), fact(instr.b)));
+        case FusedOp::kNot:
+        case FusedOp::kLt:
+        case FusedOp::kLe:
+        case FusedOp::kGt:
+        case FusedOp::kGe:
+        case FusedOp::kEq:
+        case FusedOp::kNe:
+        case FusedOp::kAnd:
+        case FusedOp::kOr:
+            return ValueFact::kNonNegative;  // comparisons produce 0 or 1
+        case FusedOp::kAddImm:
+            return add(fact(instr.a), fact_of_value(instr.imm));
+        case FusedOp::kSubImm:
+            return add(fact(instr.a), fact_of_value(-instr.imm));
+        case FusedOp::kRSubImm:
+            return add(fact_of_value(instr.imm), negate(fact(instr.a)));
+        case FusedOp::kMulImm:
+            return mul(fact(instr.a), fact_of_value(instr.imm));
+        case FusedOp::kDivImm:
+            return instr.imm != 0.0 ? mul(fact(instr.a), fact_of_value(instr.imm))
+                                    : ValueFact::kUnknown;
+        case FusedOp::kRDivImm: {
+            const ValueFact a = fact(instr.a);
+            return proves_nonzero(a) ? mul(fact_of_value(instr.imm), a)
+                                     : ValueFact::kUnknown;
+        }
+        case FusedOp::kMulAdd:
+            return add(mul(fact(instr.a), fact(instr.b)), fact(instr.c));
+        case FusedOp::kMulSub:
+            return add(mul(fact(instr.a), fact(instr.b)), negate(fact(instr.c)));
+        case FusedOp::kMulRSub:
+            return add(fact(instr.c), negate(mul(fact(instr.a), fact(instr.b))));
+        case FusedOp::kMulAddImm:
+            return add(mul(fact(instr.a), fact_of_value(instr.imm)), fact(instr.b));
+        case FusedOp::kSelect:
+            return join(fact(instr.b), fact(instr.c));
+        case FusedOp::kLinComb: {
+            // Sound but simple: bias plus every term must agree in sign.
+            ValueFact acc = fact_of_value(instr.imm);
+            for (std::int32_t k = 0; k < instr.b; ++k) {
+                const auto idx = static_cast<std::size_t>(instr.a) +
+                                 static_cast<std::size_t>(k);
+                if (instr.a < 0 || idx >= lin_terms.size()) {
+                    return ValueFact::kUnknown;  // structurally broken; verify reports
+                }
+                const expr::LinTerm& term = lin_terms[idx];
+                acc = add(acc, mul(fact(term.slot), fact_of_value(term.coeff)));
+            }
+            return acc;
+        }
+        default:
+            return ValueFact::kUnknown;  // ln/log10/sin/cos/tan/pow
+    }
+}
+
+const char* quarantine_hint() {
+    return "; only the runtime lane-health quarantine (fault site "
+           "sweep.lane_nan) guards this at execution time";
+}
+
+}  // namespace
+
+int lint(const ProgramView& view, support::DiagnosticEngine& diags) {
+    // Model slots hold arbitrary state at pass entry (kUnknown); pooled
+    // constants hold their values. One forward scan is sound on the
+    // straight-line body because nothing is assumed across the back edge.
+    std::vector<ValueFact> facts(static_cast<std::size_t>(view.total_slot_count()),
+                                 ValueFact::kUnknown);
+    for (const auto& c : *view.constants) {
+        facts[static_cast<std::size_t>(c.first)] = fact_of_value(c.second);
+    }
+
+    int hazards = 0;
+    const auto flag = [&](std::size_t i, const FusedInstr& instr, std::string what) {
+        ++hazards;
+        diags.warning({}, "instr #" + std::to_string(i) + " (" +
+                              std::string(expr::to_string(instr.op)) + "): " +
+                              std::move(what) + quarantine_hint());
+    };
+
+    for (std::size_t i = 0; i < view.code->size(); ++i) {
+        const FusedInstr& instr = (*view.code)[i];
+        const auto fact = [&](std::int32_t slot) {
+            return slot >= 0 && static_cast<std::size_t>(slot) < facts.size()
+                       ? facts[static_cast<std::size_t>(slot)]
+                       : ValueFact::kUnknown;
+        };
+        switch (instr.op) {
+            case FusedOp::kDiv:
+                if (!proves_nonzero(fact(instr.b))) {
+                    flag(i, instr,
+                         "divisor slot " + std::to_string(instr.b) +
+                             " not provably nonzero");
+                }
+                break;
+            case FusedOp::kDivImm:
+                if (instr.imm == 0.0) {
+                    ++hazards;
+                    diags.error({}, "instr #" + std::to_string(i) +
+                                        " (div_imm): division by constant zero");
+                }
+                break;
+            case FusedOp::kRDivImm:
+                if (!proves_nonzero(fact(instr.a))) {
+                    flag(i, instr,
+                         "divisor slot " + std::to_string(instr.a) +
+                             " not provably nonzero");
+                }
+                break;
+            case FusedOp::kLn:
+            case FusedOp::kLog10:
+                if (!proves_positive(fact(instr.a))) {
+                    flag(i, instr,
+                         "operand slot " + std::to_string(instr.a) +
+                             " not provably positive");
+                }
+                break;
+            case FusedOp::kSqrt:
+                if (!proves_nonnegative(fact(instr.a))) {
+                    flag(i, instr,
+                         "operand slot " + std::to_string(instr.a) +
+                             " not provably non-negative");
+                }
+                break;
+            default:
+                break;
+        }
+        if (!std::isfinite(instr.imm)) {
+            diags.warning({}, "instr #" + std::to_string(i) +
+                                  ": non-finite immediate operand");
+            ++hazards;
+        }
+        if (instr.dst >= 0 && instr.dst < view.total_slot_count() &&
+            opcode_valid(instr.op)) {
+            facts[static_cast<std::size_t>(instr.dst)] =
+                transfer(instr, *view.lin_terms, facts);
+        }
+    }
+    return hazards;
+}
+
+}  // namespace amsvp::analysis

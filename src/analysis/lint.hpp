@@ -1,0 +1,42 @@
+// Numeric-hazard lint over the fused IR.
+//
+// The runtime's only defense against NaN/Inf escaping a model is *after
+// the fact*: the sweep engine's periodic lane-health scan quarantines
+// lanes that already went non-finite (support/fault.hpp site
+// `sweep.lane_nan`, runtime scan_lane_health). This pass is the static
+// half: a forward sign/zero abstract interpretation over the slot file
+// flags every division, log and sqrt whose operand is not *provably*
+// guarded — e.g. `x / (abs(y) + 1.5)` proves its divisor positive
+// (abs ⇒ non-negative, + positive immediate ⇒ positive) and stays quiet,
+// while `x / y` on an arbitrary model slot is flagged as reaching the
+// quarantine machinery unguarded.
+//
+// Hazards are warnings (models are allowed to rely on runtime quarantine);
+// the one static certainty — division by a literal zero immediate — is an
+// error. Facts reason modulo NaN/Inf inputs: "positive" means "positive
+// whenever the inputs are finite", which is exactly the guarantee the
+// lane-health scan needs to stay the only required runtime guard.
+#pragma once
+
+#include "analysis/program_view.hpp"
+#include "support/diagnostics.hpp"
+
+namespace amsvp::analysis {
+
+/// What the abstract interpreter could prove about one slot's value at one
+/// program point (modulo non-finite inputs). Public for tests.
+enum class ValueFact : std::uint8_t {
+    kUnknown,
+    kZero,
+    kPositive,     ///< > 0
+    kNegative,     ///< < 0
+    kNonNegative,  ///< >= 0
+    kNonPositive,  ///< <= 0
+    kNonZero,      ///< != 0
+};
+
+/// Run the lint; hazard warnings/errors go into `diags`. Returns the
+/// number of hazards (flagged operands), 0 for a provably guarded program.
+int lint(const ProgramView& view, support::DiagnosticEngine& diags);
+
+}  // namespace amsvp::analysis

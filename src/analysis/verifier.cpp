@@ -1,0 +1,218 @@
+#include "analysis/verifier.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/dataflow.hpp"
+#include "runtime/model_layout.hpp"
+#include "support/check.hpp"
+
+namespace amsvp::analysis {
+namespace {
+
+using expr::FusedInstr;
+using expr::FusedOp;
+
+std::string instr_prefix(std::size_t index, const FusedInstr& instr) {
+    std::string text = "instr #" + std::to_string(index);
+    if (opcode_valid(instr.op)) {
+        text += " (";
+        text += expr::to_string(instr.op);
+        text += ")";
+    }
+    return text;
+}
+
+/// Slot-class bitmaps built once per program so the per-operand checks in
+/// check_instruction are O(1) — the linear ProgramView::is_constant_slot /
+/// is_history_slot scans add up on every Release cache admission (the
+/// verifier is budgeted at <= 5% of a cold compile by bench/compare.py).
+/// Out-of-range pool/rotation entries are dropped here; check_program_facts
+/// reports them on its own.
+struct SlotClasses {
+    std::vector<char> is_const;
+    std::vector<char> is_hist;
+
+    explicit SlotClasses(const ProgramView& view) {
+        const std::int32_t total = std::max<std::int32_t>(view.total_slot_count(), 0);
+        is_const.assign(static_cast<std::size_t>(total), 0);
+        is_hist.assign(static_cast<std::size_t>(total), 0);
+        for (const auto& c : *view.constants) {
+            if (c.first >= 0 && c.first < total) {
+                is_const[static_cast<std::size_t>(c.first)] = 1;
+            }
+        }
+        for (const Rotation& r : view.rotations) {
+            for (std::int32_t h = r.base + 1; h <= r.base + r.depth; ++h) {
+                if (h >= 0 && h < total) {
+                    is_hist[static_cast<std::size_t>(h)] = 1;
+                }
+            }
+        }
+    }
+};
+
+/// Bounds/role checks for one instruction. Reports into `diags`; never
+/// stops early — a corrupted stream should surface every problem at once.
+/// The diagnostic prefix is built lazily: a clean instruction (the only
+/// case on the hot admission path) must not touch the heap.
+void check_instruction(const ProgramView& view, const SlotClasses& cls,
+                       std::size_t index, const FusedInstr& instr,
+                       support::DiagnosticEngine& diags) {
+    const auto prefix = [&] { return instr_prefix(index, instr); };
+    if (!opcode_valid(instr.op)) {
+        diags.error({}, "instr #" + std::to_string(index) + ": invalid opcode " +
+                            std::to_string(static_cast<int>(instr.op)));
+        return;  // operand roles are unknowable without the opcode
+    }
+    const std::int32_t total = view.total_slot_count();
+    if (instr.dst < 0 || instr.dst >= total) {
+        diags.error({}, prefix() + ": dst slot " + std::to_string(instr.dst) +
+                            " out of range [0, " + std::to_string(total) + ")");
+    } else if (cls.is_const[static_cast<std::size_t>(instr.dst)]) {
+        diags.error({}, prefix() + ": dst slot " + std::to_string(instr.dst) +
+                            " is a constant-pool slot (pool slots are immutable "
+                            "after initialize_constants)");
+    } else if (cls.is_hist[static_cast<std::size_t>(instr.dst)]) {
+        diags.error({}, prefix() + ": dst slot " + std::to_string(instr.dst) +
+                            " is a history slot (written only by the post-step "
+                            "rotation)");
+    } else if (instr.dst == view.time_slot) {
+        diags.error({}, prefix() + ": dst slot " + std::to_string(instr.dst) +
+                            " is the $abstime slot (written only by the driver)");
+    }
+    if (instr.op == FusedOp::kLinComb) {
+        const auto table = static_cast<std::int64_t>(view.lin_terms->size());
+        if (instr.a < 0 || instr.b < 1 ||
+            static_cast<std::int64_t>(instr.a) + instr.b > table) {
+            diags.error({}, prefix() + ": term table range [" +
+                                std::to_string(instr.a) + ", " +
+                                std::to_string(instr.a) + " + " +
+                                std::to_string(instr.b) + ") outside lin_terms size " +
+                                std::to_string(table));
+        }
+    }
+    for_each_read_slot(instr, *view.lin_terms,
+                       [&](std::int32_t slot, int role) {
+                           if (slot < 0 || slot >= total) {
+                               const char* what =
+                                   instr.op == FusedOp::kLinComb ? "term" : "operand";
+                               diags.error({}, prefix() + ": read " + what + " " +
+                                                   std::to_string(role) + " slot " +
+                                                   std::to_string(slot) +
+                                                   " out of range [0, " +
+                                                   std::to_string(total) + ")");
+                           }
+                       });
+}
+
+/// Program-level checks that don't concern any single instruction: the
+/// constant pool must live in the scratch area with no duplicate slots,
+/// rotation groups inside the model prefix and pairwise disjoint, layout
+/// slots (outputs, inputs, $abstime) in bounds.
+void check_program_facts(const ProgramView& view, support::DiagnosticEngine& diags) {
+    if (view.scratch_count < 0) {
+        diags.error({}, "scratch_count " + std::to_string(view.scratch_count) +
+                            " is negative");
+    }
+    for (std::size_t i = 0; i < view.constants->size(); ++i) {
+        const std::int32_t slot = (*view.constants)[i].first;
+        if (!view.is_scratch_slot(slot)) {
+            diags.error({}, "constant-pool entry " + std::to_string(i) + ": slot " +
+                                std::to_string(slot) + " outside the scratch area [" +
+                                std::to_string(view.model_slot_count) + ", " +
+                                std::to_string(view.total_slot_count()) + ")");
+        }
+        for (std::size_t j = i + 1; j < view.constants->size(); ++j) {
+            if ((*view.constants)[j].first == slot) {
+                diags.error({}, "constant-pool entries " + std::to_string(i) + " and " +
+                                    std::to_string(j) + " both claim slot " +
+                                    std::to_string(slot));
+            }
+        }
+    }
+    for (std::size_t i = 0; i < view.rotations.size(); ++i) {
+        const Rotation& r = view.rotations[i];
+        if (r.base < 0 || r.depth < 1 || r.base + r.depth >= view.model_slot_count) {
+            diags.error({}, "rotation group " + std::to_string(i) + ": slots [" +
+                                std::to_string(r.base) + ", " +
+                                std::to_string(r.base + r.depth) +
+                                "] outside the model-slot prefix [0, " +
+                                std::to_string(view.model_slot_count) + ")");
+            continue;
+        }
+        for (std::size_t j = i + 1; j < view.rotations.size(); ++j) {
+            const Rotation& s = view.rotations[j];
+            const bool disjoint =
+                r.base + r.depth < s.base || s.base + s.depth < r.base;
+            if (!disjoint) {
+                diags.error({}, "rotation groups " + std::to_string(i) + " and " +
+                                    std::to_string(j) + " overlap ([" +
+                                    std::to_string(r.base) + ", " +
+                                    std::to_string(r.base + r.depth) + "] vs [" +
+                                    std::to_string(s.base) + ", " +
+                                    std::to_string(s.base + s.depth) + "])");
+            }
+        }
+    }
+    auto check_layout_slot = [&](std::int32_t slot, const char* what) {
+        if (slot < 0 || slot >= view.model_slot_count) {
+            diags.error({}, std::string(what) + " slot " + std::to_string(slot) +
+                                " outside the model-slot prefix [0, " +
+                                std::to_string(view.model_slot_count) + ")");
+        }
+    };
+    for (const std::int32_t slot : view.output_slots) {
+        check_layout_slot(slot, "output");
+    }
+    for (const std::int32_t slot : view.input_slots) {
+        check_layout_slot(slot, "input");
+    }
+    if (view.time_slot >= 0) {
+        check_layout_slot(view.time_slot, "$abstime");
+    }
+}
+
+}  // namespace
+
+bool verify_structure(const ProgramView& view, support::DiagnosticEngine& diags) {
+    AMSVP_CHECK(view.code != nullptr && view.lin_terms != nullptr &&
+                    view.constants != nullptr,
+                "ProgramView not populated");
+    const std::size_t before = diags.error_count();
+    check_program_facts(view, diags);
+    const SlotClasses cls(view);
+    for (std::size_t i = 0; i < view.code->size(); ++i) {
+        check_instruction(view, cls, i, (*view.code)[i], diags);
+    }
+    return diags.error_count() == before;
+}
+
+bool verify(const ProgramView& view, support::DiagnosticEngine& diags) {
+    const bool structural = verify_structure(view, diags);
+    // Dataflow assumes in-bounds indices; on a structurally broken stream
+    // its answers would be noise on top of the real diagnostics.
+    if (!structural) {
+        return false;
+    }
+    const std::size_t before = diags.error_count();
+    run_dataflow_checks(view, diags);
+    return diags.error_count() == before;
+}
+
+bool verify_layout(const runtime::ModelLayout& layout,
+                   support::DiagnosticEngine& diags) {
+    return verify(view_of(layout), diags);
+}
+
+void verify_layout_or_abort(const runtime::ModelLayout& layout, const char* where) {
+    support::DiagnosticEngine diags;
+    if (verify_layout(layout, diags)) {
+        return;
+    }
+    std::fprintf(stderr, "[%s] fused-IR verification failed:\n%s", where,
+                 diags.render_all().c_str());
+    AMSVP_CHECK(false, "fused-IR verification failed; see diagnostics above");
+}
+
+}  // namespace amsvp::analysis

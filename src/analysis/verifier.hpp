@@ -1,0 +1,48 @@
+// Structural verifier for the fused IR.
+//
+// analysis::verify is the fused-IR analogue of llvm::verifyModule: it
+// checks every invariant the interpreter, the C++/SystemC emitters and the
+// ORC lowering silently rely on — slot indices in bounds, no writes into
+// the constant pool or history slots, kLinComb term tables inside the term
+// vector, rotation groups inside the model-slot prefix and disjoint —
+// and then runs the dataflow-derived checks (scratch read-before-write,
+// scratch-compaction cross-check; see dataflow.hpp). Every diagnostic that
+// concerns an instruction names its index as "instr #<i>", which is what
+// the mutation suite keys on.
+//
+// verify() reports structural errors plus dataflow hygiene warnings.
+// verify_layout() additionally applies the layout facts (outputs, time
+// slot, rotations) and is the production entry point; verify_layout_or_abort
+// is the Debug-build / cache-admission hook: render everything to stderr,
+// then abort, because executing an ill-formed program means out-of-bounds
+// slot traffic.
+#pragma once
+
+#include "analysis/program_view.hpp"
+#include "support/diagnostics.hpp"
+
+namespace amsvp::runtime {
+class ModelLayout;
+}  // namespace amsvp::runtime
+
+namespace amsvp::analysis {
+
+/// Structural + dataflow verification of one program view. Returns true
+/// when no errors were recorded (warnings allowed).
+[[nodiscard]] bool verify(const ProgramView& view, support::DiagnosticEngine& diags);
+
+/// Structural checks only (bounds, arity, term tables, constant pool,
+/// rotations). The mutation suite uses this to pin structural corruption
+/// classes without the dataflow passes reporting first.
+[[nodiscard]] bool verify_structure(const ProgramView& view,
+                                    support::DiagnosticEngine& diags);
+
+/// verify() over view_of(layout). The production entry point.
+[[nodiscard]] bool verify_layout(const runtime::ModelLayout& layout,
+                                 support::DiagnosticEngine& diags);
+
+/// verify_layout, rendering all diagnostics to stderr and aborting on
+/// errors. `where` names the call site (e.g. "ModelLayout::compile").
+void verify_layout_or_abort(const runtime::ModelLayout& layout, const char* where);
+
+}  // namespace amsvp::analysis

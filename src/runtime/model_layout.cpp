@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/verifier.hpp"
 #include "expr/traversal.hpp"
 #include "support/check.hpp"
 
@@ -129,6 +130,15 @@ std::shared_ptr<const ModelLayout> ModelLayout::compile(const SignalFlowModel& m
     for (std::size_t i = 0; i < model.inputs.size(); ++i) {
         l.input_names_.emplace(model.inputs[i].name, i);
     }
+#ifndef NDEBUG
+    // Debug builds verify every fused compile before anything executes it;
+    // Release builds verify once per model at ModelCache admission instead
+    // (see ModelCache::locked_layout_for) to keep per-compile cost off the
+    // sweep-service hot path.
+    if (strategy == EvalStrategy::kFused) {
+        analysis::verify_layout_or_abort(l, "ModelLayout::compile");
+    }
+#endif
     return layout;
 }
 

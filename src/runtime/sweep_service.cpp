@@ -7,6 +7,7 @@
 
 // Same one-way .cpp-level dependency as simulate.cpp: the native batch
 // artifacts live in codegen, runtime headers never include codegen ones.
+#include "analysis/verifier.hpp"
 #include "codegen/native_batch.hpp"
 #include "codegen/orc_jit.hpp"
 #include "expr/printer.hpp"
@@ -112,6 +113,12 @@ std::shared_ptr<const ModelLayout> ModelCache::locked_layout_for(
     }
     std::shared_ptr<const ModelLayout> layout =
         ModelLayout::compile(model, EvalStrategy::kFused);
+#ifdef NDEBUG
+    // Release builds verify at cache admission: once per model, before the
+    // layout can fan out to executors, shards or JIT lowerings. (Debug
+    // builds already verified inside ModelLayout::compile.)
+    analysis::verify_layout_or_abort(*layout, "ModelCache::locked_layout_for");
+#endif
     ++stats_.layout_misses;
     entry.layout = layout;
     return layout;
